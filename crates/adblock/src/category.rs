@@ -1,0 +1,193 @@
+//! Flow categorization: first-party vs third-party, and A&A labelling.
+//!
+//! §3.2 of the paper: "We manually identified first-party flows by
+//! looking for domain names associated with our chosen services (e.g.,
+//! weather.com and imwx.com for the Weather Channel). For the remaining
+//! third-party flows, we further categorize them as advertisers or
+//! analytics by comparing the destination domain to EasyList."
+//!
+//! [`Categorizer`] encodes that procedure: a per-service first-party
+//! domain set plays the role of the manual identification, the
+//! [`FilterEngine`] plays the role of EasyList, and a curated
+//! organization table splits A&A hits into advertising vs analytics.
+
+use crate::engine::FilterEngine;
+use appvsweb_httpsim::Host;
+use serde::{Deserialize, Serialize};
+
+/// Category assigned to a destination domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// A domain belonging to the service under test (or its CDN alias).
+    FirstParty,
+    /// Third-party advertising (ad serving, exchanges, RTB).
+    Advertising,
+    /// Third-party analytics / attribution / tag management.
+    Analytics,
+    /// Third-party, but neither ads nor analytics (CDNs, payment, APIs).
+    OtherThirdParty,
+}
+
+impl Category {
+    /// Whether this category counts toward the paper's "A&A domains".
+    pub fn is_aa(self) -> bool {
+        matches!(self, Category::Advertising | Category::Analytics)
+    }
+}
+
+/// Organizations (registrable-domain second-level labels) that are
+/// analytics/attribution rather than ad-serving. Everything else the
+/// filter engine flags is treated as advertising.
+const ANALYTICS_ORGS: &[&str] = &[
+    "google-analytics",
+    "moatads",
+    "moatpixel",
+    "taplytics",
+    "webtrends",
+    "webtrendslive",
+    "chartbeat",
+    "mixpanel",
+    "segment",
+    "amplitude",
+    "adjust",
+    "appsflyer",
+    "kochava",
+    "branch",
+    "flurry",
+    "crashlytics",
+    "newrelic",
+    "nr-data",
+    "optimizely",
+    "hotjar",
+    "comscore",
+    "nielsen",
+    "imrworldwide",
+    "scorecardresearch",
+    "quantserve",
+    "krxd",
+    "bluekai",
+    "demdex",
+    "exelator",
+    "agkn",
+    "thebrighttag",
+    "tiqcdn",
+    "marinsm",
+    "doubleverify",
+    "adsafeprotected",
+    "monetate",
+    "omtrdc",
+    "2o7",
+    "gigya",
+    "usablenet",
+];
+
+/// Categorizes destination hosts for one service under test.
+#[derive(Clone, Debug)]
+pub struct Categorizer {
+    engine: FilterEngine,
+    first_party_domains: Vec<String>,
+}
+
+impl Categorizer {
+    /// Build a categorizer. `first_party_domains` are the registrable
+    /// domains manually associated with the service (e.g.
+    /// `["weather.com", "imwx.com"]`).
+    pub fn new(engine: FilterEngine, first_party_domains: &[&str]) -> Self {
+        Categorizer {
+            engine,
+            first_party_domains: first_party_domains
+                .iter()
+                .map(|d| d.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// With the bundled A&A list.
+    pub fn bundled(first_party_domains: &[&str]) -> Self {
+        Categorizer::new(FilterEngine::with_bundled_list(), first_party_domains)
+    }
+
+    /// Whether `host` is first-party for this service.
+    pub fn is_first_party(&self, host: &str) -> bool {
+        let reg = Host::new(host).registrable_domain();
+        self.first_party_domains.contains(&reg)
+    }
+
+    /// Categorize a destination host (with an example URL on that host —
+    /// pattern rules need a URL to match against).
+    pub fn categorize(&self, host: &str, example_url: &str) -> Category {
+        if self.is_first_party(host) {
+            return Category::FirstParty;
+        }
+        let origin = self
+            .first_party_domains
+            .first()
+            .map(String::as_str)
+            .unwrap_or("unknown.example");
+        if self.engine.is_ad_or_tracking(example_url, origin) {
+            let org = Host::new(host).organization_label();
+            if ANALYTICS_ORGS.contains(&org.as_str()) {
+                Category::Analytics
+            } else {
+                Category::Advertising
+            }
+        } else {
+            Category::OtherThirdParty
+        }
+    }
+
+    /// Categorize by host alone, synthesizing a generic HTTPS URL.
+    pub fn categorize_host(&self, host: &str) -> Category {
+        self.categorize(host, &format!("https://{host}/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather() -> Categorizer {
+        Categorizer::bundled(&["weather.com", "imwx.com"])
+    }
+
+    #[test]
+    fn first_party_aliases_recognized() {
+        let c = weather();
+        assert_eq!(c.categorize_host("www.weather.com"), Category::FirstParty);
+        assert_eq!(c.categorize_host("s.imwx.com"), Category::FirstParty);
+        assert!(c.is_first_party("api.weather.com"));
+        assert!(!c.is_first_party("weather.com.evil.net"));
+    }
+
+    #[test]
+    fn analytics_vs_advertising_split() {
+        let c = weather();
+        assert_eq!(
+            c.categorize_host("www.google-analytics.com"),
+            Category::Analytics
+        );
+        assert_eq!(c.categorize_host("ads.amobee.com"), Category::Advertising);
+        assert_eq!(c.categorize_host("cdn.taplytics.com"), Category::Analytics);
+        assert_eq!(
+            c.categorize_host("securepubads.googlesyndication.com"),
+            Category::Advertising
+        );
+    }
+
+    #[test]
+    fn unlisted_third_party_is_other() {
+        let c = weather();
+        assert_eq!(
+            c.categorize_host("api.payments.example"),
+            Category::OtherThirdParty
+        );
+    }
+
+    #[test]
+    fn aa_predicate() {
+        assert!(Category::Advertising.is_aa());
+        assert!(Category::Analytics.is_aa());
+        assert!(!Category::FirstParty.is_aa());
+        assert!(!Category::OtherThirdParty.is_aa());
+    }
+}

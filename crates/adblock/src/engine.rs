@@ -1,0 +1,264 @@
+//! The filter engine: list loading and request classification.
+
+use crate::filter::{parse_line, Filter, ParsedLine, ResourceType};
+use crate::is_third_party;
+use appvsweb_httpsim::Host;
+
+/// The request context a classification decision needs.
+#[derive(Clone, Debug)]
+pub struct RequestInfo<'a> {
+    /// Full request URL.
+    pub url: &'a str,
+    /// The page/app origin host that initiated the request.
+    pub origin_host: &'a str,
+    /// Resource type, when known.
+    pub resource_type: Option<ResourceType>,
+}
+
+/// Engine verdict for a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// A blocking rule matched (the rule text is included for reporting).
+    Blocked(String),
+    /// An exception rule overrode a blocking rule.
+    Allowed(String),
+    /// No rule matched.
+    NoMatch,
+}
+
+impl Decision {
+    /// Whether the engine classified the request as ad/tracking content.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, Decision::Blocked(_))
+    }
+}
+
+/// Statistics from loading a list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Usable network rules.
+    pub network_rules: usize,
+    /// Exception rules (subset of `network_rules`).
+    pub exceptions: usize,
+    /// Comment/metadata lines.
+    pub comments: usize,
+    /// Element-hiding rules (skipped).
+    pub element_hiding: usize,
+    /// Unsupported lines (skipped).
+    pub unsupported: usize,
+}
+
+/// An EasyList-style filter engine.
+#[derive(Clone, Debug, Default)]
+pub struct FilterEngine {
+    blocking: Vec<Filter>,
+    exceptions: Vec<Filter>,
+}
+
+impl FilterEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine loaded with the bundled A&A snapshot
+    /// ([`crate::lists::BUNDLED_AA_LIST`]).
+    pub fn with_bundled_list() -> Self {
+        let mut e = FilterEngine::new();
+        e.load_list(crate::lists::BUNDLED_AA_LIST);
+        e
+    }
+
+    /// Load a filter list, returning what was parsed.
+    pub fn load_list(&mut self, text: &str) -> LoadStats {
+        let mut stats = LoadStats::default();
+        for line in text.lines() {
+            match parse_line(line) {
+                ParsedLine::Network(f) => {
+                    stats.network_rules += 1;
+                    if f.exception {
+                        stats.exceptions += 1;
+                        self.exceptions.push(f);
+                    } else {
+                        self.blocking.push(f);
+                    }
+                }
+                ParsedLine::Comment => stats.comments += 1,
+                ParsedLine::ElementHiding => stats.element_hiding += 1,
+                ParsedLine::Unsupported(_) => stats.unsupported += 1,
+            }
+        }
+        stats
+    }
+
+    /// Number of loaded rules (blocking + exceptions).
+    pub fn rule_count(&self) -> usize {
+        self.blocking.len() + self.exceptions.len()
+    }
+
+    /// Classify a request.
+    pub fn check(&self, req: &RequestInfo<'_>) -> Decision {
+        let url = req.url.to_ascii_lowercase();
+        let request_host = host_of(&url);
+        let third_party = is_third_party(&request_host, req.origin_host);
+
+        let matches = |f: &Filter| -> bool {
+            if let Some(wants_tp) = f.third_party {
+                if wants_tp != third_party {
+                    return false;
+                }
+            }
+            if !f.include_domains.is_empty()
+                && !f
+                    .include_domains
+                    .iter()
+                    .any(|d| domain_covers(d, req.origin_host))
+            {
+                return false;
+            }
+            if f.exclude_domains.iter().any(|d| domain_covers(d, req.origin_host)) {
+                return false;
+            }
+            if !f.resource_types.is_empty() {
+                match req.resource_type {
+                    Some(rt) if f.resource_types.contains(&rt) => {}
+                    _ => return false,
+                }
+            }
+            f.pattern_matches(&url)
+        };
+
+        let blocked = self.blocking.iter().find(|f| matches(f));
+        if let Some(rule) = blocked {
+            if let Some(exc) = self.exceptions.iter().find(|f| matches(f)) {
+                return Decision::Allowed(exc.raw.clone());
+            }
+            return Decision::Blocked(rule.raw.clone());
+        }
+        Decision::NoMatch
+    }
+
+    /// Convenience: does any blocking rule hit this URL for this origin?
+    pub fn is_ad_or_tracking(&self, url: &str, origin_host: &str) -> bool {
+        self.check(&RequestInfo { url, origin_host, resource_type: None })
+            .is_blocked()
+    }
+}
+
+/// Extract the hostname from a lowercase URL string.
+fn host_of(url: &str) -> String {
+    let after = url.split("://").nth(1).unwrap_or(url);
+    let end = after.find(['/', '?', ':']).unwrap_or(after.len());
+    after[..end].to_string()
+}
+
+/// Whether `origin` equals `domain` or is a subdomain of it, using
+/// registrable-domain comparison for bare domains.
+fn domain_covers(domain: &str, origin: &str) -> bool {
+    let origin = origin.to_ascii_lowercase();
+    origin == domain
+        || origin.ends_with(&format!(".{domain}"))
+        || Host::new(&origin).registrable_domain() == domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(rules: &str) -> FilterEngine {
+        let mut e = FilterEngine::new();
+        e.load_list(rules);
+        e
+    }
+
+    #[test]
+    fn load_stats_counting() {
+        let mut e = FilterEngine::new();
+        let stats = e.load_list(
+            "! title\n[Adblock]\n||a.com^\n@@||b.com^\nexample.com##.ad\n||c.com^$bogus-opt\n",
+        );
+        assert_eq!(stats.network_rules, 2);
+        assert_eq!(stats.exceptions, 1);
+        assert_eq!(stats.comments, 2);
+        assert_eq!(stats.element_hiding, 1);
+        assert_eq!(stats.unsupported, 1);
+        assert_eq!(e.rule_count(), 2);
+    }
+
+    #[test]
+    fn block_and_exception_precedence() {
+        let e = engine("||cdn.com^\n@@||cdn.com/whitelisted/*\n");
+        assert!(e.is_ad_or_tracking("https://cdn.com/ad.js", "site.com"));
+        let d = e.check(&RequestInfo {
+            url: "https://cdn.com/whitelisted/lib.js",
+            origin_host: "site.com",
+            resource_type: None,
+        });
+        assert!(matches!(d, Decision::Allowed(_)));
+    }
+
+    #[test]
+    fn third_party_option_enforced() {
+        let e = engine("||stats.com^$third-party\n");
+        assert!(e.is_ad_or_tracking("https://stats.com/t.gif", "news.com"));
+        // Same registrable domain = first party: rule must not fire.
+        assert!(!e.is_ad_or_tracking("https://stats.com/t.gif", "www.stats.com"));
+    }
+
+    #[test]
+    fn domain_option_scopes_rule() {
+        let e = engine("||widget.com^$domain=news.com|~tech.news.com\n");
+        assert!(e.is_ad_or_tracking("https://widget.com/w.js", "news.com"));
+        assert!(e.is_ad_or_tracking("https://widget.com/w.js", "m.news.com"));
+        assert!(!e.is_ad_or_tracking("https://widget.com/w.js", "tech.news.com"));
+        assert!(!e.is_ad_or_tracking("https://widget.com/w.js", "other.com"));
+    }
+
+    #[test]
+    fn resource_type_option() {
+        let e = engine("||pix.com^$image\n");
+        let img = RequestInfo {
+            url: "https://pix.com/1.gif",
+            origin_host: "a.com",
+            resource_type: Some(ResourceType::Image),
+        };
+        let script = RequestInfo {
+            url: "https://pix.com/1.js",
+            origin_host: "a.com",
+            resource_type: Some(ResourceType::Script),
+        };
+        let unknown = RequestInfo {
+            url: "https://pix.com/1.gif",
+            origin_host: "a.com",
+            resource_type: None,
+        };
+        assert!(e.check(&img).is_blocked());
+        assert!(!e.check(&script).is_blocked());
+        assert!(!e.check(&unknown).is_blocked(), "typed rules need a typed request");
+    }
+
+    #[test]
+    fn bundled_list_loads_and_fires() {
+        let e = FilterEngine::with_bundled_list();
+        assert!(e.rule_count() > 50);
+        assert!(e.is_ad_or_tracking(
+            "https://www.google-analytics.com/collect?v=1",
+            "www.weather.com"
+        ));
+        assert!(e.is_ad_or_tracking("https://ads.amobee.com/bid", "jetblue.com"));
+        assert!(!e.is_ad_or_tracking("https://www.weather.com/today", "www.weather.com"));
+    }
+
+    #[test]
+    fn no_match_for_clean_requests() {
+        let e = engine("||bad.com^\n");
+        assert_eq!(
+            e.check(&RequestInfo {
+                url: "https://good.com/page",
+                origin_host: "good.com",
+                resource_type: None
+            }),
+            Decision::NoMatch
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Filter parsing and single-pattern matching.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource types a filter's `$` options may restrict to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// JavaScript (ad tags, analytics snippets).
+    Script,
+    /// Images (tracking pixels, banner creatives).
+    Image,
+    /// XHR / fetch (beacon posts).
+    XmlHttpRequest,
+    /// Embedded frames (ad iframes).
+    Subdocument,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "script" => ResourceType::Script,
+            "image" => ResourceType::Image,
+            "xmlhttprequest" => ResourceType::XmlHttpRequest,
+            "subdocument" => ResourceType::Subdocument,
+            "other" => ResourceType::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// How the filter's pattern anchors to the URL.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// `||host…` — anchored at a hostname boundary.
+    HostAnchor,
+    /// `|…` — anchored at the start of the URL.
+    StartAnchor,
+    /// Plain substring match anywhere in the URL.
+    Substring,
+}
+
+/// A parsed network filter rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Filter {
+    /// The original rule text (for reporting which rule fired).
+    pub raw: String,
+    /// Exception rule (`@@` prefix)?
+    pub exception: bool,
+    /// Anchor kind.
+    pub kind: FilterKind,
+    /// Pattern body with anchors stripped; may contain `*` and `^`.
+    pub pattern: String,
+    /// `…|` end anchor present?
+    pub end_anchor: bool,
+    /// `$third-party` (Some(true)) / `$~third-party` (Some(false)).
+    pub third_party: Option<bool>,
+    /// `$domain=` inclusions (empty = no restriction).
+    pub include_domains: Vec<String>,
+    /// `$domain=` exclusions (`~` entries).
+    pub exclude_domains: Vec<String>,
+    /// Resource-type restrictions (empty = all types).
+    pub resource_types: Vec<ResourceType>,
+}
+
+/// Outcome of parsing one line of a filter list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// A usable network filter.
+    Network(Filter),
+    /// A comment, blank line, or title directive.
+    Comment,
+    /// An element-hiding rule (`##`/`#@#`) — irrelevant to network
+    /// classification, parsed only to be skipped.
+    ElementHiding,
+    /// A line we do not understand (kept for diagnostics).
+    Unsupported(String),
+}
+
+/// Parse one line of an EasyList-format file.
+pub fn parse_line(line: &str) -> ParsedLine {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+        return ParsedLine::Comment;
+    }
+    if line.contains("##") || line.contains("#@#") || line.contains("#?#") {
+        return ParsedLine::ElementHiding;
+    }
+
+    let (exception, rest) = match line.strip_prefix("@@") {
+        Some(rest) => (true, rest),
+        None => (false, line),
+    };
+
+    // Split off `$options`. A `$` inside the pattern is vanishingly rare
+    // in real lists; EasyList semantics treat the last `$` as the options
+    // separator.
+    let (body, options) = match rest.rfind('$') {
+        Some(idx) if idx > 0 => (&rest[..idx], Some(&rest[idx + 1..])),
+        _ => (rest, None),
+    };
+
+    let mut filter = Filter {
+        raw: line.to_string(),
+        exception,
+        kind: FilterKind::Substring,
+        pattern: String::new(),
+        end_anchor: false,
+        third_party: None,
+        include_domains: vec![],
+        exclude_domains: vec![],
+        resource_types: vec![],
+    };
+
+    let mut body = body;
+    if let Some(rest) = body.strip_prefix("||") {
+        filter.kind = FilterKind::HostAnchor;
+        body = rest;
+    } else if let Some(rest) = body.strip_prefix('|') {
+        filter.kind = FilterKind::StartAnchor;
+        body = rest;
+    }
+    if let Some(rest) = body.strip_suffix('|') {
+        filter.end_anchor = true;
+        body = rest;
+    }
+    if body.is_empty() {
+        return ParsedLine::Unsupported(line.to_string());
+    }
+    filter.pattern = body.to_ascii_lowercase();
+
+    if let Some(options) = options {
+        for opt in options.split(',') {
+            let opt = opt.trim();
+            match opt {
+                "third-party" => filter.third_party = Some(true),
+                "~third-party" => filter.third_party = Some(false),
+                _ => {
+                    if let Some(domains) = opt.strip_prefix("domain=") {
+                        for d in domains.split('|') {
+                            match d.strip_prefix('~') {
+                                Some(ex) => filter.exclude_domains.push(ex.to_ascii_lowercase()),
+                                None => filter.include_domains.push(d.to_ascii_lowercase()),
+                            }
+                        }
+                    } else if let Some(rt) = ResourceType::parse(opt) {
+                        filter.resource_types.push(rt);
+                    } else if let Some(stripped) = opt.strip_prefix('~') {
+                        // Negated resource types: treat as "no restriction"
+                        // (conservative: the rule stays broad).
+                        let _ = ResourceType::parse(stripped);
+                    } else {
+                        return ParsedLine::Unsupported(line.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    ParsedLine::Network(filter)
+}
+
+impl Filter {
+    /// Whether the pattern (ignoring options) matches `url`.
+    /// `url` must be lowercase; callers normalize once.
+    pub fn pattern_matches(&self, url: &str) -> bool {
+        match self.kind {
+            FilterKind::StartAnchor => match_from(&self.pattern, url, self.end_anchor),
+            FilterKind::HostAnchor => {
+                // `||` matches at the start of the hostname or at any
+                // subdomain-dot boundary after the scheme.
+                let Some(host_start) = url.find("://").map(|i| i + 3) else {
+                    return false;
+                };
+                let after_scheme = &url[host_start..];
+                if match_from(&self.pattern, after_scheme, self.end_anchor) {
+                    return true;
+                }
+                // Try each label boundary within the hostname.
+                let host_end = after_scheme
+                    .find(['/', '?', ':'])
+                    .unwrap_or(after_scheme.len());
+                let host = &after_scheme[..host_end];
+                let mut offset = 0;
+                for (i, ch) in host.char_indices() {
+                    if ch == '.' {
+                        offset = i + 1;
+                        if match_from(&self.pattern, &after_scheme[offset..], self.end_anchor) {
+                            return true;
+                        }
+                    }
+                }
+                let _ = offset;
+                false
+            }
+            FilterKind::Substring => {
+                if self.end_anchor {
+                    // Substring that must end where the URL ends.
+                    (0..=url.len()).rev().any(|start| {
+                        url.is_char_boundary(start)
+                            && match_from(&self.pattern, &url[start..], true)
+                    })
+                } else {
+                    (0..=url.len()).any(|start| {
+                        url.is_char_boundary(start)
+                            && match_from(&self.pattern, &url[start..], false)
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// ABP separator class: `^` matches any char that is not alphanumeric and
+/// not one of `_ - . %`, and also matches the end of the URL.
+fn is_separator(c: u8) -> bool {
+    !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'))
+}
+
+/// Match `pattern` against the beginning of `text`. `must_end` requires
+/// the match to consume `text` entirely.
+fn match_from(pattern: &str, text: &str, must_end: bool) -> bool {
+    let p = pattern.as_bytes();
+    let t = text.as_bytes();
+
+    fn rec(p: &[u8], t: &[u8], must_end: bool) -> bool {
+        match p.first() {
+            None => !must_end || t.is_empty(),
+            Some(b'*') => {
+                // Wildcard: try consuming 0..=all of t.
+                (0..=t.len()).any(|k| rec(&p[1..], &t[k..], must_end))
+            }
+            Some(b'^') => {
+                if t.is_empty() {
+                    // `^` may match end-of-URL.
+                    rec(&p[1..], t, must_end)
+                } else if is_separator(t[0]) {
+                    rec(&p[1..], &t[1..], must_end)
+                } else {
+                    false
+                }
+            }
+            Some(&c) => match t.first() {
+                Some(&tc) if tc == c => rec(&p[1..], &t[1..], must_end),
+                _ => false,
+            },
+        }
+    }
+    rec(p, t, must_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(line: &str) -> Filter {
+        match parse_line(line) {
+            ParsedLine::Network(f) => f,
+            other => panic!("expected network filter for {line:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_cosmetic_rules() {
+        assert_eq!(parse_line("! comment"), ParsedLine::Comment);
+        assert_eq!(parse_line("[Adblock Plus 2.0]"), ParsedLine::Comment);
+        assert_eq!(parse_line(""), ParsedLine::Comment);
+        assert_eq!(parse_line("example.com##.ad-banner"), ParsedLine::ElementHiding);
+    }
+
+    #[test]
+    fn host_anchor_matches_domain_and_subdomains() {
+        let f = net("||doubleclick.net^");
+        assert!(f.pattern_matches("https://doubleclick.net/ads"));
+        assert!(f.pattern_matches("https://ads.g.doubleclick.net/pixel?x=1"));
+        assert!(f.pattern_matches("http://doubleclick.net:8080/x"));
+        assert!(!f.pattern_matches("https://notdoubleclick.net/"));
+        assert!(!f.pattern_matches("https://doubleclick.nets/"));
+        assert!(!f.pattern_matches("https://example.com/?ref=doubleclick.net"));
+    }
+
+    #[test]
+    fn separator_matches_end_of_url() {
+        let f = net("||tracker.example^");
+        assert!(f.pattern_matches("https://tracker.example"));
+    }
+
+    #[test]
+    fn substring_and_wildcards() {
+        let f = net("/adserver/*/banner");
+        assert!(f.pattern_matches("https://x.com/adserver/v2/banner.png"));
+        assert!(!f.pattern_matches("https://x.com/adserver/banner")); // '*' needs the middle
+        let g = net("ad_pixel");
+        assert!(g.pattern_matches("http://y.net/ad_pixel?id=1"));
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let f = net("|https://ads.");
+        assert!(f.pattern_matches("https://ads.example.com/"));
+        assert!(!f.pattern_matches("http://mirror.com/https://ads."));
+        let g = net("swf|");
+        assert!(g.pattern_matches("http://x.com/movie.swf"));
+        assert!(!g.pattern_matches("http://x.com/movie.swf?x=1"));
+    }
+
+    #[test]
+    fn exception_rules() {
+        let f = net("@@||goodcdn.com^");
+        assert!(f.exception);
+        assert!(f.pattern_matches("https://goodcdn.com/lib.js"));
+    }
+
+    #[test]
+    fn options_parsing() {
+        let f = net("||adnet.com^$third-party,script,domain=news.com|~sports.news.com");
+        assert_eq!(f.third_party, Some(true));
+        assert_eq!(f.resource_types, vec![ResourceType::Script]);
+        assert_eq!(f.include_domains, vec!["news.com"]);
+        assert_eq!(f.exclude_domains, vec!["sports.news.com"]);
+        let g = net("||x.com^$~third-party");
+        assert_eq!(g.third_party, Some(false));
+    }
+
+    #[test]
+    fn unknown_option_is_unsupported() {
+        assert!(matches!(
+            parse_line("||x.com^$websocket-frobnicate"),
+            ParsedLine::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let f = net("||AdServer.COM^");
+        assert!(f.pattern_matches("https://adserver.com/x"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # appvsweb-adblock
+//!
+//! An EasyList-syntax filter engine for the `appvsweb` reproduction of
+//! *"Should You Use the App for That?"* (IMC 2016).
+//!
+//! The paper categorizes third-party flows as advertising or analytics "by
+//! comparing the destination domain to EasyList" (§3.2). This crate
+//! implements the relevant subset of Adblock-Plus filter syntax from
+//! scratch:
+//!
+//! * host-anchored (`||example.com^`), start/end-anchored (`|…`, `…|`) and
+//!   plain substring patterns, with `*` wildcards and `^` separators
+//! * `@@` exception rules
+//! * `$` options: `third-party` / `~third-party`, `domain=…|~…`, and
+//!   resource types (`script`, `image`, `xmlhttprequest`, `subdocument`)
+//! * comments (`!`) and the element-hiding rules (`##`), which are parsed
+//!   and ignored — they never affect network classification
+//!
+//! [`lists::BUNDLED_AA_LIST`] ships an EasyList-style snapshot covering
+//! every advertising & analytics domain the paper names, playing the role
+//! of the 2016 EasyList download. [`Categorizer`] combines the engine
+//! with first-party knowledge to label each flow the way §3.2 does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod engine;
+pub mod filter;
+pub mod lists;
+
+pub use category::{Categorizer, Category};
+pub use engine::{Decision, FilterEngine, RequestInfo};
+pub use filter::{Filter, FilterKind, ResourceType};
+
+/// Whether two hosts belong to different registrable domains — the
+/// "third-party" test used both by `$third-party` options and by the
+/// study's own first/third-party split.
+pub fn is_third_party(request_host: &str, origin_host: &str) -> bool {
+    use appvsweb_httpsim::Host;
+    Host::new(request_host).registrable_domain() != Host::new(origin_host).registrable_domain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn third_party_uses_registrable_domain() {
+        assert!(!is_third_party("ads.weather.com", "www.weather.com"));
+        assert!(is_third_party("doubleclick.net", "weather.com"));
+        assert!(!is_third_party("news.bbc.co.uk", "bbc.co.uk"));
+        assert!(is_third_party("other.co.uk", "bbc.co.uk"));
+    }
+}

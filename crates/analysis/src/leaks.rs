@@ -1,0 +1,343 @@
+//! Leak classification (§3.2 "Defining a PII Leak").
+//!
+//! The paper's rule, verbatim: a transmission of PII is a **leak** when
+//! "(1) it is transmitted over the Internet unencrypted, thus exposing
+//! the data to eavesdroppers, or (2) it is sent to third parties
+//! (encrypted or plaintext) and is not required for logging into the
+//! service". Credentials (username, password, e-mail) sent to a first
+//! party — or a single sign-on service — over HTTPS are not leaks; all
+//! other transmitted PII is, including a birthday sent to the first
+//! party over HTTPS.
+
+use appvsweb_adblock::{Categorizer, Category};
+use appvsweb_httpsim::Host;
+use appvsweb_mitm::Trace;
+use appvsweb_netsim::Os;
+use appvsweb_pii::{CombinedDetector, PiiType};
+use appvsweb_services::{Medium, ServiceCategory, ServiceSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// One leaked (transaction, PII-type) instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakEvent {
+    /// The PII class.
+    pub pii_type: PiiType,
+    /// Destination registrable domain.
+    pub domain: String,
+    /// Destination category.
+    pub category: Category,
+    /// Whether it travelled in plaintext.
+    pub plaintext: bool,
+}
+
+/// Per-PII-type aggregates within one cell.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeAggregate {
+    /// Total leak instances of this type.
+    pub count: u64,
+    /// Domains that received it.
+    pub domains: BTreeSet<String>,
+}
+
+/// The analysis of one (service, OS, medium) session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellAnalysis {
+    /// Service slug.
+    pub service_id: String,
+    /// Service display name.
+    pub service_name: String,
+    /// Service category.
+    pub category: ServiceCategory,
+    /// App Annie rank.
+    pub rank: u32,
+    /// Test OS.
+    pub os: Os,
+    /// App or Web.
+    pub medium: Medium,
+    /// Unique A&A registrable domains contacted (paper Fig. 1a).
+    pub aa_domains: BTreeSet<String>,
+    /// TCP connections to A&A domains (paper Fig. 1b).
+    pub aa_flows: u64,
+    /// Bytes to/from A&A domains (paper Fig. 1c).
+    pub aa_bytes: u64,
+    /// All TCP connections in the session.
+    pub total_flows: u64,
+    /// Every leak instance.
+    pub leaks: Vec<LeakEvent>,
+    /// Registrable domains that received at least one leak (Fig. 1d).
+    pub leak_domains: BTreeSet<String>,
+    /// Distinct leaked PII types (Figs. 1e/1f, Table 1 matrix).
+    pub leaked_types: BTreeSet<PiiType>,
+    /// Per-type aggregates (Table 3).
+    pub per_type: BTreeMap<PiiType, TypeAggregate>,
+    /// Per-A&A-domain leak counts (Table 2).
+    pub per_domain_leaks: BTreeMap<String, u64>,
+    /// Per-A&A-domain leaked types (Table 2).
+    pub per_domain_types: BTreeMap<String, BTreeSet<PiiType>>,
+}
+
+impl CellAnalysis {
+    /// Whether this cell leaked any PII at all.
+    pub fn leaked(&self) -> bool {
+        !self.leaked_types.is_empty()
+    }
+
+    /// Total leak instances.
+    pub fn leak_count(&self) -> u64 {
+        self.leaks.len() as u64
+    }
+}
+
+/// Analyze one captured trace.
+///
+/// `detector` must be built from the same ground truth the session used;
+/// `categorizer` must carry the service's first-party domains.
+pub fn analyze_trace(
+    trace: &Trace,
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    detector: &CombinedDetector,
+    categorizer: &Categorizer,
+) -> CellAnalysis {
+    let mut cell = CellAnalysis {
+        service_id: spec.id.to_string(),
+        service_name: spec.name.to_string(),
+        category: spec.category,
+        rank: spec.rank,
+        os,
+        medium,
+        aa_domains: BTreeSet::new(),
+        aa_flows: 0,
+        aa_bytes: 0,
+        total_flows: trace.connections.len() as u64,
+        leaks: Vec::new(),
+        leak_domains: BTreeSet::new(),
+        leaked_types: BTreeSet::new(),
+        per_type: BTreeMap::new(),
+        per_domain_leaks: BTreeMap::new(),
+        per_domain_types: BTreeMap::new(),
+    };
+
+    // --- Connection-level accounting (works even for opaque flows). ---
+    for conn in &trace.connections {
+        let domain = Host::new(&conn.host).registrable_domain();
+        let category = categorizer.categorize_host(&conn.host);
+        if category.is_aa() {
+            cell.aa_domains.insert(domain);
+            cell.aa_flows += 1;
+            cell.aa_bytes += conn.stats.total_bytes();
+        }
+    }
+
+    // --- Transaction-level PII detection (decrypted flows only). ------
+    // Identical request texts (repeated beacons) are scanned once.
+    let mut cache: HashMap<u64, Vec<PiiType>> = HashMap::new();
+    for txn in &trace.transactions {
+        let text = scan_text_of(&txn.request);
+        let mut hasher = DefaultHasher::new();
+        text.hash(&mut hasher);
+        txn.host.hash(&mut hasher);
+        let key = hasher.finish();
+        let domain_label = Host::new(&txn.host).registrable_domain();
+        let types = cache
+            .entry(key)
+            .or_insert_with(|| detector.scan(&domain_label, &text).types())
+            .clone();
+
+        if types.is_empty() {
+            continue;
+        }
+        let category = categorizer.categorize_host(&txn.host);
+        for t in types {
+            if !is_leak(t, category, txn.plaintext) {
+                continue;
+            }
+            let domain = Host::new(&txn.host).registrable_domain();
+            cell.leaks.push(LeakEvent {
+                pii_type: t,
+                domain: domain.clone(),
+                category,
+                plaintext: txn.plaintext,
+            });
+            cell.leak_domains.insert(domain.clone());
+            cell.leaked_types.insert(t);
+            let agg = cell.per_type.entry(t).or_default();
+            agg.count += 1;
+            agg.domains.insert(domain.clone());
+            if category.is_aa() {
+                *cell.per_domain_leaks.entry(domain.clone()).or_default() += 1;
+                cell.per_domain_types.entry(domain).or_default().insert(t);
+            }
+        }
+    }
+
+    cell
+}
+
+/// The flow text the detectors scan: the raw request wire bytes with the
+/// `User-Agent` header redacted. Every browser UA carries the hardware
+/// model ("Nexus 5 Build/KTU84P"); the paper does not count that ambient
+/// header as a Device-Name leak — device info only counts when a party
+/// explicitly collects it in a payload (and indeed Table 3 reports zero
+/// web-side Device Name leaks).
+pub fn scan_text(request_bytes: &[u8]) -> String {
+    let text = String::from_utf8_lossy(request_bytes);
+    text.lines()
+        .filter(|line| {
+            let lower = line.to_ascii_lowercase();
+            !lower.starts_with("user-agent:")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Structured variant of [`scan_text`]: builds the scan text from a
+/// parsed request, *inflating gzip-compressed bodies first* — SDK batch
+/// uploads (e.g. Flurry) travel with `Content-Encoding: gzip`, and the
+/// plaintext is only visible after decompression, exactly as mitmproxy
+/// exposes it.
+pub fn scan_text_of(request: &appvsweb_httpsim::Request) -> String {
+    use appvsweb_httpsim::compress::gzip_decompress;
+    let mut out = String::with_capacity(256 + request.body.len());
+    out.push_str(request.method.as_str());
+    out.push(' ');
+    out.push_str(&request.url.request_target());
+    out.push_str(" HTTP/1.1\n");
+    let mut gzipped = false;
+    for (name, value) in request.headers.iter() {
+        if name.eq_ignore_ascii_case("user-agent") {
+            continue; // ambient hardware-model header, not a leak
+        }
+        if name.eq_ignore_ascii_case("content-encoding")
+            && value.eq_ignore_ascii_case("gzip")
+        {
+            gzipped = true;
+        }
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push('\n');
+    }
+    out.push('\n');
+    if gzipped {
+        match gzip_decompress(&request.body.bytes) {
+            Ok(plain) => out.push_str(&String::from_utf8_lossy(&plain)),
+            // Broken compression: fall back to the raw (opaque) bytes.
+            Err(_) => out.push_str(&request.body.as_text()),
+        }
+    } else {
+        out.push_str(&request.body.as_text());
+    }
+    out
+}
+
+/// The paper's leak rule for one detected transmission.
+pub fn is_leak(t: PiiType, destination: Category, plaintext: bool) -> bool {
+    if plaintext {
+        return true; // rule (1): anything unencrypted is exposed
+    }
+    match destination {
+        Category::FirstParty => !t.is_credential(),
+        // Third parties (A&A or otherwise): everything is a leak.
+        _ => true,
+    }
+}
+
+/// All cells of a full study (50 services × 2 OSes × 2 media).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Study {
+    /// Every analyzed cell.
+    pub cells: Vec<CellAnalysis>,
+}
+
+/// App-vs-web comparison for one service on one OS (one point in each
+/// of Figures 1a–1f).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceComparison {
+    /// Service slug.
+    pub service_id: String,
+    /// OS this pair was measured on.
+    pub os: Os,
+    /// (app − web) unique A&A domains contacted.
+    pub aa_domain_diff: i64,
+    /// (app − web) flows to A&A domains.
+    pub aa_flow_diff: i64,
+    /// (app − web) bytes to A&A domains.
+    pub aa_byte_diff: i64,
+    /// (app − web) domains receiving PII.
+    pub leak_domain_diff: i64,
+    /// (app − web) distinct leaked identifier types.
+    pub leaked_type_diff: i64,
+    /// Jaccard index of the leaked-type sets.
+    pub jaccard: f64,
+}
+
+impl Study {
+    /// Cells for one OS and medium.
+    pub fn cells_for(&self, os: Os, medium: Medium) -> impl Iterator<Item = &CellAnalysis> {
+        self.cells
+            .iter()
+            .filter(move |c| c.os == os && c.medium == medium)
+    }
+
+    /// Find a specific cell.
+    pub fn cell(&self, service_id: &str, os: Os, medium: Medium) -> Option<&CellAnalysis> {
+        self.cells
+            .iter()
+            .find(|c| c.service_id == service_id && c.os == os && c.medium == medium)
+    }
+
+    /// Pair up app and web cells per (service, OS) for the figures.
+    pub fn comparisons(&self) -> Vec<ServiceComparison> {
+        let mut out = Vec::new();
+        for os in [Os::Android, Os::Ios] {
+            for app in self.cells_for(os, Medium::App) {
+                let Some(web) = self.cell(&app.service_id, os, Medium::Web) else {
+                    continue;
+                };
+                out.push(ServiceComparison {
+                    service_id: app.service_id.clone(),
+                    os,
+                    aa_domain_diff: app.aa_domains.len() as i64 - web.aa_domains.len() as i64,
+                    aa_flow_diff: app.aa_flows as i64 - web.aa_flows as i64,
+                    aa_byte_diff: app.aa_bytes as i64 - web.aa_bytes as i64,
+                    leak_domain_diff: app.leak_domains.len() as i64
+                        - web.leak_domains.len() as i64,
+                    leaked_type_diff: app.leaked_types.len() as i64
+                        - web.leaked_types.len() as i64,
+                    jaccard: crate::stats::jaccard(&app.leaked_types, &web.leaked_types),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leak_rule_matches_the_paper() {
+        use Category::*;
+        // Plaintext is always a leak, even credentials to first party.
+        assert!(is_leak(PiiType::Password, FirstParty, true));
+        assert!(is_leak(PiiType::Location, FirstParty, true));
+        // Credentials to first party over HTTPS: NOT leaks.
+        assert!(!is_leak(PiiType::Password, FirstParty, false));
+        assert!(!is_leak(PiiType::Username, FirstParty, false));
+        assert!(!is_leak(PiiType::Email, FirstParty, false));
+        // Non-credential PII to first party over HTTPS IS a leak
+        // ("a birthday sent to a first party using encryption is a leak").
+        assert!(is_leak(PiiType::Birthday, FirstParty, false));
+        assert!(is_leak(PiiType::Location, FirstParty, false));
+        // Everything to third parties is a leak, encrypted or not.
+        assert!(is_leak(PiiType::Password, Analytics, false));
+        assert!(is_leak(PiiType::Email, Advertising, false));
+        assert!(is_leak(PiiType::UniqueId, OtherThirdParty, false));
+    }
+}

@@ -1,0 +1,36 @@
+//! # appvsweb-analysis
+//!
+//! Leak classification, aggregation, and the table/figure builders for
+//! the `appvsweb` reproduction of *"Should You Use the App for That?"*
+//! (IMC 2016).
+//!
+//! The pipeline stage order mirrors the paper:
+//!
+//! 1. [`leaks::analyze_trace`] takes one session's captured [`Trace`],
+//!    runs the combined PII detector over every decrypted transaction,
+//!    categorizes destinations with the EasyList engine, applies the
+//!    paper's leak definition (§3.2 "Defining a PII Leak"), and produces
+//!    a [`CellAnalysis`].
+//! 2. [`tables`] and [`figures`] aggregate the 200 cells
+//!    (50 services × 2 OSes × 2 media) into Table 1, Table 2, Table 3
+//!    and Figures 1a–1f.
+//! 3. [`stats`] provides the CDF/PDF/Jaccard machinery; [`render`]
+//!    formats tables and figure series as text, in the same layout the
+//!    paper prints; [`osdiff`] computes the paper's Android-vs-iOS
+//!    comparisons; [`report`] renders the whole evaluation as markdown.
+//!
+//! [`Trace`]: appvsweb_mitm::Trace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod osdiff;
+pub mod leaks;
+pub mod render;
+pub mod report;
+pub mod stats;
+pub mod tables;
+
+pub use leaks::{analyze_trace, CellAnalysis, LeakEvent, ServiceComparison, Study};
+pub use stats::{Cdf, Pdf};

@@ -1,0 +1,167 @@
+//! Cross-OS comparisons (Android vs iOS).
+//!
+//! Table 1 of the paper splits every metric by OS and the text draws two
+//! OS-level conclusions: (1) similar fractions of Android and iOS *apps*
+//! leak, but 24% fewer *Web* sites leak in Chrome/Android than in
+//! Safari/iOS; (2) "Web sites leak comparable types of PII regardless of
+//! whether they are loaded in Chrome or Safari (with phone number being
+//! the sole exception)". This module computes those comparisons from a
+//! study.
+
+use crate::leaks::Study;
+use crate::stats::jaccard;
+use appvsweb_netsim::Os;
+use appvsweb_pii::PiiType;
+use appvsweb_services::Medium;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Android-vs-iOS comparison for one service and medium.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OsComparison {
+    /// Service slug.
+    pub service_id: String,
+    /// App or Web.
+    pub medium: Medium,
+    /// Types leaked on Android.
+    pub android_types: BTreeSet<PiiType>,
+    /// Types leaked on iOS.
+    pub ios_types: BTreeSet<PiiType>,
+    /// Jaccard similarity of the two sets.
+    pub jaccard: f64,
+}
+
+impl OsComparison {
+    /// Types leaked only on Android.
+    pub fn android_only(&self) -> BTreeSet<PiiType> {
+        self.android_types.difference(&self.ios_types).copied().collect()
+    }
+
+    /// Types leaked only on iOS.
+    pub fn ios_only(&self) -> BTreeSet<PiiType> {
+        self.ios_types.difference(&self.android_types).copied().collect()
+    }
+
+    /// Whether the service behaves identically across OSes on this medium.
+    pub fn identical(&self) -> bool {
+        self.android_types == self.ios_types
+    }
+}
+
+/// Compute per-service OS comparisons for one medium. Services tested on
+/// only one OS are skipped (the 48/50 availability split).
+pub fn os_comparisons(study: &Study, medium: Medium) -> Vec<OsComparison> {
+    let mut out = Vec::new();
+    for android in study.cells_for(Os::Android, medium) {
+        let Some(ios) = study.cell(&android.service_id, Os::Ios, medium) else {
+            continue;
+        };
+        out.push(OsComparison {
+            service_id: android.service_id.clone(),
+            medium,
+            android_types: android.leaked_types.clone(),
+            ios_types: ios.leaked_types.clone(),
+            jaccard: jaccard(&android.leaked_types, &ios.leaked_types),
+        });
+    }
+    out
+}
+
+/// Medium-level summary of OS agreement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OsAgreement {
+    /// App or Web.
+    pub medium: Medium,
+    /// Services compared on both OSes.
+    pub services: usize,
+    /// Fraction with identical leaked-type sets.
+    pub identical_fraction: f64,
+    /// PII types that ever differ between OSes anywhere.
+    pub divergent_types: BTreeSet<PiiType>,
+}
+
+/// Summarize OS agreement per medium.
+pub fn os_agreement(study: &Study, medium: Medium) -> OsAgreement {
+    let comparisons = os_comparisons(study, medium);
+    let identical = comparisons.iter().filter(|c| c.identical()).count();
+    let mut divergent = BTreeSet::new();
+    for c in &comparisons {
+        divergent.extend(c.android_only());
+        divergent.extend(c.ios_only());
+    }
+    OsAgreement {
+        medium,
+        services: comparisons.len(),
+        identical_fraction: if comparisons.is_empty() {
+            1.0
+        } else {
+            identical as f64 / comparisons.len() as f64
+        },
+        divergent_types: divergent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaks::CellAnalysis;
+    use appvsweb_services::ServiceCategory;
+    use std::collections::BTreeMap;
+
+    fn cell(service: &str, os: Os, medium: Medium, types: &[PiiType]) -> CellAnalysis {
+        CellAnalysis {
+            service_id: service.into(),
+            service_name: service.into(),
+            category: ServiceCategory::News,
+            rank: 1,
+            os,
+            medium,
+            aa_domains: BTreeSet::new(),
+            aa_flows: 0,
+            aa_bytes: 0,
+            total_flows: 0,
+            leaks: vec![],
+            leak_domains: BTreeSet::new(),
+            leaked_types: types.iter().copied().collect(),
+            per_type: BTreeMap::new(),
+            per_domain_leaks: BTreeMap::new(),
+            per_domain_types: BTreeMap::new(),
+        }
+    }
+
+    fn study() -> Study {
+        Study {
+            cells: vec![
+                cell("a", Os::Android, Medium::App, &[PiiType::UniqueId, PiiType::Email]),
+                cell("a", Os::Ios, Medium::App, &[PiiType::UniqueId, PiiType::PhoneNumber]),
+                cell("b", Os::Android, Medium::App, &[PiiType::Location]),
+                cell("b", Os::Ios, Medium::App, &[PiiType::Location]),
+                // c is iOS-only: must be skipped.
+                cell("c", Os::Ios, Medium::App, &[PiiType::Gender]),
+            ],
+        }
+    }
+
+    #[test]
+    fn comparisons_pair_by_service() {
+        let cmp = os_comparisons(&study(), Medium::App);
+        assert_eq!(cmp.len(), 2, "iOS-only service skipped");
+        let a = cmp.iter().find(|c| c.service_id == "a").unwrap();
+        assert_eq!(a.android_only(), [PiiType::Email].into_iter().collect());
+        assert_eq!(a.ios_only(), [PiiType::PhoneNumber].into_iter().collect());
+        assert!((a.jaccard - 1.0 / 3.0).abs() < 1e-9);
+        let b = cmp.iter().find(|c| c.service_id == "b").unwrap();
+        assert!(b.identical());
+        assert_eq!(b.jaccard, 1.0);
+    }
+
+    #[test]
+    fn agreement_summary() {
+        let agg = os_agreement(&study(), Medium::App);
+        assert_eq!(agg.services, 2);
+        assert_eq!(agg.identical_fraction, 0.5);
+        assert!(agg.divergent_types.contains(&PiiType::Email));
+        assert!(agg.divergent_types.contains(&PiiType::PhoneNumber));
+        assert!(!agg.divergent_types.contains(&PiiType::Location));
+    }
+}

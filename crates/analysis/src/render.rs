@@ -1,0 +1,179 @@
+//! Text rendering of tables and figures, in the paper's layout.
+
+use crate::figures::Figure;
+use crate::tables::{Table1, Table2Row, Table3Row};
+use appvsweb_pii::PiiType;
+use appvsweb_services::Medium;
+use std::fmt::Write as _;
+
+fn medium_label(m: Medium) -> &'static str {
+    match m {
+        Medium::App => "App",
+        Medium::Web => "Web",
+    }
+}
+
+/// Render Table 1 with the identifier ✓-matrix.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<15} {:<4} {:>4} {:>6} {:>8} {:>12}  {}",
+        "Group", "Med", "#Svc", "Rank", "%Leak", "Domains",
+        PiiType::ALL.map(|t| t.abbrev()).join(" ")
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for row in &t.rows {
+        let matrix: Vec<&str> = PiiType::ALL
+            .iter()
+            .map(|t| if row.leaked_types.contains(t) { "x" } else { "." })
+            .collect();
+        let rank = row
+            .avg_rank
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<15} {:<4} {:>4} {:>6} {:>7.1}% {:>5.1} ± {:<4.1}  {}",
+            row.group,
+            medium_label(row.medium),
+            row.services,
+            rank,
+            row.pct_leaking * 100.0,
+            row.avg_leak_domains,
+            row.std_leak_domains,
+            matrix.join("  ")
+        );
+    }
+    out
+}
+
+/// Render Table 2 (top A&A domains).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>4} {:>3} {:>4}  {:>9} {:>9}  {:>3} {:>3} {:>3}  {:>7}",
+        "A&A Domain", "App", "∩", "Web", "AvgL:App", "AvgL:Web", "App", "∩", "Web", "Total"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>4} {:>3} {:>4}  {:>9.1} {:>9.1}  {:>3} {:>3} {:>3}  {:>7}",
+            r.organization,
+            r.services_app,
+            r.services_both,
+            r.services_web,
+            r.avg_leaks_app,
+            r.avg_leaks_web,
+            r.ids_app,
+            r.ids_both,
+            r.ids_web,
+            r.total_leaks
+        );
+    }
+    out
+}
+
+/// Render Table 3 (PII types).
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>4} {:>3} {:>4}  {:>9} {:>9}  {:>4} {:>3} {:>4}",
+        "PII", "App", "∩", "Web", "AvgL:App", "AvgL:Web", "App", "∩", "Web"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>3} {:>4}  {:>9.1} {:>9.1}  {:>4} {:>3} {:>4}",
+            r.pii_type.label(),
+            r.services_app,
+            r.services_both,
+            r.services_web,
+            r.avg_leaks_app,
+            r.avg_leaks_web,
+            r.domains_app,
+            r.domains_both,
+            r.domains_web
+        );
+    }
+    out
+}
+
+/// Render a figure as plot-ready series (x\ty rows per OS), the format a
+/// gnuplot/matplotlib script consumes to redraw the paper's plots.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure {}", fig.id.label());
+    for series in &fig.series {
+        let _ = writeln!(out, "## series: {}", series.os);
+        for (x, y) in &series.points {
+            let _ = writeln!(out, "{x:.4}\t{y:.2}");
+        }
+    }
+    out
+}
+
+/// A compact ASCII plot of a figure (for terminal inspection).
+pub fn ascii_plot(fig: &Figure, width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.id.label());
+    let all: Vec<(f64, f64)> = fig.series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), (x, _)| (lo.min(*x), hi.max(*x)));
+    let span = (xmax - xmin).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, series) in fig.series.iter().enumerate() {
+        let glyph = if si == 0 { '*' } else { 'o' };
+        for (x, y) in &series.points {
+            let col = (((x - xmin) / span) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - (y / 100.0).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+    for row in grid {
+        let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    let _ = writeln!(out, " x: [{xmin:.1} .. {xmax:.1}]   * = Android, o = iOS");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FigureId, FigureSeries};
+    use appvsweb_netsim::Os;
+
+    #[test]
+    fn figure_rendering_includes_both_series() {
+        let fig = Figure {
+            id: FigureId::AaDomains,
+            series: vec![
+                FigureSeries { os: Os::Android, points: vec![(-5.0, 50.0), (0.0, 100.0)] },
+                FigureSeries { os: Os::Ios, points: vec![(-3.0, 100.0)] },
+            ],
+        };
+        let text = render_figure(&fig);
+        assert!(text.contains("series: Android"));
+        assert!(text.contains("series: iOS"));
+        assert!(text.contains("-5.0000\t50.00"));
+        let plot = ascii_plot(&fig, 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+    }
+
+    #[test]
+    fn empty_figure_plots_gracefully() {
+        let fig = Figure { id: FigureId::Jaccard, series: vec![] };
+        assert!(ascii_plot(&fig, 20, 5).contains("no data"));
+    }
+}

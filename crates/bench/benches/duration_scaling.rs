@@ -1,0 +1,53 @@
+//! The §3.2 duration control as a bench: leak counts scale with session
+//! length, PII types plateau. Prints the comparison table once.
+
+use appvsweb_bench::quick_config;
+use appvsweb_core::duration::{default_duration_services, duration_experiment};
+use appvsweb_netsim::{Os, SimDuration};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_duration(c: &mut Criterion) {
+    let cfg = quick_config();
+    let services = default_duration_services();
+
+    let results = duration_experiment(
+        &services,
+        Os::Android,
+        SimDuration::from_mins(4),
+        SimDuration::from_mins(10),
+        &cfg,
+    );
+    println!("\n== Duration control: 4 vs 10 minutes (regenerated) ==");
+    println!("{:<18} {:>8} {:>8} {:>7}  new-types", "service", "4min", "10min", "ratio");
+    for r in &results {
+        println!(
+            "{:<18} {:>8} {:>8} {:>7.2}  {:?}",
+            r.service_id,
+            r.short_leaks,
+            r.long_leaks,
+            r.leak_ratio(),
+            r.new_types()
+        );
+    }
+
+    // Bench a two-service subset so iterations stay affordable.
+    c.bench_function("duration_4v10_two_services", |b| {
+        b.iter(|| {
+            black_box(duration_experiment(
+                &["weather-channel", "streamflix"],
+                Os::Android,
+                SimDuration::from_mins(4),
+                SimDuration::from_mins(10),
+                &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_duration
+}
+criterion_main!(benches);

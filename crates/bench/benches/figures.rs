@@ -1,0 +1,36 @@
+//! Benches that regenerate Figures 1a–1f of the paper.
+//!
+//! One bench per subfigure; each prints its plot-ready series (and an
+//! ASCII preview) once, then measures the series computation.
+
+use appvsweb_analysis::figures::{self, FigureId};
+use appvsweb_analysis::render;
+use appvsweb_bench::shared_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let study = shared_study();
+    for id in FigureId::ALL {
+        let fig = figures::figure(study, id);
+        println!("\n{}", render::ascii_plot(&fig, 64, 12));
+        let name = match id {
+            FigureId::AaDomains => "fig1a_aa_domains",
+            FigureId::AaFlows => "fig1b_aa_flows",
+            FigureId::AaBytes => "fig1c_aa_bytes",
+            FigureId::LeakDomains => "fig1d_leak_domains",
+            FigureId::LeakedIdentifiers => "fig1e_leaked_identifiers",
+            FigureId::Jaccard => "fig1f_jaccard",
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(figures::figure(black_box(study), id)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end pipeline benches: single cells and the full campaign.
+
+use appvsweb_bench::quick_config;
+use appvsweb_core::study::{run_cell, run_study};
+use appvsweb_netsim::Os;
+use appvsweb_services::{Catalog, Medium};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One app cell and one web cell (capture + detection + classification).
+fn bench_cells(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let cfg = quick_config();
+    let weather = catalog.get("weather-channel").unwrap();
+    c.bench_function("cell_app_weather_1min", |b| {
+        b.iter(|| black_box(run_cell(weather, Os::Android, Medium::App, &cfg, None)))
+    });
+    c.bench_function("cell_web_weather_1min", |b| {
+        b.iter(|| black_box(run_cell(weather, Os::Android, Medium::Web, &cfg, None)))
+    });
+    let bbc = catalog.get("bbc-news").unwrap();
+    c.bench_function("cell_web_bbc_heavy_1min", |b| {
+        b.iter(|| black_box(run_cell(bbc, Os::Ios, Medium::Web, &cfg, None)))
+    });
+}
+
+/// The full 196-cell campaign at 1 simulated minute per session.
+fn bench_full_study(c: &mut Criterion) {
+    let cfg = quick_config();
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    group.bench_function("full_campaign_1min_sessions", |b| {
+        b.iter(|| black_box(run_study(black_box(&cfg))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cells, bench_full_study
+}
+criterion_main!(benches);

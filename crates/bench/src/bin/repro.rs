@@ -1,0 +1,225 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro --all                 # everything: tables 1-3, figures 1a-1f, duration control
+//! repro --table 1             # one table
+//! repro --figure 1d           # one figure (plot-ready series + ASCII preview)
+//! repro --duration            # the §3.2 4-vs-10-minute control
+//! repro --headlines           # the paper's headline statistics
+//! repro --json study.json     # export the dataset (the paper publishes its data too)
+//! repro --seed 7 --minutes 4  # alternate experiment parameters
+//! ```
+
+use appvsweb_analysis::figures::{self, FigureId};
+use appvsweb_analysis::render;
+use appvsweb_analysis::tables;
+use appvsweb_analysis::Study;
+use appvsweb_core::dataset;
+use appvsweb_core::duration::{default_duration_services, duration_experiment};
+use appvsweb_core::study::{run_study, StudyConfig};
+use appvsweb_netsim::{Os, SimDuration};
+
+struct Args {
+    table: Option<u8>,
+    figure: Option<String>,
+    duration: bool,
+    headlines: bool,
+    all: bool,
+    json: Option<String>,
+    report: Option<String>,
+    seed: u64,
+    minutes: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table: None,
+        figure: None,
+        duration: false,
+        headlines: false,
+        all: false,
+        json: None,
+        report: None,
+        seed: 2016,
+        minutes: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => args.table = it.next().and_then(|v| v.parse().ok()),
+            "--figure" => args.figure = it.next(),
+            "--duration" => args.duration = true,
+            "--headlines" => args.headlines = true,
+            "--all" => args.all = true,
+            "--json" => args.json = it.next(),
+            "--report" => args.report = it.next(),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(2016),
+            "--minutes" => args.minutes = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--all] [--table N] [--figure 1a..1f] [--duration] \
+                     [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.table.is_none()
+        && args.figure.is_none()
+        && !args.duration
+        && !args.headlines
+        && args.json.is_none()
+        && args.report.is_none()
+    {
+        args.all = true;
+    }
+    args
+}
+
+fn figure_id(label: &str) -> Option<FigureId> {
+    Some(match label {
+        "1a" => FigureId::AaDomains,
+        "1b" => FigureId::AaFlows,
+        "1c" => FigureId::AaBytes,
+        "1d" => FigureId::LeakDomains,
+        "1e" => FigureId::LeakedIdentifiers,
+        "1f" => FigureId::Jaccard,
+        _ => return None,
+    })
+}
+
+fn print_headlines(study: &Study) {
+    println!("== Headline statistics (paper §1 / §4) ==");
+    for os in [Os::Android, Os::Ios] {
+        let f1a = figures::cdf(study, FigureId::AaDomains, os);
+        println!(
+            "{os}: {:.0}% of services contact more A&A domains via Web than app \
+             (paper: 83% Android / 78% iOS)",
+            f1a.fraction_negative() * 100.0
+        );
+        let f1b = figures::cdf(study, FigureId::AaFlows, os);
+        println!(
+            "{os}: {:.0}% of services open more TCP flows to A&A via Web \
+             (paper: 73% Android / 80% iOS)",
+            f1b.fraction_negative() * 100.0
+        );
+        let f1f = figures::cdf(study, FigureId::Jaccard, os);
+        println!(
+            "{os}: {:.0}% of services share NO leaked PII types between app and Web \
+             (paper: more than half)",
+            f1f.at(0.0) * 100.0
+        );
+        let f1e = figures::pdf_1e(study, os);
+        println!(
+            "{os}: modal (app - web) leaked-identifier difference = {:+} \
+             (paper: +1), {:.0}% of mass at positive values",
+            f1e.mode().unwrap_or(0),
+            f1e.positive_mass()
+        );
+    }
+    let t1 = tables::table1(study);
+    let pct = |group: &str, medium| {
+        t1.rows
+            .iter()
+            .find(|r| r.group == group && r.medium == medium)
+            .map(|r| r.pct_leaking * 100.0)
+            .unwrap_or(0.0)
+    };
+    use appvsweb_services::Medium;
+    println!(
+        "services leaking via app: {:.0}% (paper 92%); via Web: {:.0}% (paper 78%)",
+        pct("All", Medium::App),
+        pct("All", Medium::Web)
+    );
+    println!(
+        "Android Web leak rate {:.1}% vs iOS Web {:.1}% (paper: 52.1% vs 76%)",
+        pct("Android", Medium::Web),
+        pct("iOS", Medium::Web)
+    );
+    println!();
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = StudyConfig {
+        seed: args.seed,
+        duration: SimDuration::from_mins(args.minutes),
+        ..StudyConfig::default()
+    };
+    eprintln!(
+        "running the full study: 50 services x 2 OSes x 2 media, {} min sessions, seed {} ...",
+        args.minutes, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let study = run_study(&cfg);
+    eprintln!("study completed in {:.2?} ({} cells)\n", t0.elapsed(), study.cells.len());
+
+    if args.all || args.headlines {
+        print_headlines(&study);
+    }
+    if args.all || args.table == Some(1) {
+        println!("== Table 1: services by OS and category ==");
+        println!("{}", render::render_table1(&tables::table1(&study)));
+    }
+    if args.all || args.table == Some(2) {
+        println!("== Table 2: top-20 A&A domains by total leaks ==");
+        println!("{}", render::render_table2(&tables::table2(&study, 20)));
+    }
+    if args.all || args.table == Some(3) {
+        println!("== Table 3: PII types by total leaks ==");
+        println!("{}", render::render_table3(&tables::table3(&study)));
+    }
+
+    let figure_filter: Option<FigureId> = args.figure.as_deref().and_then(figure_id);
+    if args.figure.is_some() && figure_filter.is_none() {
+        eprintln!("unknown figure (use 1a..1f)");
+        std::process::exit(2);
+    }
+    for id in FigureId::ALL {
+        if (args.all && figure_filter.is_none()) || figure_filter == Some(id) {
+            let fig = figures::figure(&study, id);
+            println!("{}", render::ascii_plot(&fig, 64, 12));
+            println!("{}", render::render_figure(&fig));
+        }
+    }
+
+    if args.all || args.duration {
+        println!("== Duration control (§3.2): 4- vs 10-minute sessions ==");
+        let results = duration_experiment(
+            &default_duration_services(),
+            Os::Android,
+            SimDuration::from_mins(4),
+            SimDuration::from_mins(10),
+            &cfg,
+        );
+        println!(
+            "{:<18} {:>8} {:>8} {:>7}  new PII types in longer run",
+            "service", "4min", "10min", "ratio"
+        );
+        for r in &results {
+            println!(
+                "{:<18} {:>8} {:>8} {:>7.2}  {:?}",
+                r.service_id,
+                r.short_leaks,
+                r.long_leaks,
+                r.leak_ratio(),
+                r.new_types()
+            );
+        }
+        println!();
+    }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, dataset::to_json(&study)).expect("write dataset");
+        eprintln!("dataset written to {path}");
+    }
+    if let Some(path) = &args.report {
+        std::fs::write(path, appvsweb_analysis::report::markdown_report(&study))
+            .expect("write report");
+        eprintln!("markdown report written to {path}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the reproduction benches and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use appvsweb_analysis::Study;
+use appvsweb_core::study::{run_study, StudyConfig};
+use std::sync::OnceLock;
+
+/// The canonical full study (seed 2016, 4-minute sessions), computed once
+/// per process and shared by every table/figure bench.
+pub fn shared_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&StudyConfig::default()))
+}
+
+/// A faster study configuration (1-minute sessions, no ReCon) for benches
+/// that measure the pipeline itself rather than consume its output.
+pub fn quick_config() -> StudyConfig {
+    StudyConfig {
+        duration: appvsweb_netsim::SimDuration::from_mins(1),
+        use_recon: false,
+        ..StudyConfig::default()
+    }
+}

@@ -1,0 +1,44 @@
+//! Dataset export.
+//!
+//! The paper makes "our dataset and code available" at the project page;
+//! the reproduction does the same by serializing the full [`Study`]
+//! (every cell's leak events, per-type and per-domain aggregates, and
+//! traffic counters) as JSON.
+
+use appvsweb_analysis::Study;
+
+/// Serialize a study to pretty JSON.
+pub fn to_json(study: &Study) -> String {
+    serde_json::to_string_pretty(study).expect("Study serializes")
+}
+
+/// Parse a study back from JSON.
+pub fn from_json(text: &str) -> Result<Study, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_cell, StudyConfig};
+    use appvsweb_netsim::{Os, SimDuration};
+    use appvsweb_services::{Catalog, Medium};
+
+    #[test]
+    fn json_roundtrip_preserves_cells() {
+        let catalog = Catalog::paper();
+        let cfg = StudyConfig {
+            duration: SimDuration::from_secs(30),
+            use_recon: false,
+            ..Default::default()
+        };
+        let cell = run_cell(catalog.get("yelp").unwrap(), Os::Ios, Medium::Web, &cfg, None);
+        let study = Study { cells: vec![cell] };
+        let json = to_json(&study);
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.cells[0].service_id, "yelp");
+        assert_eq!(parsed.cells[0].aa_flows, study.cells[0].aa_flows);
+        assert_eq!(parsed.cells[0].leaked_types, study.cells[0].leaked_types);
+    }
+}

@@ -1,0 +1,133 @@
+//! The §3.2 duration-control experiment.
+//!
+//! The paper validates the 4-minute session length by re-running the
+//! five leakiest and five least-leaky apps for 10 minutes: "the number
+//! of third parties contacted and number of times PII leaked were
+//! roughly proportional to the duration of the experiment … but we
+//! generally did not see additional types of PII leaked during the
+//! longer experiment duration". This module reruns that control.
+
+use crate::study::{run_cell, StudyConfig};
+use appvsweb_netsim::{Os, SimDuration};
+use appvsweb_pii::PiiType;
+use appvsweb_services::{Catalog, Medium};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Result of one service's duration comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DurationComparison {
+    /// Service slug.
+    pub service_id: String,
+    /// Leak instances in the short run.
+    pub short_leaks: u64,
+    /// Leak instances in the long run.
+    pub long_leaks: u64,
+    /// Distinct PII types in the short run.
+    pub short_types: BTreeSet<PiiType>,
+    /// Distinct PII types in the long run.
+    pub long_types: BTreeSet<PiiType>,
+}
+
+impl DurationComparison {
+    /// leak-count scaling factor (long / short).
+    pub fn leak_ratio(&self) -> f64 {
+        if self.short_leaks == 0 {
+            return if self.long_leaks == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.long_leaks as f64 / self.short_leaks as f64
+    }
+
+    /// PII types seen only in the long run.
+    pub fn new_types(&self) -> BTreeSet<PiiType> {
+        self.long_types.difference(&self.short_types).copied().collect()
+    }
+}
+
+/// Run the duration control on `service_ids` for the app medium,
+/// comparing `short` vs `long` session lengths.
+pub fn duration_experiment(
+    service_ids: &[&str],
+    os: Os,
+    short: SimDuration,
+    long: SimDuration,
+    cfg: &StudyConfig,
+) -> Vec<DurationComparison> {
+    let catalog = Catalog::paper();
+    let mut out = Vec::new();
+    for id in service_ids {
+        let Some(spec) = catalog.get(id) else { continue };
+        let short_cell = run_cell(
+            spec,
+            os,
+            Medium::App,
+            &StudyConfig { duration: short, ..cfg.clone() },
+            None,
+        );
+        let long_cell = run_cell(
+            spec,
+            os,
+            Medium::App,
+            &StudyConfig { duration: long, ..cfg.clone() },
+            None,
+        );
+        out.push(DurationComparison {
+            service_id: id.to_string(),
+            short_leaks: short_cell.leak_count(),
+            long_leaks: long_cell.leak_count(),
+            short_types: short_cell.leaked_types.clone(),
+            long_types: long_cell.leaked_types.clone(),
+        });
+    }
+    out
+}
+
+/// The paper's selection: the five leakiest and five least-leaky apps.
+pub fn default_duration_services() -> Vec<&'static str> {
+    vec![
+        // leakiest (heavy SDK stacks)
+        "biz-board",
+        "study-pal",
+        "chatterbox",
+        "grubhub",
+        "weather-channel",
+        // least leaky (clean entertainment apps)
+        "streamflix",
+        "show-binge",
+        "clip-share",
+        "tube-time",
+        "office-go",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_types_plateau() {
+        let cfg = StudyConfig { use_recon: false, ..Default::default() };
+        let results = duration_experiment(
+            &["biz-board", "weather-channel"],
+            Os::Android,
+            SimDuration::from_mins(4),
+            SimDuration::from_mins(10),
+            &cfg,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(
+                (1.7..=3.5).contains(&r.leak_ratio()),
+                "{}: leak counts should scale ~2.5x, got {:.2}",
+                r.service_id,
+                r.leak_ratio()
+            );
+            assert!(
+                r.new_types().is_empty(),
+                "{}: no new PII types expected in longer runs, got {:?}",
+                r.service_id,
+                r.new_types()
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # appvsweb-core
+//!
+//! The experiment driver for the `appvsweb` reproduction of *"Should You
+//! Use the App for That?"* (IMC 2016).
+//!
+//! This crate assembles the substrates into the paper's full
+//! methodology:
+//!
+//! * [`testbed`] — one test cell's equipment: a factory-reset device, a
+//!   fresh account (ground truth), the Meddle tunnel with its CA
+//!   installed on the device, and the origin world
+//! * [`study`] — the full campaign: 50 services × {Android, iOS} ×
+//!   {app, Web}, 4 simulated minutes each, with ReCon training and the
+//!   combined detection pipeline, parallelized across cells
+//! * [`duration`] — the §3.2 control experiment (4- vs 10-minute
+//!   sessions)
+//! * [`dataset`] — JSON export of the measurement dataset (the paper
+//!   publishes its dataset; so does the reproduction)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod duration;
+pub mod study;
+pub mod testbed;
+
+pub use study::{run_study, StudyConfig};
+pub use testbed::Testbed;

@@ -1,0 +1,218 @@
+//! The full study: 50 services × 2 OSes × 2 media.
+//!
+//! Reproduces the paper's campaign (§3.3: "We manually tested online
+//! services over app and Web versions … between March 23 and May 11,
+//! 2016"), compressed to simulated time. The runner:
+//!
+//! 1. trains the ReCon classifier on a training subset of cells (using
+//!    ground-truth labels from the matcher, exactly how the ReCon
+//!    corpus was labelled),
+//! 2. runs every (service, OS, medium) cell through its own
+//!    deterministic testbed, in parallel across worker threads,
+//! 3. analyzes each trace with the combined detector and the EasyList
+//!    categorizer, producing the [`Study`] dataset every table and
+//!    figure builder consumes.
+
+use crate::testbed::Testbed;
+use appvsweb_adblock::Categorizer;
+use appvsweb_analysis::{analyze_trace, CellAnalysis, Study};
+use appvsweb_httpsim::Host;
+use appvsweb_netsim::{Os, SimDuration};
+use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
+use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
+use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
+use std::collections::BTreeSet;
+use std::sync::mpsc;
+
+/// Study parameters.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Experiment seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Session duration (4 minutes in the paper).
+    pub duration: SimDuration,
+    /// Worker threads (1 = fully sequential).
+    pub workers: usize,
+    /// Train and use the ReCon classifier (disable for the
+    /// matcher-only ablation).
+    pub use_recon: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 2016,
+            duration: SimDuration::from_mins(4),
+            workers: available_workers(),
+            use_recon: true,
+        }
+    }
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Services used to train ReCon (their traces are still measured; the
+/// original ReCon was likewise trained on labelled traffic from the
+/// same ecosystem it later classified).
+const TRAINING_SERVICES: &[&str] = &["weather-channel", "shopmart", "study-pal", "chatterbox"];
+
+/// Train the ReCon ensemble from matcher-labelled training flows.
+pub fn train_recon(catalog: &Catalog, cfg: &StudyConfig) -> ReconClassifier {
+    let mut trainer = ReconTrainer::new();
+    let session_cfg = SessionConfig {
+        duration: cfg.duration,
+        seed: cfg.seed ^ 0x7261_696e, // distinct stream from measurement
+        strip_background: true,
+    };
+    for id in TRAINING_SERVICES {
+        let Some(spec) = catalog.get(id) else { continue };
+        for os in [Os::Android, Os::Ios] {
+            let mut tb = Testbed::for_cell(spec, os, session_cfg.seed);
+            let matcher = GroundTruthMatcher::new(&tb.truth);
+            for medium in Medium::BOTH {
+                let trace = tb.run_session(spec, os, medium, &session_cfg);
+                for txn in &trace.transactions {
+                    let text = appvsweb_analysis::leaks::scan_text_of(&txn.request);
+                    let labels: BTreeSet<_> = matcher.types_in(&text).into_iter().collect();
+                    trainer.add(TrainingFlow {
+                        domain: Host::new(&txn.host).registrable_domain(),
+                        text,
+                        labels,
+                    });
+                }
+            }
+        }
+    }
+    trainer.train(&TreeConfig::default())
+}
+
+/// Run one cell: session + analysis.
+pub fn run_cell(
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    cfg: &StudyConfig,
+    recon: Option<&ReconClassifier>,
+) -> CellAnalysis {
+    let session_cfg = SessionConfig {
+        duration: cfg.duration,
+        seed: cfg.seed,
+        strip_background: true,
+    };
+    let mut tb = Testbed::for_cell(spec, os, cfg.seed);
+    let trace = tb.run_session(spec, os, medium, &session_cfg);
+    let detector = CombinedDetector::new(&tb.truth, recon.cloned());
+    let categorizer = Categorizer::bundled(spec.first_party);
+    analyze_trace(&trace, spec, os, medium, &detector, &categorizer)
+}
+
+/// Run the full study over the paper catalog.
+pub fn run_study(cfg: &StudyConfig) -> Study {
+    let catalog = Catalog::paper();
+    let recon = if cfg.use_recon { Some(train_recon(&catalog, cfg)) } else { None };
+
+    // Work list: every testable (service, OS, medium) cell, respecting
+    // per-OS availability (48 Android / 50 iOS, Table 1).
+    let mut work: Vec<(&ServiceSpec, Os, Medium)> = Vec::new();
+    for os in [Os::Android, Os::Ios] {
+        for spec in catalog.testable_on(os) {
+            for medium in Medium::BOTH {
+                work.push((spec, os, medium));
+            }
+        }
+    }
+
+    let workers = cfg.workers.max(1);
+    let mut cells: Vec<CellAnalysis> = if workers == 1 {
+        work.iter()
+            .map(|(spec, os, medium)| run_cell(spec, *os, *medium, cfg, recon.as_ref()))
+            .collect()
+    } else {
+        let (tx, rx) = mpsc::channel::<CellAnalysis>();
+        let chunk = work.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for slice in work.chunks(chunk) {
+                let tx = tx.clone();
+                let cfg = cfg.clone();
+                let recon = recon.clone();
+                scope.spawn(move |_| {
+                    for (spec, os, medium) in slice {
+                        let cell = run_cell(spec, *os, *medium, &cfg, recon.as_ref());
+                        // Receiver outlives all senders in this scope.
+                        let _ = tx.send(cell);
+                    }
+                });
+            }
+            drop(tx);
+            rx.into_iter().collect::<Vec<_>>()
+        })
+        .expect("study worker panicked")
+    };
+
+    // Deterministic output order regardless of worker scheduling.
+    cells.sort_by(|a, b| {
+        (a.service_id.clone(), a.os, a.medium).cmp(&(b.service_id.clone(), b.os, b.medium))
+    });
+    Study { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> StudyConfig {
+        // One simulated minute keeps unit tests fast; integration tests
+        // and benches run the full four.
+        StudyConfig {
+            seed: 2016,
+            duration: SimDuration::from_mins(1),
+            workers: available_workers(),
+            use_recon: false,
+        }
+    }
+
+    #[test]
+    fn study_covers_all_cells() {
+        let study = run_study(&quick_cfg());
+        // 49 services on Android (one iOS-only) + 49 on iOS, × 2 media.
+        let android = study.cells.iter().filter(|c| c.os == Os::Android).count();
+        let ios = study.cells.iter().filter(|c| c.os == Os::Ios).count();
+        assert_eq!(android + ios, 196);
+        let apps = study.cells.iter().filter(|c| c.medium == Medium::App).count();
+        assert_eq!(apps * 2, android + ios);
+    }
+
+    #[test]
+    fn study_is_deterministic_across_worker_counts() {
+        let seq = run_study(&StudyConfig { workers: 1, ..quick_cfg() });
+        let par = run_study(&StudyConfig { workers: 4, ..quick_cfg() });
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.service_id, b.service_id);
+            assert_eq!(a.aa_flows, b.aa_flows);
+            assert_eq!(a.leaked_types, b.leaked_types);
+            assert_eq!(a.leak_count(), b.leak_count());
+        }
+    }
+
+    #[test]
+    fn recon_training_produces_models() {
+        let catalog = Catalog::paper();
+        let clf = train_recon(&catalog, &quick_cfg());
+        assert!(clf.domain_model_count() > 0, "per-domain models expected");
+    }
+
+    #[test]
+    fn single_cell_run_smoke() {
+        let catalog = Catalog::paper();
+        let spec = catalog.get("grubhub").unwrap();
+        let cell = run_cell(spec, Os::Android, Medium::App, &quick_cfg(), None);
+        assert!(cell.leaked(), "Grubhub app leaks (password to taplytics at minimum)");
+        assert!(cell.leak_domains.contains("taplytics.com"));
+    }
+}

@@ -1,0 +1,596 @@
+//! DEFLATE (RFC 1951) and gzip (RFC 1952), from scratch.
+//!
+//! Mobile SDKs gzip their batch uploads and servers gzip responses; an
+//! interception proxy must inflate them before any PII scanning can work
+//! (mitmproxy does this transparently). This module provides:
+//!
+//! * [`deflate`] — a compressor using greedy LZ77 matching over a 32 KiB
+//!   window with fixed-Huffman encoding
+//! * [`inflate`] — a full decompressor: stored, fixed-Huffman, and
+//!   dynamic-Huffman blocks
+//! * [`gzip_compress`] / [`gzip_decompress`] — the gzip member framing
+//!   with CRC-32 integrity checking
+
+/// Error from the decompressors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InflateError {
+    /// Input ended mid-stream.
+    Truncated,
+    /// Invalid block type or malformed Huffman data.
+    Corrupt(&'static str),
+    /// gzip framing problems (magic, method, CRC).
+    BadGzip(&'static str),
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InflateError::Truncated => f.write_str("truncated deflate stream"),
+            InflateError::Corrupt(why) => write!(f, "corrupt deflate stream: {why}"),
+            InflateError::BadGzip(why) => write!(f, "bad gzip framing: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+// ---------------------------------------------------------------- bits
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bit: 0 }
+    }
+
+    fn take_bit(&mut self) -> Result<u32, InflateError> {
+        let byte = *self.data.get(self.pos).ok_or(InflateError::Truncated)?;
+        let out = (byte >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Ok(out as u32)
+    }
+
+    fn take_bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        let mut out = 0u32;
+        for i in 0..n {
+            out |= self.take_bit()? << i;
+        }
+        Ok(out)
+    }
+
+    fn align_byte(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+    }
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), bit: 0 }
+    }
+
+    fn put_bits(&mut self, value: u32, n: u32) {
+        for i in 0..n {
+            if self.bit == 0 {
+                self.out.push(0);
+            }
+            let b = (value >> i) & 1;
+            *self.out.last_mut().unwrap() |= (b as u8) << self.bit;
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+
+    /// Huffman codes are written most-significant bit first.
+    fn put_huffman(&mut self, code: u32, len: u32) {
+        for i in (0..len).rev() {
+            self.put_bits((code >> i) & 1, 1);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+// ------------------------------------------------------- huffman tables
+
+/// Canonical Huffman decoder built from code lengths.
+struct Huffman {
+    /// (first_code, first_symbol_index) per bit length 1..=15.
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn from_lengths(lengths: &[u8]) -> Result<Self, InflateError> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        // Over-subscribed check (loop index is the code length itself).
+        let mut left = 1i32;
+        #[allow(clippy::needless_range_loop)]
+        for len in 1..16 {
+            left <<= 1;
+            left -= counts[len] as i32;
+            if left < 0 {
+                return Err(InflateError::Corrupt("over-subscribed huffman code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, bits: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= bits.take_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - count < first {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(InflateError::Corrupt("invalid huffman code"))
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    for item in l.iter_mut().take(256).skip(144) {
+        *item = 9;
+    }
+    for item in l.iter_mut().take(280).skip(256) {
+        *item = 7;
+    }
+    l
+}
+
+// ------------------------------------------------------------- inflate
+
+/// Decompress a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut bits = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let final_block = bits.take_bit()? == 1;
+        let btype = bits.take_bits(2)?;
+        match btype {
+            0 => {
+                // Stored.
+                bits.align_byte();
+                if bits.pos + 4 > data.len() {
+                    return Err(InflateError::Truncated);
+                }
+                let len = u16::from_le_bytes([data[bits.pos], data[bits.pos + 1]]) as usize;
+                let nlen = u16::from_le_bytes([data[bits.pos + 2], data[bits.pos + 3]]);
+                if nlen != !(len as u16) {
+                    return Err(InflateError::Corrupt("stored-block length check"));
+                }
+                bits.pos += 4;
+                if bits.pos + len > data.len() {
+                    return Err(InflateError::Truncated);
+                }
+                out.extend_from_slice(&data[bits.pos..bits.pos + len]);
+                bits.pos += len;
+            }
+            1 => {
+                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
+                let dist = Huffman::from_lengths(&[5u8; 30])?;
+                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut bits)?;
+                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(InflateError::Corrupt("reserved block type")),
+        }
+        if final_block {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    const ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+    let hlit = bits.take_bits(5)? as usize + 257;
+    let hdist = bits.take_bits(5)? as usize + 1;
+    let hclen = bits.take_bits(4)? as usize + 4;
+    let mut code_lengths = [0u8; 19];
+    for &idx in ORDER.iter().take(hclen) {
+        code_lengths[idx] = bits.take_bits(3)? as u8;
+    }
+    let cl_huff = Huffman::from_lengths(&code_lengths)?;
+
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = cl_huff.decode(bits)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths.last().ok_or(InflateError::Corrupt("repeat at start"))?;
+                let n = 3 + bits.take_bits(2)?;
+                for _ in 0..n {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let n = 3 + bits.take_bits(3)? as usize;
+                lengths.resize(lengths.len() + n, 0);
+            }
+            18 => {
+                let n = 11 + bits.take_bits(7)? as usize;
+                lengths.resize(lengths.len() + n, 0);
+            }
+            _ => return Err(InflateError::Corrupt("bad code-length symbol")),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(InflateError::Corrupt("code-length overflow"));
+    }
+    let lit = Huffman::from_lengths(&lengths[..hlit])?;
+    let dist = Huffman::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    bits: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(bits)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + bits.take_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(bits)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::Corrupt("bad distance symbol"));
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + bits.take_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::Corrupt("distance beyond output"));
+                }
+                let start = out.len() - distance;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::Corrupt("bad literal/length symbol")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- deflate
+
+/// Compress with greedy LZ77 + fixed-Huffman coding.
+pub fn deflate(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    // Single final block, fixed Huffman.
+    w.put_bits(1, 1); // BFINAL
+    w.put_bits(1, 2); // BTYPE = fixed
+
+    let fixed_code = |sym: u16| -> (u32, u32) {
+        match sym {
+            0..=143 => (0x30 + sym as u32, 8),
+            144..=255 => (0x190 + (sym as u32 - 144), 9),
+            256..=279 => (sym as u32 - 256, 7),
+            _ => (0xC0 + (sym as u32 - 280), 8),
+        }
+    };
+
+    // 3-byte hash chains over a 32 KiB window.
+    const WINDOW: usize = 32 * 1024;
+    const MIN_MATCH: usize = 3;
+    const MAX_MATCH: usize = 258;
+    let mut head: Vec<i64> = vec![-1; 1 << 15];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) << 7 ^ (b as usize) << 3 ^ c as usize) & 0x7fff
+    };
+
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data[i], data[i + 1], data[i + 2]);
+            let candidate = head[h];
+            if candidate >= 0 {
+                let cand = candidate as usize;
+                let dist = i - cand;
+                if dist <= WINDOW && dist > 0 {
+                    let mut l = 0usize;
+                    let max = MAX_MATCH.min(data.len() - i);
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH {
+                        best_len = l;
+                        best_dist = dist;
+                    }
+                }
+            }
+            head[h] = i as i64;
+        }
+
+        if best_len >= MIN_MATCH {
+            // Length code.
+            let idx = LENGTH_BASE
+                .iter()
+                .rposition(|&b| b as usize <= best_len)
+                .unwrap();
+            let (code, bits_n) = fixed_code(257 + idx as u16);
+            w.put_huffman(code, bits_n);
+            w.put_bits(
+                (best_len - LENGTH_BASE[idx] as usize) as u32,
+                LENGTH_EXTRA[idx] as u32,
+            );
+            // Distance code (5-bit fixed).
+            let didx = DIST_BASE
+                .iter()
+                .rposition(|&b| b as usize <= best_dist)
+                .unwrap();
+            w.put_huffman(didx as u32, 5);
+            w.put_bits(
+                (best_dist - DIST_BASE[didx] as usize) as u32,
+                DIST_EXTRA[didx] as u32,
+            );
+            // Insert hash entries inside the match so later data can
+            // reference it.
+            let end = i + best_len;
+            i += 1;
+            while i < end && i + MIN_MATCH <= data.len() {
+                let h = hash(data[i], data[i + 1], data[i + 2]);
+                head[h] = i as i64;
+                i += 1;
+            }
+            i = end;
+        } else {
+            let (code, bits_n) = fixed_code(data[i] as u16);
+            w.put_huffman(code, bits_n);
+            i += 1;
+        }
+    }
+    let (eob, eob_bits) = fixed_code(256);
+    w.put_huffman(eob, eob_bits);
+    w.finish()
+}
+
+// ---------------------------------------------------------------- gzip
+
+/// CRC-32 (IEEE 802.3), byte-at-a-time with a lazily built table.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (n, entry) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Wrap `data` as a gzip member.
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![
+        0x1f, 0x8b, // magic
+        8,    // deflate
+        0,    // flags
+        0, 0, 0, 0, // mtime (deterministic simulation: epoch)
+        0,    // extra flags
+        255,  // OS: unknown
+    ];
+    out.extend_from_slice(&deflate(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Unwrap and decompress a gzip member, verifying the CRC.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    if data.len() < 18 {
+        return Err(InflateError::BadGzip("too short"));
+    }
+    if data[0] != 0x1f || data[1] != 0x8b {
+        return Err(InflateError::BadGzip("bad magic"));
+    }
+    if data[2] != 8 {
+        return Err(InflateError::BadGzip("unknown method"));
+    }
+    let flags = data[3];
+    let mut offset = 10;
+    if flags & 0x04 != 0 {
+        // FEXTRA
+        let xlen =
+            u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
+        offset += 2 + xlen;
+    }
+    if flags & 0x08 != 0 {
+        // FNAME: zero-terminated.
+        while *data.get(offset).ok_or(InflateError::Truncated)? != 0 {
+            offset += 1;
+        }
+        offset += 1;
+    }
+    if flags & 0x10 != 0 {
+        // FCOMMENT
+        while *data.get(offset).ok_or(InflateError::Truncated)? != 0 {
+            offset += 1;
+        }
+        offset += 1;
+    }
+    if flags & 0x02 != 0 {
+        offset += 2; // FHCRC
+    }
+    if offset + 8 > data.len() {
+        return Err(InflateError::Truncated);
+    }
+    let body = &data[offset..data.len() - 8];
+    let out = inflate(body)?;
+    let expected_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
+    let expected_size =
+        u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(&out) != expected_crc {
+        return Err(InflateError::BadGzip("crc mismatch"));
+    }
+    if out.len() as u32 != expected_size {
+        return Err(InflateError::BadGzip("size mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deflate_inflate_roundtrip_text() {
+        let text = b"the quick brown fox jumps over the lazy dog; the quick brown fox again and again and again";
+        let compressed = deflate(text);
+        assert_eq!(inflate(&compressed).unwrap(), text);
+        // Repetitive text must actually compress.
+        let repetitive = b"abcabcabcabcabcabcabcabcabcabcabcabcabcabcabc".repeat(10);
+        let c = deflate(&repetitive);
+        assert!(c.len() < repetitive.len() / 2, "{} vs {}", c.len(), repetitive.len());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            assert_eq!(inflate(&deflate(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert_eq!(inflate(&deflate(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn inflate_stored_block() {
+        // Hand-built stored block: BFINAL=1, BTYPE=00, LEN=5, NLEN=!5, "hello".
+        let mut raw = vec![0x01, 0x05, 0x00, 0xFA, 0xFF];
+        raw.extend_from_slice(b"hello");
+        assert_eq!(inflate(&raw).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn inflate_known_zlib_streams() {
+        // Raw-deflate output of CPython's zlib (level 9, wbits -15) —
+        // cross-implementation vectors.
+        let fixed: [u8; 10] = [203, 72, 205, 201, 201, 87, 200, 64, 144, 0];
+        assert_eq!(inflate(&fixed).unwrap(), b"hello hello hello");
+        let longer: [u8; 27] = [
+            43, 201, 72, 85, 40, 44, 205, 76, 206, 86, 72, 42, 202, 47, 207, 83, 72, 203, 175,
+            80, 40, 25, 21, 27, 48, 49, 0,
+        ];
+        assert_eq!(inflate(&longer).unwrap(), "the quick brown fox ".repeat(20).as_bytes());
+    }
+
+    #[test]
+    fn inflate_rejects_garbage() {
+        assert!(inflate(&[0x07, 0xFF]).is_err()); // reserved block type
+        assert_eq!(inflate(&[]), Err(InflateError::Truncated));
+        // Stored block with broken NLEN.
+        assert!(inflate(&[0x01, 0x05, 0x00, 0x00, 0x00, b'h']).is_err());
+    }
+
+    #[test]
+    fn crc32_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn gzip_roundtrip() {
+        let payload = br#"{"events":[{"email":"jane@x.com","lat":42.36}]}"#;
+        let gz = gzip_compress(payload);
+        assert_eq!(&gz[..2], &[0x1f, 0x8b]);
+        assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+    }
+
+    #[test]
+    fn gzip_detects_corruption() {
+        let mut gz = gzip_compress(b"payload payload payload");
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0xFF;
+        assert!(gzip_decompress(&gz).is_err());
+        // Bad magic.
+        let mut bad = gzip_compress(b"x");
+        bad[0] = 0;
+        assert_eq!(gzip_decompress(&bad), Err(InflateError::BadGzip("bad magic")));
+    }
+
+    #[test]
+    fn gzip_with_filename_header() {
+        // Build a member with FNAME set manually.
+        let payload = b"named content";
+        let mut gz = vec![0x1f, 0x8b, 8, 0x08, 0, 0, 0, 0, 0, 255];
+        gz.extend_from_slice(b"file.txt\0");
+        gz.extend_from_slice(&deflate(payload));
+        gz.extend_from_slice(&crc32(payload).to_le_bytes());
+        gz.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+    }
+}

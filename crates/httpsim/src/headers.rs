@@ -1,0 +1,143 @@
+//! Ordered, case-insensitive HTTP header map.
+//!
+//! Header insertion order is preserved because the PII detector tokenizes
+//! whole messages; matching mitmproxy, we never reorder what a client sent.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered multimap of HTTP headers with case-insensitive lookup.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Create an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header, preserving any existing values of the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Set a header, replacing all existing values of the same name.
+    /// The new value takes the position of the first replaced entry, or is
+    /// appended if the header was absent.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        let first = self.entries.iter().position(|(n, _)| n.eq_ignore_ascii_case(&name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(&name));
+        match first {
+            Some(idx) => self.entries.insert(idx.min(self.entries.len()), (name, value)),
+            None => self.entries.push((name, value)),
+        }
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all values for `name`; returns whether anything was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Iterate all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header entries (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in &self.entries {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        HeaderMap {
+            entries: iter.into_iter().map(|(n, v)| (n.into(), v.into())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("x-missing"));
+    }
+
+    #[test]
+    fn append_preserves_duplicates_in_order() {
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("X-Other", "z");
+        h.append("set-cookie", "b=2");
+        let all: Vec<_> = h.get_all("Set-Cookie").collect();
+        assert_eq!(all, vec!["a=1", "b=2"]);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.append("Cookie", "a=1");
+        h.append("Cookie", "b=2");
+        h.set("cookie", "c=3");
+        let all: Vec<_> = h.get_all("Cookie").collect();
+        assert_eq!(all, vec!["c=3"]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut h: HeaderMap = [("A", "1"), ("B", "2")].into_iter().collect();
+        assert!(h.remove("a"));
+        assert!(!h.remove("a"));
+        assert_eq!(h.len(), 1);
+    }
+}

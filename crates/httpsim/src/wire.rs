@@ -1,0 +1,299 @@
+//! HTTP/1.1 wire (de)serialization.
+//!
+//! The MITM proxy stores flows as the raw bytes it forwarded; the PII
+//! detectors then re-parse those bytes. Serializing and parsing real wire
+//! format (rather than passing structs around) keeps detection honest: a
+//! leak is only found if it survives the trip through actual HTTP syntax,
+//! exactly as in the mitmproxy-based original pipeline.
+
+use crate::headers::HeaderMap;
+use crate::message::{Body, Method, Request, Response, StatusCode, Version};
+use crate::url::{Scheme, Url};
+use bytes::{BufMut, BytesMut};
+
+/// Error from the wire parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The start line was malformed.
+    BadStartLine,
+    /// A header line was malformed.
+    BadHeader,
+    /// Body was shorter than `Content-Length`, or chunked framing broke.
+    Truncated,
+    /// A chunk size line failed to parse.
+    BadChunk,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadStartLine => f.write_str("malformed start line"),
+            WireError::BadHeader => f.write_str("malformed header"),
+            WireError::Truncated => f.write_str("truncated body"),
+            WireError::BadChunk => f.write_str("bad chunk framing"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialize a request to HTTP/1.1 wire bytes (origin-form target).
+pub fn serialize_request(req: &Request) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256 + req.body.len());
+    buf.put_slice(req.method.as_str().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(req.url.request_target().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(req.version.as_str().as_bytes());
+    buf.put_slice(b"\r\n");
+    put_headers(&mut buf, &req.headers);
+    buf.put_slice(b"\r\n");
+    buf.put_slice(&req.body.bytes);
+    buf.to_vec()
+}
+
+/// Serialize a response to HTTP/1.1 wire bytes.
+pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256 + resp.body.len());
+    buf.put_slice(resp.version.as_str().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(resp.status.0.to_string().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(resp.status.reason().as_bytes());
+    buf.put_slice(b"\r\n");
+    put_headers(&mut buf, &resp.headers);
+    buf.put_slice(b"\r\n");
+    if resp.headers.get("Transfer-Encoding").is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+    {
+        buf.put_slice(&chunk_body(&resp.body.bytes, 1024));
+    } else {
+        buf.put_slice(&resp.body.bytes);
+    }
+    buf.to_vec()
+}
+
+fn put_headers(buf: &mut BytesMut, headers: &HeaderMap) {
+    for (n, v) in headers.iter() {
+        buf.put_slice(n.as_bytes());
+        buf.put_slice(b": ");
+        buf.put_slice(v.as_bytes());
+        buf.put_slice(b"\r\n");
+    }
+}
+
+/// Frame `body` as chunked transfer encoding with the given chunk size.
+pub fn chunk_body(body: &[u8], chunk_size: usize) -> Vec<u8> {
+    let chunk_size = chunk_size.max(1);
+    let mut out = Vec::with_capacity(body.len() + 32);
+    for chunk in body.chunks(chunk_size) {
+        out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.extend_from_slice(chunk);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+/// Decode a chunked-encoded body back to its plain bytes.
+pub fn dechunk_body(mut data: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(data.len());
+    loop {
+        let line_end = find_crlf(data).ok_or(WireError::BadChunk)?;
+        let size_line = std::str::from_utf8(&data[..line_end]).map_err(|_| WireError::BadChunk)?;
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| WireError::BadChunk)?;
+        data = &data[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if data.len() < size + 2 {
+            return Err(WireError::Truncated);
+        }
+        out.extend_from_slice(&data[..size]);
+        if &data[size..size + 2] != b"\r\n" {
+            return Err(WireError::BadChunk);
+        }
+        data = &data[size + 2..];
+    }
+}
+
+fn find_crlf(data: &[u8]) -> Option<usize> {
+    data.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Parse request wire bytes. `secure` tells the parser which scheme the
+/// bytes travelled over (the request line carries only the origin-form
+/// target; the scheme is a property of the connection).
+pub fn parse_request(data: &[u8], secure: bool) -> Result<Request, WireError> {
+    let (start, headers, body_bytes) = split_message(data)?;
+    let mut parts = start.split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or(WireError::BadStartLine)?;
+    let target = parts.next().ok_or(WireError::BadStartLine)?;
+    let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
+
+    let host = headers.get("Host").ok_or(WireError::BadStartLine)?;
+    let scheme = if secure { Scheme::Https } else { Scheme::Http };
+    let url = Url::parse(&format!("{}://{}{}", scheme.as_str(), host, target))
+        .map_err(|_| WireError::BadStartLine)?;
+
+    let body = read_body(&headers, body_bytes)?;
+    Ok(Request { method, url, version, headers, body })
+}
+
+/// Parse response wire bytes.
+pub fn parse_response(data: &[u8]) -> Result<Response, WireError> {
+    let (start, headers, body_bytes) = split_message(data)?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or(WireError::BadStartLine)?;
+    let body = read_body(&headers, body_bytes)?;
+    Ok(Response { status: StatusCode(code), version, headers, body })
+}
+
+fn parse_version(s: &str) -> Result<Version, WireError> {
+    match s {
+        "HTTP/1.0" => Ok(Version::Http10),
+        "HTTP/1.1" => Ok(Version::Http11),
+        _ => Err(WireError::BadStartLine),
+    }
+}
+
+/// Split raw bytes into (start line, headers, body bytes).
+fn split_message(data: &[u8]) -> Result<(String, HeaderMap, &[u8]), WireError> {
+    let header_end = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(WireError::Truncated)?;
+    let head = std::str::from_utf8(&data[..header_end]).map_err(|_| WireError::BadHeader)?;
+    let body = &data[header_end + 4..];
+
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(WireError::BadStartLine)?.to_string();
+    let mut headers = HeaderMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(WireError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::BadHeader);
+        }
+        headers.append(name, value.trim());
+    }
+    Ok((start, headers, body))
+}
+
+fn read_body(headers: &HeaderMap, body_bytes: &[u8]) -> Result<Body, WireError> {
+    let content_type = headers.get("Content-Type").map(|s| s.to_string());
+    let bytes = if headers
+        .get("Transfer-Encoding")
+        .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+    {
+        dechunk_body(body_bytes)?
+    } else if let Some(cl) = headers.get("Content-Length") {
+        let len: usize = cl.parse().map_err(|_| WireError::BadHeader)?;
+        if body_bytes.len() < len {
+            return Err(WireError::Truncated);
+        }
+        body_bytes[..len].to_vec()
+    } else {
+        body_bytes.to_vec()
+    };
+    Ok(Body { bytes, content_type })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Body, Request, Response};
+    use crate::url::Url;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post(
+            url("https://api.example.com/v1/login?src=app"),
+            Body::form(&[("user", "jane"), ("password", "s3cret!")]),
+        )
+        .with_user_agent("ExampleApp/3.2 (Android 4.4)");
+        let bytes = serialize_request(&req);
+        let parsed = parse_request(&bytes, true).unwrap();
+        assert_eq!(parsed.method, req.method);
+        assert_eq!(parsed.url, req.url);
+        assert_eq!(parsed.body.bytes, req.body.bytes);
+        assert_eq!(parsed.headers.get("User-Agent"), Some("ExampleApp/3.2 (Android 4.4)"));
+    }
+
+    #[test]
+    fn response_roundtrip_plain() {
+        let mut resp = Response::ok(Body::json(r#"{"ok":true}"#));
+        resp.headers.set("Server", "nginx");
+        let bytes = serialize_response(&resp);
+        let parsed = parse_response(&bytes).unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body.bytes, resp.body.bytes);
+    }
+
+    #[test]
+    fn response_roundtrip_chunked() {
+        let payload = vec![b'x'; 5000];
+        let mut resp = Response::new(StatusCode::OK);
+        resp.body = Body::binary(payload.clone(), "application/octet-stream");
+        resp.headers.set("Content-Type", "application/octet-stream");
+        resp.headers.set("Transfer-Encoding", "chunked");
+        let bytes = serialize_response(&resp);
+        let parsed = parse_response(&bytes).unwrap();
+        assert_eq!(parsed.body.bytes, payload);
+    }
+
+    #[test]
+    fn chunk_dechunk_roundtrip_edge_sizes() {
+        for size in [1usize, 2, 3, 1024] {
+            let body: Vec<u8> = (0..=255u8).cycle().take(2500).collect();
+            let chunked = chunk_body(&body, size);
+            assert_eq!(dechunk_body(&chunked).unwrap(), body);
+        }
+        assert_eq!(dechunk_body(&chunk_body(b"", 16)).unwrap(), b"");
+    }
+
+    #[test]
+    fn dechunk_rejects_bad_framing() {
+        assert_eq!(dechunk_body(b"zz\r\nxx\r\n0\r\n\r\n"), Err(WireError::BadChunk));
+        assert_eq!(dechunk_body(b"5\r\nab"), Err(WireError::Truncated));
+        assert_eq!(dechunk_body(b"nothing here"), Err(WireError::BadChunk));
+    }
+
+    #[test]
+    fn parse_request_requires_host() {
+        let raw = b"GET /x HTTP/1.1\r\n\r\n";
+        assert!(parse_request(raw, false).is_err());
+    }
+
+    #[test]
+    fn parse_scheme_follows_connection_security() {
+        let raw = b"GET /p HTTP/1.1\r\nHost: example.com\r\n\r\n";
+        assert!(!parse_request(raw, true).unwrap().url.is_plaintext());
+        assert!(parse_request(raw, false).unwrap().url.is_plaintext());
+    }
+
+    #[test]
+    fn truncated_content_length_detected() {
+        let raw = b"POST /p HTTP/1.1\r\nHost: a.com\r\nContent-Length: 10\r\n\r\nshort";
+        assert_eq!(parse_request(raw, false), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_header_line_detected() {
+        let raw = b"GET / HTTP/1.1\r\nHost: a.com\r\nBadHeaderNoColon\r\n\r\n";
+        assert_eq!(parse_request(raw, false), Err(WireError::BadHeader));
+    }
+}

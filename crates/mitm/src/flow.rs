@@ -1,0 +1,162 @@
+//! Captured traffic records.
+//!
+//! A [`Trace`] is what one test session leaves behind: the set of TCP
+//! connections that crossed the tunnel, and the HTTP transactions the
+//! proxy could decrypt. Both layers are kept because the paper's metrics
+//! need both: flow/byte counts come from connections, PII detection from
+//! transactions.
+
+use appvsweb_httpsim::{Request, Response};
+use appvsweb_netsim::{ConnectionStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Why a connection's payload was not readable, when it wasn't.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpaqueReason {
+    /// The client aborted the device-side handshake because the forged
+    /// chain violated its pin set.
+    PinViolation,
+    /// The proxy could not verify the upstream origin.
+    UpstreamUntrusted,
+}
+
+/// One TCP connection as seen by the tunnel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionRecord {
+    /// Tunnel-assigned connection id.
+    pub id: u64,
+    /// Destination host name (from SNI or the Host header).
+    pub host: String,
+    /// Destination port.
+    pub port: u16,
+    /// Whether the connection carried TLS.
+    pub tls: bool,
+    /// Whether the proxy could read the payload (always true for
+    /// plaintext HTTP; true for HTTPS only when interception succeeded).
+    pub decrypted: bool,
+    /// Why payload was unreadable, if it was.
+    pub opaque_reason: Option<OpaqueReason>,
+    /// When the connection opened.
+    pub opened_at: SimTime,
+    /// When it closed (a session close sweep stamps this).
+    pub closed_at: Option<SimTime>,
+    /// Byte/packet counters, including TLS record overhead.
+    pub stats: ConnectionStats,
+    /// Cumulative busy time on the access link (RTTs + serialization),
+    /// from the tunnel's link model.
+    pub busy_ms: u64,
+    /// Number of HTTP transactions carried (0 for opaque connections).
+    pub transactions: u32,
+}
+
+/// One decrypted HTTP request/response exchange.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HttpTransaction {
+    /// The connection that carried this exchange.
+    pub connection_id: u64,
+    /// Destination host (kept denormalized for convenient scanning).
+    pub host: String,
+    /// Whether the exchange travelled in plaintext (HTTP, not HTTPS).
+    pub plaintext: bool,
+    /// When the request entered the tunnel.
+    pub at: SimTime,
+    /// The request as the origin received it.
+    pub request: Request,
+    /// The origin's response.
+    pub response: Response,
+}
+
+impl HttpTransaction {
+    /// Raw wire bytes of the request — what the PII detectors scan.
+    pub fn request_bytes(&self) -> Vec<u8> {
+        appvsweb_httpsim::wire::serialize_request(&self.request)
+    }
+}
+
+/// Everything captured during one test session.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All connections, in open order.
+    pub connections: Vec<ConnectionRecord>,
+    /// All decrypted transactions, in time order.
+    pub transactions: Vec<HttpTransaction>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unique destination hosts across all connections.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self.connections.iter().map(|c| c.host.clone()).collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Connections to `host`.
+    pub fn connections_to<'a>(
+        &'a self,
+        host: &'a str,
+    ) -> impl Iterator<Item = &'a ConnectionRecord> + 'a {
+        self.connections.iter().filter(move |c| c.host == host)
+    }
+
+    /// Total payload bytes in the trace.
+    pub fn total_bytes(&self) -> u64 {
+        self.connections.iter().map(|c| c.stats.total_bytes()).sum()
+    }
+
+    /// Merge another trace into this one (used when a session records app
+    /// and OS traffic through the same tunnel).
+    pub fn merge(&mut self, other: Trace) {
+        self.connections.extend(other.connections);
+        self.transactions.extend(other.transactions);
+        self.connections.sort_by_key(|c| (c.opened_at, c.id));
+        self.transactions.sort_by_key(|t| (t.at, t.connection_id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appvsweb_netsim::SimTime;
+
+    fn conn(id: u64, host: &str, opened: u64) -> ConnectionRecord {
+        ConnectionRecord {
+            id,
+            host: host.into(),
+            port: 443,
+            tls: true,
+            decrypted: true,
+            opaque_reason: None,
+            opened_at: SimTime(opened),
+            closed_at: None,
+            stats: ConnectionStats::default(),
+            busy_ms: 0,
+            transactions: 0,
+        }
+    }
+
+    #[test]
+    fn hosts_dedup_sorted() {
+        let mut t = Trace::new();
+        t.connections.push(conn(1, "b.com", 0));
+        t.connections.push(conn(2, "a.com", 1));
+        t.connections.push(conn(3, "b.com", 2));
+        assert_eq!(t.hosts(), vec!["a.com".to_string(), "b.com".to_string()]);
+        assert_eq!(t.connections_to("b.com").count(), 2);
+    }
+
+    #[test]
+    fn merge_preserves_time_order() {
+        let mut t1 = Trace::new();
+        t1.connections.push(conn(1, "a.com", 10));
+        let mut t2 = Trace::new();
+        t2.connections.push(conn(2, "b.com", 5));
+        t1.merge(t2);
+        assert_eq!(t1.connections[0].host, "b.com");
+    }
+}

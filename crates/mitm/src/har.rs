@@ -1,0 +1,312 @@
+//! HAR (HTTP Archive, v1.2) export.
+//!
+//! The original testbed's mitmproxy dumps interoperate with standard
+//! traffic tooling via HAR; the reproduction offers the same escape
+//! hatch. [`to_har`] converts a captured [`Trace`] into the HAR 1.2
+//! object model (serde-serializable), so any HAR viewer can inspect a
+//! simulated session.
+//!
+//! [`Trace`]: crate::Trace
+
+use crate::flow::Trace;
+use appvsweb_httpsim::codec::base64_encode;
+use serde::{Deserialize, Serialize};
+
+/// Top-level HAR document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Har {
+    /// The single `log` object.
+    pub log: HarLog,
+}
+
+/// The HAR `log` object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarLog {
+    /// Format version (always "1.2").
+    pub version: String,
+    /// Producer of the file.
+    pub creator: HarCreator,
+    /// One entry per HTTP transaction.
+    pub entries: Vec<HarEntry>,
+}
+
+/// HAR `creator` metadata.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarCreator {
+    /// Tool name.
+    pub name: String,
+    /// Tool version.
+    pub version: String,
+}
+
+/// One request/response exchange.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarEntry {
+    /// Start time. HAR wants ISO 8601; simulation time is an offset from
+    /// the session epoch, rendered as a fake UTC instant.
+    #[serde(rename = "startedDateTime")]
+    pub started_date_time: String,
+    /// Total entry time in ms (simulated).
+    pub time: f64,
+    /// The request.
+    pub request: HarRequest,
+    /// The response.
+    pub response: HarResponse,
+    /// Which TCP connection carried it (HAR custom field convention).
+    #[serde(rename = "_connectionId")]
+    pub connection_id: String,
+    /// Whether the transaction was plaintext HTTP (custom field).
+    #[serde(rename = "_plaintext")]
+    pub plaintext: bool,
+}
+
+/// HAR request object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarRequest {
+    /// HTTP method.
+    pub method: String,
+    /// Absolute URL.
+    pub url: String,
+    /// Protocol version string.
+    #[serde(rename = "httpVersion")]
+    pub http_version: String,
+    /// Headers.
+    pub headers: Vec<HarNameValue>,
+    /// Decomposed query string.
+    #[serde(rename = "queryString")]
+    pub query_string: Vec<HarNameValue>,
+    /// Body, when present.
+    #[serde(rename = "postData", skip_serializing_if = "Option::is_none")]
+    pub post_data: Option<HarPostData>,
+    /// Total request body size.
+    #[serde(rename = "bodySize")]
+    pub body_size: i64,
+}
+
+/// HAR response object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    #[serde(rename = "statusText")]
+    pub status_text: String,
+    /// Protocol version string.
+    #[serde(rename = "httpVersion")]
+    pub http_version: String,
+    /// Headers.
+    pub headers: Vec<HarNameValue>,
+    /// Body content.
+    pub content: HarContent,
+    /// Total response body size.
+    #[serde(rename = "bodySize")]
+    pub body_size: i64,
+}
+
+/// A name/value pair (headers, query params).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarNameValue {
+    /// Name.
+    pub name: String,
+    /// Value.
+    pub value: String,
+}
+
+/// Request body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarPostData {
+    /// Content type.
+    #[serde(rename = "mimeType")]
+    pub mime_type: String,
+    /// Body text (base64 for binary, per HAR convention with encoding).
+    pub text: String,
+    /// `"base64"` when `text` is encoded.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub encoding: Option<String>,
+}
+
+/// Response body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarContent {
+    /// Decompressed size.
+    pub size: i64,
+    /// Content type.
+    #[serde(rename = "mimeType")]
+    pub mime_type: String,
+    /// Body text; omitted for large opaque bodies.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub text: Option<String>,
+    /// `"base64"` when `text` is encoded.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub encoding: Option<String>,
+}
+
+/// Bodies larger than this are elided from HAR output (the simulated
+/// content is filler bytes; eliding keeps exports reviewable).
+const MAX_INLINE_BODY: usize = 4096;
+
+fn name_values(headers: &appvsweb_httpsim::HeaderMap) -> Vec<HarNameValue> {
+    headers
+        .iter()
+        .map(|(n, v)| HarNameValue { name: n.to_string(), value: v.to_string() })
+        .collect()
+}
+
+fn body_text(bytes: &[u8]) -> (Option<String>, Option<String>) {
+    if bytes.is_empty() || bytes.len() > MAX_INLINE_BODY {
+        return (None, None);
+    }
+    match std::str::from_utf8(bytes) {
+        Ok(text) => (Some(text.to_string()), None),
+        Err(_) => (Some(base64_encode(bytes)), Some("base64".to_string())),
+    }
+}
+
+/// Render a simulated instant as an ISO-8601 timestamp offset from the
+/// session epoch (chosen as the paper's study start date).
+fn iso_time(millis: u64) -> String {
+    // 2016-03-23T00:00:00Z + offset; sessions are minutes long, so only
+    // the time-of-day component moves.
+    let total_secs = millis / 1000;
+    let (h, m, s) = (total_secs / 3600, (total_secs / 60) % 60, total_secs % 60);
+    format!("2016-03-23T{:02}:{:02}:{:02}.{:03}Z", h % 24, m, s, millis % 1000)
+}
+
+/// Convert a trace to a HAR document.
+pub fn to_har(trace: &Trace) -> Har {
+    let entries = trace
+        .transactions
+        .iter()
+        .map(|txn| {
+            let req = &txn.request;
+            let resp = &txn.response;
+            let post_data = if req.body.is_empty() {
+                None
+            } else {
+                let (text, encoding) = body_text(&req.body.bytes);
+                Some(HarPostData {
+                    mime_type: req
+                        .body
+                        .content_type
+                        .clone()
+                        .unwrap_or_else(|| "application/octet-stream".into()),
+                    text: text.unwrap_or_default(),
+                    encoding,
+                })
+            };
+            let (text, encoding) = body_text(&resp.body.bytes);
+            HarEntry {
+                started_date_time: iso_time(txn.at.as_millis()),
+                time: 1.0,
+                request: HarRequest {
+                    method: req.method.as_str().to_string(),
+                    url: req.url.to_string(),
+                    http_version: req.version.as_str().to_string(),
+                    headers: name_values(&req.headers),
+                    query_string: req
+                        .url
+                        .query_pairs()
+                        .into_iter()
+                        .map(|(name, value)| HarNameValue { name, value })
+                        .collect(),
+                    post_data,
+                    body_size: req.body.len() as i64,
+                },
+                response: HarResponse {
+                    status: resp.status.0,
+                    status_text: resp.status.reason().to_string(),
+                    http_version: resp.version.as_str().to_string(),
+                    headers: name_values(&resp.headers),
+                    content: HarContent {
+                        size: resp.body.len() as i64,
+                        mime_type: resp
+                            .body
+                            .content_type
+                            .clone()
+                            .unwrap_or_else(|| "application/octet-stream".into()),
+                        text,
+                        encoding,
+                    },
+                    body_size: resp.body.len() as i64,
+                },
+                connection_id: txn.connection_id.to_string(),
+                plaintext: txn.plaintext,
+            }
+        })
+        .collect();
+
+    Har {
+        log: HarLog {
+            version: "1.2".into(),
+            creator: HarCreator {
+                name: "appvsweb-mitm".into(),
+                version: env!("CARGO_PKG_VERSION").into(),
+            },
+            entries,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::HttpTransaction;
+    use appvsweb_httpsim::{Body, Request, Response, Url};
+    use appvsweb_netsim::SimTime;
+
+    fn trace_with_one_txn() -> Trace {
+        let mut t = Trace::new();
+        let mut url = Url::parse("https://t.example.com/pixel").unwrap();
+        url.push_query("uid", "42");
+        t.transactions.push(HttpTransaction {
+            connection_id: 7,
+            host: "t.example.com".into(),
+            plaintext: false,
+            at: SimTime(65_250),
+            request: Request::post(url, Body::form(&[("email", "a@b.com")])),
+            response: Response::ok(Body::json(r#"{"ok":1}"#)),
+        });
+        t
+    }
+
+    #[test]
+    fn har_structure_and_fields() {
+        let har = to_har(&trace_with_one_txn());
+        assert_eq!(har.log.version, "1.2");
+        assert_eq!(har.log.entries.len(), 1);
+        let e = &har.log.entries[0];
+        assert_eq!(e.request.method, "POST");
+        assert!(e.request.url.starts_with("https://t.example.com/pixel"));
+        assert_eq!(e.request.query_string[0].name, "uid");
+        assert_eq!(e.request.post_data.as_ref().unwrap().text, "email=a%40b.com");
+        assert_eq!(e.response.status, 200);
+        assert_eq!(e.connection_id, "7");
+        assert_eq!(e.started_date_time, "2016-03-23T00:01:05.250Z");
+    }
+
+    #[test]
+    fn large_bodies_are_elided() {
+        let mut t = trace_with_one_txn();
+        t.transactions[0].response.body = Body::binary(vec![0u8; 100_000], "video/mp4");
+        let har = to_har(&t);
+        let content = &har.log.entries[0].response.content;
+        assert_eq!(content.size, 100_000);
+        assert!(content.text.is_none());
+    }
+
+    #[test]
+    fn binary_bodies_become_base64() {
+        let mut t = trace_with_one_txn();
+        t.transactions[0].response.body = Body::binary(vec![0xFF, 0xFE, 0x00], "image/gif");
+        let har = to_har(&t);
+        let content = &har.log.entries[0].response.content;
+        assert_eq!(content.encoding.as_deref(), Some("base64"));
+        assert_eq!(content.text.as_deref(), Some("//4A"));
+    }
+
+    #[test]
+    fn iso_time_rollover() {
+        assert_eq!(iso_time(0), "2016-03-23T00:00:00.000Z");
+        assert_eq!(iso_time(3_600_000 + 61_001), "2016-03-23T01:01:01.001Z");
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation time.
+//!
+//! Time is measured in integer milliseconds from the start of the
+//! simulation. Integer time keeps event ordering exact — there is no
+//! floating-point drift between runs, which matters because the whole
+//! study must replay identically from a seed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulation time (milliseconds since simulation start).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time in milliseconds.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since simulation start.
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Duration elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// From whole minutes (the study's sessions are 4 minutes).
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Milliseconds in this duration.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds (floor).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// A monotonic simulation clock. Advancing is explicit; nothing in the
+/// simulation reads wall time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Jump forward to `t`; panics if `t` is in the past (monotonicity is
+    /// an invariant, not a suggestion).
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "SimClock must be monotonic: {t} < {}", self.now);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(3);
+        assert_eq!(t1.as_millis(), 3000);
+        assert_eq!(t1 - t0, SimDuration::from_secs(3));
+        assert_eq!(t0 - t1, SimDuration::ZERO); // saturating
+        assert!(t1 > t0);
+        assert_eq!(SimDuration::from_mins(4).as_secs(), 240);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_millis(5));
+        c.advance_to(SimTime(10));
+        assert_eq!(c.now(), SimTime(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn clock_rejects_time_travel() {
+        let mut c = SimClock::new();
+        c.advance_to(SimTime(10));
+        c.advance_to(SimTime(9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime(1500).to_string(), "t+1.500s");
+        assert_eq!(SimDuration(250).to_string(), "0.250s");
+    }
+}

@@ -1,0 +1,216 @@
+//! DNS resolution model.
+//!
+//! The simulated world maps hostnames to synthetic IPv4 addresses. The
+//! resolver caches answers with a TTL and counts queries; DNS traffic is
+//! part of the flow accounting in the study (every new third-party domain
+//! a Web page pulls in costs a lookup — one reason Web sessions produce so
+//! many more flows, cf. paper Figure 1b).
+
+use crate::clock::{SimDuration, SimTime};
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Default TTL applied to zone answers (5 minutes — longer than a study
+/// session, so each domain is resolved once per session).
+pub const DEFAULT_TTL: SimDuration = SimDuration(300_000);
+
+/// A DNS answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsAnswer {
+    /// Resolved address.
+    pub addr: Ipv4Addr,
+    /// Whether this answer came from cache (no network round trip).
+    pub cached: bool,
+    /// Lookup latency.
+    pub latency: SimDuration,
+}
+
+/// Resolution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsStats {
+    /// Queries that went to the network.
+    pub network_queries: u64,
+    /// Queries served from cache.
+    pub cache_hits: u64,
+    /// Names with no zone entry.
+    pub failures: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    addr: Ipv4Addr,
+    expires: SimTime,
+}
+
+/// Error for unresolvable names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NxDomain(pub String);
+
+impl fmt::Display for NxDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NXDOMAIN: {}", self.0)
+    }
+}
+
+impl std::error::Error for NxDomain {}
+
+/// A caching stub resolver over a static zone map.
+#[derive(Debug)]
+pub struct DnsResolver {
+    zones: BTreeMap<String, Ipv4Addr>,
+    cache: BTreeMap<String, CacheEntry>,
+    stats: DnsStats,
+    rng: SimRng,
+    /// Mean network lookup latency in ms.
+    mean_latency_ms: f64,
+}
+
+impl DnsResolver {
+    /// A resolver with an empty zone map. `rng` drives latency jitter.
+    pub fn new(rng: SimRng) -> Self {
+        DnsResolver {
+            zones: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            stats: DnsStats::default(),
+            rng,
+            mean_latency_ms: 35.0,
+        }
+    }
+
+    /// Register `host` in the zone map. Addresses are derived
+    /// deterministically from the host name if you use
+    /// [`DnsResolver::register_auto`]; this variant takes one explicitly.
+    pub fn register(&mut self, host: &str, addr: Ipv4Addr) {
+        self.zones.insert(host.to_ascii_lowercase(), addr);
+    }
+
+    /// Register `host` with an address derived from the name, keeping the
+    /// world reproducible without manual address bookkeeping.
+    pub fn register_auto(&mut self, host: &str) -> Ipv4Addr {
+        let addr = derive_addr(host);
+        self.register(host, addr);
+        addr
+    }
+
+    /// Resolve `host` at time `now`.
+    pub fn resolve(&mut self, host: &str, now: SimTime) -> Result<DnsAnswer, NxDomain> {
+        let host = host.to_ascii_lowercase();
+        if let Some(entry) = self.cache.get(&host) {
+            if entry.expires > now {
+                self.stats.cache_hits += 1;
+                return Ok(DnsAnswer {
+                    addr: entry.addr,
+                    cached: true,
+                    latency: SimDuration::ZERO,
+                });
+            }
+        }
+        let Some(&addr) = self.zones.get(&host) else {
+            self.stats.failures += 1;
+            return Err(NxDomain(host));
+        };
+        self.stats.network_queries += 1;
+        let jitter = self.rng.approx_normal(self.mean_latency_ms, 8.0).clamp(2.0, 300.0);
+        self.cache.insert(host, CacheEntry { addr, expires: now + DEFAULT_TTL });
+        Ok(DnsAnswer { addr, cached: false, latency: SimDuration(jitter as u64) })
+    }
+
+    /// Drop all cached entries (a new private-mode session).
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DnsStats {
+        self.stats
+    }
+
+    /// Whether `host` exists in the zone map.
+    pub fn knows(&self, host: &str) -> bool {
+        self.zones.contains_key(&host.to_ascii_lowercase())
+    }
+}
+
+/// Derive a stable synthetic address in 10.0.0.0/8 from a host name.
+pub fn derive_addr(host: &str) -> Ipv4Addr {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in host.to_ascii_lowercase().as_bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    // Avoid .0 and .255 host octets for realism.
+    let b2 = (h >> 16) as u8;
+    let b3 = (h >> 8) as u8;
+    let b4 = (h as u8 % 253) + 1;
+    Ipv4Addr::new(10, b2, b3, b4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver() -> DnsResolver {
+        DnsResolver::new(SimRng::new(1).fork("dns"))
+    }
+
+    #[test]
+    fn resolves_registered_names() {
+        let mut r = resolver();
+        let addr = r.register_auto("api.weather.com");
+        let ans = r.resolve("API.WEATHER.COM", SimTime(0)).unwrap();
+        assert_eq!(ans.addr, addr);
+        assert!(!ans.cached);
+        assert!(ans.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown() {
+        let mut r = resolver();
+        assert!(r.resolve("nope.example", SimTime(0)).is_err());
+        assert_eq!(r.stats().failures, 1);
+    }
+
+    #[test]
+    fn cache_hits_within_ttl() {
+        let mut r = resolver();
+        r.register_auto("cdn.example.com");
+        let first = r.resolve("cdn.example.com", SimTime(0)).unwrap();
+        let second = r.resolve("cdn.example.com", SimTime(1000)).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(second.latency, SimDuration::ZERO);
+        assert_eq!(r.stats().network_queries, 1);
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let mut r = resolver();
+        r.register_auto("x.com");
+        r.resolve("x.com", SimTime(0)).unwrap();
+        let later = SimTime(DEFAULT_TTL.as_millis() + 1);
+        assert!(!r.resolve("x.com", later).unwrap().cached);
+        assert_eq!(r.stats().network_queries, 2);
+    }
+
+    #[test]
+    fn flush_cache_forces_requery() {
+        let mut r = resolver();
+        r.register_auto("x.com");
+        r.resolve("x.com", SimTime(0)).unwrap();
+        r.flush_cache();
+        assert!(!r.resolve("x.com", SimTime(1)).unwrap().cached);
+    }
+
+    #[test]
+    fn derived_addresses_are_stable_and_distinct() {
+        assert_eq!(derive_addr("a.com"), derive_addr("A.COM"));
+        assert_ne!(derive_addr("a.com"), derive_addr("b.com"));
+        let a = derive_addr("anything.example");
+        assert_eq!(a.octets()[0], 10);
+        assert_ne!(a.octets()[3], 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # appvsweb-netsim
+//!
+//! Deterministic, event-driven network substrate for the `appvsweb`
+//! reproduction of *"Should You Use the App for That?"* (IMC 2016).
+//!
+//! The original study measured real phones on a real network. This crate
+//! replaces that hardware with a discrete-event simulation in the style of
+//! smoltcp: no I/O, no wall-clock time, no global state — just values and
+//! explicit state machines. Determinism is a design requirement: every
+//! experiment in the reproduction must be exactly replayable from a seed.
+//!
+//! Components:
+//!
+//! * [`clock`] — simulation time ([`SimTime`], [`SimDuration`]) and the
+//!   monotonic [`clock::SimClock`]
+//! * [`rng`] — a seedable SplitMix64 RNG with labelled forking so
+//!   independent subsystems draw from independent streams
+//! * [`event`] — a deterministic event queue (ties broken by insertion
+//!   order, never by hash order)
+//! * [`dns`] — a resolver with zones, caching, and query accounting
+//! * [`link`] — latency/bandwidth modelling for transfer-time estimates
+//! * [`tcp`] — connection-level TCP accounting: handshakes, MSS
+//!   segmentation, per-connection byte/packet counters (feeds the paper's
+//!   Figures 1b and 1c)
+//! * [`device`] — the simulated phone: OS identity, device identifiers,
+//!   sensors, permission state, background OS services
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod device;
+pub mod dns;
+pub mod event;
+pub mod link;
+pub mod rng;
+pub mod tcp;
+
+pub use clock::{SimClock, SimDuration, SimTime};
+pub use device::{Device, DeviceIds, Os, Permission};
+pub use dns::DnsResolver;
+pub use event::EventQueue;
+pub use link::Link;
+pub use rng::SimRng;
+pub use tcp::{Connection, ConnectionStats, Endpoint};

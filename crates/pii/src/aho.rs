@@ -1,0 +1,226 @@
+//! Aho–Corasick multi-pattern string search.
+//!
+//! The ground-truth matcher searches every flow for several hundred
+//! candidate strings (every encoding of every PII value). Scanning each
+//! candidate independently is O(patterns × text); this automaton finds
+//! all matches in a single pass over the text — the same reason
+//! production interception pipelines (and ReCon's flow scanner) compile
+//! their dictionaries into automata.
+//!
+//! The implementation is the classic goto/fail construction over bytes
+//! with breadth-first failure-link computation and output merging.
+
+/// A compiled multi-pattern automaton.
+#[derive(Clone, Debug)]
+pub struct AhoCorasick {
+    /// goto function: `next[state][byte]` (dense; states are few
+    /// hundred for our dictionaries, so a dense table is the right
+    /// trade-off).
+    next: Vec<[u32; 256]>,
+    /// Pattern ids terminating at each state (after output merging).
+    outputs: Vec<Vec<u32>>,
+    /// Number of patterns the automaton was built from.
+    pattern_count: usize,
+}
+
+/// One match: which pattern, ending where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the pattern in the input slice.
+    pub pattern: u32,
+    /// Byte offset one past the end of the match in the haystack.
+    pub end: usize,
+}
+
+impl AhoCorasick {
+    /// Build an automaton over `patterns`. Empty patterns are permitted
+    /// but never match. Matching is byte-exact; callers wanting
+    /// case-insensitivity normalize both sides beforehand.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        // Trie construction.
+        let mut next: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, pat) in patterns.iter().enumerate() {
+            let bytes = pat.as_ref();
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut state = 0usize;
+            for &b in bytes {
+                let slot = next[state][b as usize];
+                state = if slot == u32::MAX {
+                    next.push([u32::MAX; 256]);
+                    outputs.push(Vec::new());
+                    let new_state = (next.len() - 1) as u32;
+                    next[state][b as usize] = new_state;
+                    new_state as usize
+                } else {
+                    slot as usize
+                };
+            }
+            outputs[state].push(id as u32);
+        }
+
+        // Failure links via BFS, then convert to a full DFA by patching
+        // missing transitions (next[s][b] = next[fail(s)][b]).
+        // Indexing two tables by the same byte is the clearest spelling.
+        let mut fail = vec![0u32; next.len()];
+        let mut queue = std::collections::VecDeque::new();
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..256 {
+            let s = next[0][b];
+            if s == u32::MAX {
+                next[0][b] = 0;
+            } else {
+                fail[s as usize] = 0;
+                queue.push_back(s as usize);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            #[allow(clippy::needless_range_loop)]
+            for b in 0..256 {
+                let child = next[state][b];
+                let fallback = next[fail[state] as usize][b];
+                if child == u32::MAX {
+                    next[state][b] = fallback;
+                } else {
+                    fail[child as usize] = fallback;
+                    // Merge outputs from the failure target.
+                    let inherited = outputs[fallback as usize].clone();
+                    outputs[child as usize].extend(inherited);
+                    queue.push_back(child as usize);
+                }
+            }
+        }
+
+        AhoCorasick { next, outputs, pattern_count: patterns.len() }
+    }
+
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of automaton states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Find all matches in `haystack` (overlapping included).
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.next[state][b as usize] as usize;
+            for &pat in &self.outputs[state] {
+                out.push(Match { pattern: pat, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Which patterns occur in `haystack` (deduplicated, sorted)?
+    /// This is the matcher's hot call: it bails on output collection
+    /// overhead and just flags pattern presence.
+    pub fn present(&self, haystack: &[u8]) -> Vec<u32> {
+        let mut seen = vec![false; self.pattern_count];
+        let mut state = 0usize;
+        for &b in haystack {
+            state = self.next[state][b as usize] as usize;
+            for &pat in &self.outputs[state] {
+                seen[pat as usize] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_patterns() {
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"]);
+        let matches = ac.find_all(b"ushers");
+        let pats: Vec<u32> = matches.iter().map(|m| m.pattern).collect();
+        // "she" at 1..4, "he" at 2..4, "hers" at 2..6.
+        assert!(pats.contains(&0));
+        assert!(pats.contains(&1));
+        assert!(pats.contains(&3));
+        assert!(!pats.contains(&2));
+    }
+
+    #[test]
+    fn overlapping_and_nested_matches() {
+        let ac = AhoCorasick::new(&["aa", "aaa"]);
+        let matches = ac.find_all(b"aaaa");
+        let count_aa = matches.iter().filter(|m| m.pattern == 0).count();
+        let count_aaa = matches.iter().filter(|m| m.pattern == 1).count();
+        assert_eq!(count_aa, 3);
+        assert_eq!(count_aaa, 2);
+    }
+
+    #[test]
+    fn present_dedups() {
+        let ac = AhoCorasick::new(&["ab", "bc", "zz"]);
+        assert_eq!(ac.present(b"ababab bc"), vec![0, 1]);
+        assert!(ac.present(b"xyxyx").is_empty());
+    }
+
+    #[test]
+    fn empty_patterns_never_match() {
+        let ac = AhoCorasick::new(&["", "x"]);
+        assert_eq!(ac.present(b"yyy"), Vec::<u32>::new());
+        assert_eq!(ac.present(b"x"), vec![1]);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0xFFu8, 0x00][..], &[0x00, 0x00][..]]);
+        let hits = ac.present(&[0xAB, 0xFF, 0x00, 0x00, 0xCD]);
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn agrees_with_naive_contains() {
+        let patterns = ["email", "42.36", "9d2a1f6c", "lat", "a", "match-me"];
+        let ac = AhoCorasick::new(&patterns);
+        let texts = [
+            "GET /t?email=a@b.com&lat=42.361 HTTP/1.1",
+            "nothing relevant here",
+            "match-memail42.36",
+            "",
+        ];
+        for text in texts {
+            let expected: Vec<u32> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| text.contains(*p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(ac.present(text.as_bytes()), expected, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn suffix_pattern_inherited_through_failure_links() {
+        // "bcd" is a suffix of paths reached while matching "abcde".
+        let ac = AhoCorasick::new(&["abcde", "bcd"]);
+        let hits = ac.present(b"zabcdez");
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn scales_to_dictionary_size() {
+        let patterns: Vec<String> = (0..500).map(|i| format!("pattern-{i:03}-value")).collect();
+        let ac = AhoCorasick::new(&patterns);
+        assert_eq!(ac.pattern_count(), 500);
+        let text = format!("xx {} yy {} zz", patterns[42], patterns[499]);
+        assert_eq!(ac.present(text.as_bytes()), vec![42, 499]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Decoder-search ground-truth matching.
+//!
+//! Step 2 of the paper's detection procedure: "we augment [ReCon's]
+//! results with PII found via direct string matching on known PII". The
+//! matcher knows every ground-truth value and searches the flow for every
+//! *transform* of every value:
+//!
+//! * all encodings/hashes in [`crate::encode::search_chains`]
+//! * GPS coordinates at every precision from 2 to 6 decimals ("GPS
+//!   locations are sent with arbitrary precision")
+//! * short, ambiguous values (ZIP code, gender flag) only in key/value
+//!   context with a type-appropriate key, to avoid false positives
+//! * base64-looking blobs are decoded and re-searched (layered decoding)
+
+use crate::aho::AhoCorasick;
+use crate::encode::{search_chains, EncodingChain};
+use crate::profile::GroundTruth;
+use crate::tokenize::extract_kv;
+use crate::types::PiiType;
+use appvsweb_httpsim::codec;
+use serde::{Deserialize, Serialize};
+
+/// Minimum candidate length for free-text (non-keyed) matching. Anything
+/// shorter only matches in key/value context.
+const MIN_FREE_TEXT_LEN: usize = 6;
+
+/// One ground-truth match in a flow.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PiiFinding {
+    /// The PII class found.
+    pub pii_type: PiiType,
+    /// The ground-truth value that matched (original, un-encoded form).
+    pub value: String,
+    /// Which transform chain produced the on-wire form.
+    pub encoding: String,
+    /// The key the value appeared under, when found in k/v context.
+    pub key: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+struct Candidate {
+    pii_type: PiiType,
+    original: String,
+    chain_label: String,
+    encoded: String,
+    /// Case-sensitive search? (hashes/base64 yes, text no)
+    case_sensitive: bool,
+    /// Eligible for free-text search, or k/v-context only?
+    free_text: bool,
+}
+
+/// The ground-truth matcher for one session identity.
+///
+/// Construction compiles the candidate dictionary into two Aho–Corasick
+/// automata (one case-insensitive for textual encodings, one byte-exact
+/// for hash/base64 digests), so scanning a flow is a single pass over
+/// its bytes regardless of dictionary size.
+#[derive(Clone, Debug)]
+pub struct GroundTruthMatcher {
+    candidates: Vec<Candidate>,
+    /// Case-insensitive automaton over lowercase patterns; values map
+    /// back into `candidates`.
+    ci_auto: AhoCorasick,
+    ci_index: Vec<usize>,
+    /// Byte-exact automaton for hash-like candidates.
+    cs_auto: AhoCorasick,
+    cs_index: Vec<usize>,
+}
+
+impl GroundTruthMatcher {
+    /// Precompute the search index for `truth`.
+    pub fn new(truth: &GroundTruth) -> Self {
+        let chains = search_chains();
+        let mut candidates = Vec::new();
+
+        let mut add = |pii_type: PiiType, value: &str, chains: &[EncodingChain]| {
+            if value.is_empty() {
+                return;
+            }
+            for chain in chains {
+                let encoded = chain.apply(value);
+                if encoded.is_empty() {
+                    continue;
+                }
+                let is_hashlike = chain.0.iter().any(|e| {
+                    e.is_hash()
+                        || matches!(
+                            e,
+                            crate::encode::Encoding::Base64
+                                | crate::encode::Encoding::Base64Url
+                                | crate::encode::Encoding::Hex
+                        )
+                });
+                candidates.push(Candidate {
+                    pii_type,
+                    original: value.to_string(),
+                    chain_label: chain.label(),
+                    encoded: if is_hashlike { encoded.clone() } else { encoded.to_ascii_lowercase() },
+                    case_sensitive: is_hashlike,
+                    free_text: encoded.len() >= MIN_FREE_TEXT_LEN,
+                });
+            }
+        };
+
+        for (t, v) in truth.values() {
+            add(t, &v, &chains);
+        }
+        // GPS at every precision 2..=6 (plain + percent only; nobody
+        // hashes a coordinate).
+        let coord_chains: Vec<EncodingChain> = vec![
+            EncodingChain(vec![crate::encode::Encoding::Plain]),
+            EncodingChain(vec![crate::encode::Encoding::Percent]),
+            EncodingChain(vec![crate::encode::Encoding::FormPercent]),
+        ];
+        for decimals in 2..=6 {
+            if let Some((lat, lon)) = truth.gps_at_precision(decimals) {
+                add(PiiType::Location, &lat, &coord_chains);
+                add(PiiType::Location, &lon, &coord_chains);
+                add(PiiType::Location, &format!("{lat},{lon}"), &coord_chains);
+            }
+        }
+        // Phone number digit-only form is handled by StripSeparators in
+        // the standard chains; also add the dashed form.
+        if !truth.phone.is_empty() {
+            let digits: String = truth.phone.chars().filter(|c| c.is_ascii_digit()).collect();
+            if digits.len() >= 10 {
+                let dashed = format!("{}-{}-{}", &digits[..3], &digits[3..6], &digits[6..]);
+                add(PiiType::PhoneNumber, &dashed, &coord_chains);
+            }
+        }
+
+        // Compile the free-text dictionary into automata.
+        let mut ci_patterns: Vec<&str> = Vec::new();
+        let mut ci_index = Vec::new();
+        let mut cs_patterns: Vec<&str> = Vec::new();
+        let mut cs_index = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if !c.free_text {
+                continue;
+            }
+            if c.case_sensitive {
+                cs_patterns.push(&c.encoded);
+                cs_index.push(i);
+            } else {
+                ci_patterns.push(&c.encoded);
+                ci_index.push(i);
+            }
+        }
+        let ci_auto = AhoCorasick::new(&ci_patterns);
+        let cs_auto = AhoCorasick::new(&cs_patterns);
+
+        GroundTruthMatcher { candidates, ci_auto, ci_index, cs_auto, cs_index }
+    }
+
+    /// Number of precomputed candidates (index size).
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Scan raw flow text for ground-truth PII.
+    pub fn scan(&self, text: &str) -> Vec<PiiFinding> {
+        let lower = text.to_ascii_lowercase();
+        let kv = extract_kv(text);
+        let mut findings: Vec<PiiFinding> = Vec::new();
+
+        // 1. Free-text search: one automaton pass per case class.
+        let mut hits: Vec<usize> = self
+            .ci_auto
+            .present(lower.as_bytes())
+            .into_iter()
+            .map(|p| self.ci_index[p as usize])
+            .collect();
+        hits.extend(
+            self.cs_auto
+                .present(text.as_bytes())
+                .into_iter()
+                .map(|p| self.cs_index[p as usize]),
+        );
+        for idx in hits {
+            let c = &self.candidates[idx];
+            // Attribute a key when the value sits in a k/v pair.
+            let key = kv
+                .iter()
+                .find(|(_, v)| {
+                    if c.case_sensitive {
+                        v.contains(&c.encoded)
+                    } else {
+                        v.to_ascii_lowercase().contains(&c.encoded)
+                    }
+                })
+                .map(|(k, _)| k.clone());
+            findings.push(PiiFinding {
+                pii_type: c.pii_type,
+                value: c.original.clone(),
+                encoding: c.chain_label.clone(),
+                key,
+            });
+        }
+
+        // 2. Key-context search for short values (zip, gender, "M"/"F").
+        for c in self.candidates.iter().filter(|c| !c.free_text) {
+            for (k, v) in &kv {
+                let key_matches_type = c
+                    .pii_type
+                    .key_hints()
+                    .iter()
+                    .any(|h| k == h || k.contains(h));
+                if !key_matches_type {
+                    continue;
+                }
+                let v_norm = if c.case_sensitive { v.clone() } else { v.to_ascii_lowercase() };
+                if v_norm == c.encoded || codec::percent_decode(&v_norm) == c.encoded {
+                    findings.push(PiiFinding {
+                        pii_type: c.pii_type,
+                        value: c.original.clone(),
+                        encoding: c.chain_label.clone(),
+                        key: Some(k.clone()),
+                    });
+                }
+            }
+        }
+
+        // 3. Layered decode: base64-looking tokens are decoded and
+        // re-searched for plain values.
+        for token in tokenize_base64_blobs(text) {
+            if let Some(decoded) = codec::base64_decode(&token) {
+                if let Ok(inner) = String::from_utf8(decoded) {
+                    let inner_lower = inner.to_ascii_lowercase();
+                    for c in self
+                        .candidates
+                        .iter()
+                        .filter(|c| c.free_text && c.chain_label == "plain")
+                    {
+                        if inner_lower.contains(&c.encoded) {
+                            findings.push(PiiFinding {
+                                pii_type: c.pii_type,
+                                value: c.original.clone(),
+                                encoding: "base64(payload)".into(),
+                                key: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        dedup(findings)
+    }
+
+    /// The distinct PII types present in `text`.
+    pub fn types_in(&self, text: &str) -> Vec<PiiType> {
+        let mut types: Vec<PiiType> = self.scan(text).into_iter().map(|f| f.pii_type).collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+}
+
+/// Tokens that plausibly hold base64 payloads: long, base64 charset.
+/// `=` is treated as a delimiter (valid base64 only carries it as
+/// trailing padding, and `key=value` syntax would otherwise glue the key
+/// onto the blob); the decoder accepts unpadded input.
+fn tokenize_base64_blobs(text: &str) -> Vec<String> {
+    text.split(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '+' | '/' | '-' | '_')))
+        .filter(|t| t.len() >= 16)
+        .map(|t| t.to_string())
+        .collect()
+}
+
+fn dedup(mut findings: Vec<PiiFinding>) -> Vec<PiiFinding> {
+    findings.sort_by(|a, b| {
+        (a.pii_type, &a.value, &a.encoding, &a.key).cmp(&(b.pii_type, &b.value, &b.encoding, &b.key))
+    });
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoding;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::synthetic(2016).with_device(
+            "Nexus 5",
+            &[
+                ("imei", "354436069633711"),
+                ("mac", "02:00:4c:4f:4f:50"),
+                ("ad_id", "9d2a1f6c-0b51-4ef2-a1b0-cc9e34ad8f01"),
+            ],
+            Some((42.361145, -71.057083)),
+        )
+    }
+
+    fn matcher() -> GroundTruthMatcher {
+        GroundTruthMatcher::new(&truth())
+    }
+
+    #[test]
+    fn finds_plain_email_in_query() {
+        let t = truth();
+        let text = format!("GET /t?email={}&x=1 HTTP/1.1", t.email);
+        let found = matcher().scan(&text);
+        assert!(found.iter().any(|f| f.pii_type == PiiType::Email
+            && f.encoding == "plain"
+            && f.key.as_deref() == Some("email")));
+    }
+
+    #[test]
+    fn finds_percent_encoded_email() {
+        let t = truth();
+        let enc = Encoding::Percent.apply(&t.email);
+        assert!(enc.contains("%40"));
+        let found = matcher().scan(&format!("login={enc}"));
+        assert!(found.iter().any(|f| f.pii_type == PiiType::Email));
+    }
+
+    #[test]
+    fn finds_hashed_email_gravatar_style() {
+        let t = truth();
+        let digest = crate::hash::md5_hex(t.email.to_ascii_lowercase().as_bytes());
+        let found = matcher().scan(&format!("POST /sync uid={digest}"));
+        assert!(found
+            .iter()
+            .any(|f| f.pii_type == PiiType::Email && f.encoding == "lowercase>md5"));
+    }
+
+    #[test]
+    fn finds_imei_and_stripped_mac() {
+        let found = matcher().scan("id=354436069633711&wifi=02004c4f4f50");
+        let uid_hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.pii_type == PiiType::UniqueId)
+            .collect();
+        assert!(uid_hits.iter().any(|f| f.value == "354436069633711"));
+        assert!(uid_hits
+            .iter()
+            .any(|f| f.value == "02:00:4c:4f:4f:50" && f.encoding == "stripseparators"));
+    }
+
+    #[test]
+    fn finds_truncated_gps() {
+        let found = matcher().scan("beacon?ll=42.36,-71.06&v=2");
+        assert!(found.iter().any(|f| f.pii_type == PiiType::Location));
+        let found_precise = matcher().scan("lat=42.3611&lon=-71.0571");
+        assert!(found_precise.iter().any(|f| f.pii_type == PiiType::Location));
+    }
+
+    #[test]
+    fn zip_requires_key_context() {
+        let t = truth();
+        // ZIP floating in free text must NOT match (too short/ambiguous)…
+        let free = matcher().scan(&format!("trace_id={}99887", t.zip));
+        assert!(!free.iter().any(|f| f.pii_type == PiiType::Location));
+        // …but zip=<value> does.
+        let keyed = matcher().scan(&format!("zip={}", t.zip));
+        assert!(keyed.iter().any(|f| f.pii_type == PiiType::Location));
+    }
+
+    #[test]
+    fn gender_requires_key_context() {
+        let t = truth();
+        let keyed = matcher().scan(&format!("gender={}", t.gender));
+        assert!(keyed.iter().any(|f| f.pii_type == PiiType::Gender));
+        let unkeyed = matcher().scan(&format!("csrf={}", t.gender));
+        assert!(!unkeyed.iter().any(|f| f.pii_type == PiiType::Gender));
+    }
+
+    #[test]
+    fn finds_pii_inside_base64_payload() {
+        let t = truth();
+        let payload = format!("{{\"user\":{{\"email\":\"{}\"}}}}", t.email);
+        let blob = codec::base64_encode(payload.as_bytes());
+        let found = matcher().scan(&format!("POST /batch data={blob}"));
+        assert!(found
+            .iter()
+            .any(|f| f.pii_type == PiiType::Email && f.encoding == "base64(payload)"));
+    }
+
+    #[test]
+    fn clean_flow_has_no_findings() {
+        let found = matcher().scan("GET /v2/weather?city=boston&units=metric HTTP/1.1");
+        assert!(found.is_empty(), "unexpected findings: {found:?}");
+    }
+
+    #[test]
+    fn phone_dashed_form() {
+        let t = truth();
+        let digits: String = t.phone.chars().filter(|c| c.is_ascii_digit()).collect();
+        let dashed = format!("{}-{}-{}", &digits[..3], &digits[3..6], &digits[6..]);
+        let found = matcher().scan(&format!("tel={dashed}"));
+        assert!(found.iter().any(|f| f.pii_type == PiiType::PhoneNumber));
+    }
+
+    #[test]
+    fn types_in_aggregates() {
+        let t = truth();
+        let text = format!("email={}&lat=42.3611&adid={}", t.email, t.device_ids[2].1);
+        let types = matcher().types_in(&text);
+        assert!(types.contains(&PiiType::Email));
+        assert!(types.contains(&PiiType::Location));
+        assert!(types.contains(&PiiType::UniqueId));
+    }
+}

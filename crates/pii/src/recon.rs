@@ -1,0 +1,597 @@
+//! The ReCon-style machine-learning detector, from scratch.
+//!
+//! ReCon (Ren et al., MobiSys 2016) detects "likely PII in network
+//! traffic without needing to know the precise PII values": flows are
+//! tokenized into bag-of-words features and per-destination-domain
+//! decision-tree classifiers (C4.5 in the original) are trained on
+//! labelled flows, with a general classifier as fallback for domains with
+//! too little training data. This module implements that design:
+//!
+//! * [`DecisionTree`] — a binary decision tree over token-presence
+//!   features, grown by information gain with depth / minimum-sample /
+//!   purity stopping rules
+//! * [`ReconTrainer`] / [`ReconClassifier`] — the per-domain ensemble,
+//!   one binary tree per (domain, PII type), plus general fallback trees
+//! * value-extraction heuristics that pull the suspected value out of a
+//!   flagged flow via key/value context
+
+use crate::tokenize::{extract_kv, token_set};
+use crate::types::PiiType;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tree-growing parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum examples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum information gain to accept a split.
+    pub min_gain: f64,
+    /// Vocabulary cap: keep only the `max_features` tokens with the
+    /// highest root information gain before growing the tree (0 = no
+    /// cap). ReCon prunes its bag-of-words the same way — flow
+    /// vocabularies are huge and mostly uninformative.
+    pub max_features: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-3, max_features: 256 }
+    }
+}
+
+/// A node in the tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    /// Leaf with the positive-class probability at this node.
+    Leaf(f64),
+    /// Split on presence of a token.
+    Split {
+        token: String,
+        /// Subtree when the token is present.
+        present: Box<Node>,
+        /// Subtree when absent.
+        absent: Box<Node>,
+    },
+}
+
+/// A binary decision tree over token-presence features.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    /// Number of training examples the tree saw.
+    pub trained_on: usize,
+}
+
+fn entropy(pos: usize, neg: usize) -> f64 {
+    let n = (pos + neg) as f64;
+    if pos == 0 || neg == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n;
+    let q = neg as f64 / n;
+    -(p * p.log2() + q * q.log2())
+}
+
+impl DecisionTree {
+    /// Train on `(token_set, label)` examples. Token sets must be
+    /// deduplicated (as produced by [`crate::tokenize::token_set`]).
+    pub fn train(examples: &[(BTreeSet<String>, bool)], config: &TreeConfig) -> Self {
+        // Feature selection: rank tokens by information gain at the root
+        // and restrict splits to the top `max_features`.
+        let vocabulary = select_features(examples, config.max_features);
+        let filtered: Vec<(BTreeSet<String>, bool)> = match &vocabulary {
+            Some(vocab) => examples
+                .iter()
+                .map(|(tokens, label)| {
+                    (
+                        tokens
+                            .iter()
+                            .filter(|t| vocab.contains(*t))
+                            .cloned()
+                            .collect(),
+                        *label,
+                    )
+                })
+                .collect(),
+            None => examples.to_vec(),
+        };
+        let indices: Vec<usize> = (0..filtered.len()).collect();
+        let root = Self::grow(&filtered, &indices, config, 0);
+        DecisionTree { root, trained_on: examples.len() }
+    }
+
+    fn grow(
+        examples: &[(BTreeSet<String>, bool)],
+        indices: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+    ) -> Node {
+        let pos = indices.iter().filter(|&&i| examples[i].1).count();
+        let neg = indices.len() - pos;
+        let p_here = if indices.is_empty() { 0.0 } else { pos as f64 / indices.len() as f64 };
+
+        if depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || pos == 0
+            || neg == 0
+        {
+            return Node::Leaf(p_here);
+        }
+
+        // Candidate features: tokens present in at least one in-node
+        // example but not all (otherwise no split is possible).
+        let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for &i in indices {
+            for tok in &examples[i].0 {
+                let e = counts.entry(tok.as_str()).or_insert((0, 0));
+                e.0 += 1;
+                if examples[i].1 {
+                    e.1 += 1;
+                }
+            }
+        }
+
+        let base = entropy(pos, neg);
+        let mut best: Option<(&str, f64)> = None;
+        for (tok, &(present_total, present_pos)) in &counts {
+            if present_total == 0 || present_total == indices.len() {
+                continue;
+            }
+            let absent_total = indices.len() - present_total;
+            let absent_pos = pos - present_pos;
+            let h = (present_total as f64 / indices.len() as f64)
+                * entropy(present_pos, present_total - present_pos)
+                + (absent_total as f64 / indices.len() as f64)
+                    * entropy(absent_pos, absent_total - absent_pos);
+            let gain = base - h;
+            if gain > config.min_gain && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((tok, gain));
+            }
+        }
+
+        let Some((token, _)) = best else {
+            return Node::Leaf(p_here);
+        };
+        let token = token.to_string();
+
+        let (with, without): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| examples[i].0.contains(&token));
+        let present = Self::grow(examples, &with, config, depth + 1);
+        let absent = Self::grow(examples, &without, config, depth + 1);
+        Node::Split { token, present: Box::new(present), absent: Box::new(absent) }
+    }
+
+    /// Positive-class probability for a token set.
+    pub fn score(&self, tokens: &BTreeSet<String>) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(p) => return *p,
+                Node::Split { token, present, absent } => {
+                    node = if tokens.contains(token) { present } else { absent };
+                }
+            }
+        }
+    }
+
+    /// Binary prediction at the 0.5 threshold.
+    pub fn predict(&self, tokens: &BTreeSet<String>) -> bool {
+        self.score(tokens) >= 0.5
+    }
+
+    /// Tree depth (longest path), for diagnostics.
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Split { present, absent, .. } => 1 + d(present).max(d(absent)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+/// Rank every token by root information gain and keep the top `k`
+/// (`None` when no cap applies or the vocabulary is already small).
+fn select_features(
+    examples: &[(BTreeSet<String>, bool)],
+    k: usize,
+) -> Option<BTreeSet<String>> {
+    if k == 0 {
+        return None;
+    }
+    let total = examples.len();
+    let pos_total = examples.iter().filter(|(_, l)| *l).count();
+    let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (tokens, label) in examples {
+        for tok in tokens {
+            let e = counts.entry(tok.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            if *label {
+                e.1 += 1;
+            }
+        }
+    }
+    if counts.len() <= k {
+        return None;
+    }
+    let base = entropy(pos_total, total - pos_total);
+    let mut scored: Vec<(f64, &str)> = counts
+        .iter()
+        .filter(|(_, (present, _))| *present > 0 && *present < total)
+        .map(|(tok, &(present, present_pos))| {
+            let absent = total - present;
+            let absent_pos = pos_total - present_pos;
+            let h = (present as f64 / total as f64) * entropy(present_pos, present - present_pos)
+                + (absent as f64 / total as f64) * entropy(absent_pos, absent - absent_pos);
+            (base - h, *tok)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(b.1)));
+    Some(scored.into_iter().take(k).map(|(_, t)| t.to_string()).collect())
+}
+
+/// One labelled training flow.
+#[derive(Clone, Debug)]
+pub struct TrainingFlow {
+    /// Destination domain (registrable), the per-domain model key.
+    pub domain: String,
+    /// Raw flow text.
+    pub text: String,
+    /// PII types actually present (labels from the ground-truth matcher).
+    pub labels: BTreeSet<PiiType>,
+}
+
+impl TrainingFlow {
+    fn text_tokens(&self) -> BTreeSet<String> {
+        token_set(&self.text).into_iter().collect()
+    }
+}
+
+/// Minimum flows a domain needs for its own models; below this the
+/// general model handles it (ReCon uses the same fallback structure).
+pub const MIN_DOMAIN_FLOWS: usize = 8;
+
+/// Accumulates labelled flows and trains the ensemble.
+#[derive(Default)]
+pub struct ReconTrainer {
+    flows: Vec<TrainingFlow>,
+}
+
+impl ReconTrainer {
+    /// An empty trainer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a labelled flow.
+    pub fn add(&mut self, flow: TrainingFlow) {
+        self.flows.push(flow);
+    }
+
+    /// Number of accumulated training flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the trainer has no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Train per-domain and general models.
+    pub fn train(&self, config: &TreeConfig) -> ReconClassifier {
+        let tokenized: Vec<(String, BTreeSet<String>, &BTreeSet<PiiType>)> = self
+            .flows
+            .iter()
+            .map(|f| (f.domain.clone(), f.text_tokens(), &f.labels))
+            .collect();
+
+        let mut by_domain: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, (domain, _, _)) in tokenized.iter().enumerate() {
+            by_domain.entry(domain.clone()).or_default().push(i);
+        }
+
+        let train_set = |indices: &[usize], t: PiiType| -> Option<DecisionTree> {
+            let positives = indices.iter().filter(|&&i| tokenized[i].2.contains(&t)).count();
+            // Need both classes to learn anything.
+            if positives == 0 || positives == indices.len() {
+                return None;
+            }
+            let examples: Vec<(BTreeSet<String>, bool)> = indices
+                .iter()
+                .map(|&i| (tokenized[i].1.clone(), tokenized[i].2.contains(&t)))
+                .collect();
+            Some(DecisionTree::train(&examples, config))
+        };
+
+        let mut domain_models: BTreeMap<String, BTreeMap<PiiType, DecisionTree>> = BTreeMap::new();
+        for (domain, indices) in &by_domain {
+            if indices.len() < MIN_DOMAIN_FLOWS {
+                continue;
+            }
+            let mut per_type = BTreeMap::new();
+            for t in PiiType::ALL {
+                if let Some(tree) = train_set(indices, t) {
+                    per_type.insert(t, tree);
+                }
+            }
+            if !per_type.is_empty() {
+                domain_models.insert(domain.clone(), per_type);
+            }
+        }
+
+        let all: Vec<usize> = (0..tokenized.len()).collect();
+        let mut general = BTreeMap::new();
+        for t in PiiType::ALL {
+            if let Some(tree) = train_set(&all, t) {
+                general.insert(t, tree);
+            }
+        }
+
+        ReconClassifier { domain_models, general }
+    }
+}
+
+/// The trained ensemble: per-domain trees with a general fallback.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReconClassifier {
+    domain_models: BTreeMap<String, BTreeMap<PiiType, DecisionTree>>,
+    general: BTreeMap<PiiType, DecisionTree>,
+}
+
+impl ReconClassifier {
+    /// Predict which PII types a flow to `domain` carries.
+    pub fn predict(&self, domain: &str, text: &str) -> Vec<PiiType> {
+        let tokens: BTreeSet<String> = token_set(text).into_iter().collect();
+        let mut out: Vec<PiiType> = Vec::new();
+        match self.domain_models.get(domain) {
+            Some(models) => {
+                for (t, tree) in models {
+                    if tree.predict(&tokens) {
+                        out.push(*t);
+                    }
+                }
+                // Types the domain model never learned fall back to the
+                // general model.
+                for (t, tree) in &self.general {
+                    if !models.contains_key(t) && tree.predict(&tokens) {
+                        out.push(*t);
+                    }
+                }
+            }
+            None => {
+                for (t, tree) in &self.general {
+                    if tree.predict(&tokens) {
+                        out.push(*t);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Heuristic value extraction for a predicted type: the value of the
+    /// first k/v pair whose key hints at `t`.
+    pub fn extract_value(&self, t: PiiType, text: &str) -> Option<String> {
+        extract_kv(text)
+            .into_iter()
+            .find(|(k, _)| t.key_hints().iter().any(|h| k == h || k.contains(h)))
+            .map(|(_, v)| v)
+    }
+
+    /// Number of domains with dedicated models.
+    pub fn domain_model_count(&self) -> usize {
+        self.domain_models.len()
+    }
+
+    /// Whether a general model exists for `t`.
+    pub fn has_general_model(&self, t: PiiType) -> bool {
+        self.general.contains_key(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tree_learns_single_feature() {
+        // Label = presence of "email".
+        let ex: Vec<(BTreeSet<String>, bool)> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (ts(&["get", "email", "track"]), true)
+                } else {
+                    (ts(&["get", "page", "track"]), false)
+                }
+            })
+            .collect();
+        let tree = DecisionTree::train(&ex, &TreeConfig::default());
+        assert!(tree.predict(&ts(&["post", "email"])));
+        assert!(!tree.predict(&ts(&["post", "page"])));
+        assert!(tree.depth() >= 1);
+        assert_eq!(tree.trained_on, 20);
+    }
+
+    #[test]
+    fn tree_learns_conjunction() {
+        // Positive only when both "lat" and "lon" are present.
+        let mut ex = Vec::new();
+        for _ in 0..10 {
+            ex.push((ts(&["lat", "lon", "v2"]), true));
+            ex.push((ts(&["lat", "v2"]), false));
+            ex.push((ts(&["lon", "v2"]), false));
+            ex.push((ts(&["v2"]), false));
+        }
+        let tree = DecisionTree::train(&ex, &TreeConfig::default());
+        assert!(tree.predict(&ts(&["lat", "lon"])));
+        assert!(!tree.predict(&ts(&["lat"])));
+        assert!(!tree.predict(&ts(&["lon"])));
+    }
+
+    #[test]
+    fn pure_node_stops_growing() {
+        let ex = vec![(ts(&["a"]), true), (ts(&["b"]), true)];
+        let tree = DecisionTree::train(&ex, &TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&ts(&["anything"])));
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        // Parity-ish labels force deep trees; cap must hold.
+        let mut ex = Vec::new();
+        for i in 0..64u32 {
+            let toks: Vec<String> = (0..6)
+                .filter(|b| i >> b & 1 == 1)
+                .map(|b| format!("f{b}"))
+                .collect();
+            let set: BTreeSet<String> = toks.into_iter().collect();
+            ex.push((set, i.count_ones() % 2 == 0));
+        }
+        let cfg = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let tree = DecisionTree::train(&ex, &cfg);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn feature_cap_keeps_the_informative_token() {
+        // 600 noise tokens + one perfectly predictive token: with a tiny
+        // feature cap the tree must still find the signal.
+        let mut ex: Vec<(BTreeSet<String>, bool)> = Vec::new();
+        for i in 0..40 {
+            let mut set = ts(&["get", "http"]);
+            for j in 0..15 {
+                set.insert(format!("noise-{}-{}", i, j));
+            }
+            let positive = i % 2 == 0;
+            if positive {
+                set.insert("email".into());
+            }
+            ex.push((set, positive));
+        }
+        let cfg = TreeConfig { max_features: 8, ..TreeConfig::default() };
+        let tree = DecisionTree::train(&ex, &cfg);
+        assert!(tree.predict(&ts(&["email"])));
+        assert!(!tree.predict(&ts(&["noise-3-1"])));
+    }
+
+    #[test]
+    fn no_cap_matches_capped_on_small_vocab() {
+        let ex: Vec<(BTreeSet<String>, bool)> = (0..20)
+            .map(|i| {
+                (
+                    if i % 2 == 0 { ts(&["lat", "v"]) } else { ts(&["v"]) },
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let capped = DecisionTree::train(&ex, &TreeConfig { max_features: 4, ..Default::default() });
+        let uncapped = DecisionTree::train(&ex, &TreeConfig { max_features: 0, ..Default::default() });
+        for probe in [ts(&["lat"]), ts(&["v"]), ts(&["other"])] {
+            assert_eq!(capped.predict(&probe), uncapped.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn ensemble_prefers_domain_model() {
+        let mut trainer = ReconTrainer::new();
+        // Domain A uses an idiosyncratic key "zx" for coordinates.
+        for i in 0..12 {
+            let has = i % 2 == 0;
+            trainer.add(TrainingFlow {
+                domain: "tracker-a.com".into(),
+                text: if has { format!("zx=42.3{i}&v=1") } else { format!("v=1&page={i}") },
+                labels: if has {
+                    [PiiType::Location].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                },
+            });
+        }
+        // General corpus: "email" token means Email.
+        for i in 0..12 {
+            let has = i % 2 == 0;
+            trainer.add(TrainingFlow {
+                domain: format!("misc-{i}.com"),
+                text: if has { "email=x@y.com".into() } else { "q=news".into() },
+                labels: if has {
+                    [PiiType::Email].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                },
+            });
+        }
+        let clf = trainer.train(&TreeConfig::default());
+        assert!(clf.domain_model_count() >= 1);
+        assert_eq!(clf.predict("tracker-a.com", "zx=47.61&v=9"), vec![PiiType::Location]);
+        // Unknown domain falls back to the general model.
+        assert_eq!(
+            clf.predict("never-seen.com", "email=someone@else.org"),
+            vec![PiiType::Email]
+        );
+        assert!(clf.has_general_model(PiiType::Email));
+    }
+
+    #[test]
+    fn domain_model_falls_back_per_type() {
+        let mut trainer = ReconTrainer::new();
+        for i in 0..12 {
+            let has = i % 2 == 0;
+            trainer.add(TrainingFlow {
+                domain: "geo.com".into(),
+                text: if has { format!("lat=1.{i}&lon=2.{i}") } else { format!("ping={i}") },
+                labels: if has {
+                    [PiiType::Location].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                },
+            });
+        }
+        for i in 0..12 {
+            let has = i % 2 == 0;
+            trainer.add(TrainingFlow {
+                domain: format!("m{i}.com"),
+                text: if has { "email=x@y.com".into() } else { "q=1".into() },
+                labels: if has {
+                    [PiiType::Email].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                },
+            });
+        }
+        let clf = trainer.train(&TreeConfig::default());
+        // A flow to geo.com carrying an email key: the domain model has no
+        // Email tree, the general one catches it.
+        let types = clf.predict("geo.com", "email=x@y.com&lat=1.5&lon=2.5");
+        assert!(types.contains(&PiiType::Email));
+        assert!(types.contains(&PiiType::Location));
+    }
+
+    #[test]
+    fn value_extraction_by_key_hint() {
+        let clf = ReconClassifier::default();
+        assert_eq!(
+            clf.extract_value(PiiType::Email, "a=1&email=jane@x.com"),
+            Some("jane@x.com".into())
+        );
+        assert_eq!(clf.extract_value(PiiType::Password, "a=1"), None);
+    }
+
+    #[test]
+    fn empty_trainer_yields_inert_classifier() {
+        let clf = ReconTrainer::new().train(&TreeConfig::default());
+        assert!(clf.predict("x.com", "email=a@b.com").is_empty());
+        assert_eq!(clf.domain_model_count(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Flow tokenization and structured key/value extraction.
+//!
+//! ReCon's insight (Ren et al., MobiSys 2016) is that PII-bearing flows
+//! are recognizable from their *structure*: the keys and tokens around a
+//! value ("email=", "lat=", JSON field names) are stable even when the
+//! value changes per user. The feature extractor therefore tokenizes the
+//! whole flow into a bag of words and, separately, extracts key/value
+//! pairs from query strings, form bodies, JSON-ish bodies, and cookies.
+
+/// Characters that delimit tokens in HTTP flow text.
+fn is_delimiter(c: char) -> bool {
+    matches!(
+        c,
+        '=' | '&' | '?' | '/' | ':' | ';' | ',' | '"' | '\'' | '{' | '}' | '[' | ']' | '('
+            | ')' | ' ' | '\t' | '\r' | '\n' | '<' | '>' | '%' | '+' | '\\'
+    )
+}
+
+/// Split flow text into lowercase tokens, dropping empties and very long
+/// opaque blobs (base64 bodies would otherwise flood the vocabulary).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(is_delimiter)
+        .filter(|t| !t.is_empty() && t.len() <= 40)
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// Tokens as a deduplicated, sorted set (bag-of-words presence features).
+pub fn token_set(text: &str) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+/// Extract `key=value`-shaped pairs from flow text. Handles query
+/// strings, form bodies, cookie strings, and flat JSON objects
+/// (`"key":"value"` / `"key":123`).
+pub fn extract_kv(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+
+    // key=value in query/form/cookie segments. The request line ends in
+    // " HTTP/1.1", so a trailing query value must stop at whitespace.
+    for segment in text.split(['&', ';', '?', '\n']) {
+        let segment = segment.trim();
+        if let Some((k, v)) = segment.split_once('=') {
+            let k = k.rsplit([' ', '/']).next().unwrap_or(k);
+            let v = v.split_whitespace().next().unwrap_or("");
+            if !k.is_empty() && !v.is_empty() && k.len() <= 40 && v.len() <= 256 {
+                out.push((k.to_ascii_lowercase(), v.to_string()));
+            }
+        }
+    }
+
+    // "key":"value" and "key":number in JSON-ish bodies.
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(key_end) = find_quote(bytes, i + 1) {
+                let key = &text[i + 1..key_end];
+                let mut j = key_end + 1;
+                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b':') {
+                    if bytes[j] == b':' {
+                        j += 1;
+                        while j < bytes.len() && bytes[j] == b' ' {
+                            j += 1;
+                        }
+                        let value = if j < bytes.len() && bytes[j] == b'"' {
+                            find_quote(bytes, j + 1).map(|end| text[j + 1..end].to_string())
+                        } else {
+                            let end = text[j..]
+                                .find([',', '}', ']', '\n'])
+                                .map(|off| j + off)
+                                .unwrap_or(bytes.len());
+                            let v = text[j..end].trim();
+                            if v.is_empty() { None } else { Some(v.to_string()) }
+                        };
+                        if let Some(v) = value {
+                            if !key.is_empty() && key.len() <= 40 && v.len() <= 256 {
+                                out.push((key.to_ascii_lowercase(), v));
+                            }
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                i = key_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    out
+}
+
+fn find_quote(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes[from..].iter().position(|&b| b == b'"').map(|p| from + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        let t = tokenize("GET /v1/track?Email=a@b.com&lat=42.36 HTTP/1.1");
+        assert!(t.contains(&"email".to_string()));
+        assert!(t.contains(&"a@b.com".to_string()));
+        assert!(t.contains(&"42.36".to_string()));
+        assert!(t.contains(&"v1".to_string()));
+    }
+
+    #[test]
+    fn token_set_dedups() {
+        let s = token_set("a=1&a=1&b=2");
+        assert_eq!(s, vec!["1", "2", "a", "b"]);
+    }
+
+    #[test]
+    fn long_blobs_excluded() {
+        let blob = "x".repeat(100);
+        assert!(tokenize(&blob).is_empty());
+    }
+
+    #[test]
+    fn kv_from_query_and_form() {
+        let kv = extract_kv("uid=abc123&Gender=F&empty=&lat=42.36");
+        assert!(kv.contains(&("uid".into(), "abc123".into())));
+        assert!(kv.contains(&("gender".into(), "F".into())));
+        assert!(kv.contains(&("lat".into(), "42.36".into())));
+        assert_eq!(kv.iter().filter(|(k, _)| k == "empty").count(), 0);
+    }
+
+    #[test]
+    fn kv_from_json_body() {
+        let kv = extract_kv(r#"{"email":"jane@x.com","age":27,"device":{"model":"Nexus 5"}}"#);
+        assert!(kv.contains(&("email".into(), "jane@x.com".into())));
+        assert!(kv.contains(&("age".into(), "27".into())));
+        assert!(kv.contains(&("model".into(), "Nexus 5".into())));
+    }
+
+    #[test]
+    fn kv_from_full_request_text() {
+        let raw = "POST /collect HTTP/1.1\r\nHost: t.example\r\nCookie: sid=99; _ga=GA1.2\r\n\r\nemail=jane%40x.com&pw=s3cret";
+        let kv = extract_kv(raw);
+        assert!(kv.contains(&("sid".into(), "99".into())));
+        assert!(kv.contains(&("pw".into(), "s3cret".into())));
+    }
+
+    #[test]
+    fn kv_last_query_param_stops_at_http_version() {
+        // The request line ends in " HTTP/1.1"; the final query value
+        // must not absorb it (regression: gender=M went undetected).
+        let kv = extract_kv("GET /pixel?uid=1&gender=M HTTP/1.1");
+        assert!(kv.contains(&("gender".into(), "M".into())));
+    }
+
+    #[test]
+    fn kv_ignores_oversized_values() {
+        let huge = format!("key={}", "v".repeat(500));
+        assert!(extract_kv(&huge).is_empty());
+    }
+}

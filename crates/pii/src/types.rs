@@ -1,0 +1,156 @@
+//! The PII taxonomy.
+//!
+//! Table 1 of the paper tracks ten identifier classes, abbreviated
+//! B D E G L N P# U PW UID. [`PiiType`] reproduces that taxonomy exactly;
+//! every table and figure in the reproduction is keyed on it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A class of personally identifiable information.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum PiiType {
+    /// **B** — birthday / date of birth.
+    Birthday,
+    /// **D** — device info: hardware model or device name.
+    DeviceInfo,
+    /// **E** — e-mail address.
+    Email,
+    /// **G** — gender.
+    Gender,
+    /// **L** — location: GPS coordinates or ZIP code.
+    Location,
+    /// **N** — first and/or last name.
+    Name,
+    /// **P#** — phone number.
+    PhoneNumber,
+    /// **U** — username.
+    Username,
+    /// **PW** — password.
+    Password,
+    /// **UID** — unique identifier: IMEI, MAC, advertising ID, Android
+    /// ID, vendor ID, serial. Only apps can read these, which drives the
+    /// paper's headline finding that device identifiers leak exclusively
+    /// via apps.
+    UniqueId,
+}
+
+impl PiiType {
+    /// All types, in Table 1 column order.
+    pub const ALL: [PiiType; 10] = [
+        PiiType::Birthday,
+        PiiType::DeviceInfo,
+        PiiType::Email,
+        PiiType::Gender,
+        PiiType::Location,
+        PiiType::Name,
+        PiiType::PhoneNumber,
+        PiiType::Username,
+        PiiType::Password,
+        PiiType::UniqueId,
+    ];
+
+    /// The column abbreviation used in Table 1.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PiiType::Birthday => "B",
+            PiiType::DeviceInfo => "D",
+            PiiType::Email => "E",
+            PiiType::Gender => "G",
+            PiiType::Location => "L",
+            PiiType::Name => "N",
+            PiiType::PhoneNumber => "P#",
+            PiiType::Username => "U",
+            PiiType::Password => "PW",
+            PiiType::UniqueId => "UID",
+        }
+    }
+
+    /// Human-readable label (Table 3 row names).
+    pub fn label(self) -> &'static str {
+        match self {
+            PiiType::Birthday => "Birthday",
+            PiiType::DeviceInfo => "Device Name",
+            PiiType::Email => "Email",
+            PiiType::Gender => "Gender",
+            PiiType::Location => "Location",
+            PiiType::Name => "Name",
+            PiiType::PhoneNumber => "Phone #",
+            PiiType::Username => "Username",
+            PiiType::Password => "Password",
+            PiiType::UniqueId => "Unique ID",
+        }
+    }
+
+    /// Whether this type is a login credential. Credentials sent to a
+    /// first party over HTTPS are *not* leaks under the paper's
+    /// definition ("If a username, password, or e-mail address (often
+    /// used as a username) is transmitted to a first-party site over
+    /// HTTPS, then we do not consider them to be leaks").
+    pub fn is_credential(self) -> bool {
+        matches!(self, PiiType::Username | PiiType::Password | PiiType::Email)
+    }
+
+    /// Key-name hints associated with this type — used both by the
+    /// matcher (to disambiguate short values like ZIP codes and gender
+    /// flags) and by the ReCon feature extractor.
+    pub fn key_hints(self) -> &'static [&'static str] {
+        match self {
+            PiiType::Birthday => &["birthday", "birthdate", "dob", "birth", "bday"],
+            PiiType::DeviceInfo => &["device", "model", "hardware", "devicename", "device_name"],
+            PiiType::Email => &["email", "e-mail", "mail", "login", "user"],
+            PiiType::Gender => &["gender", "sex", "g"],
+            PiiType::Location => &[
+                "lat", "latitude", "lon", "lng", "longitude", "loc", "location", "geo", "zip",
+                "zipcode", "postal", "postalcode", "ll",
+            ],
+            PiiType::Name => &[
+                "name", "firstname", "lastname", "first_name", "last_name", "fname", "lname",
+                "fullname",
+            ],
+            PiiType::PhoneNumber => &["phone", "tel", "mobile", "msisdn", "phonenumber"],
+            PiiType::Username => &["username", "user", "uname", "login", "account"],
+            PiiType::Password => &["password", "pass", "pwd", "passwd", "secret"],
+            PiiType::UniqueId => &[
+                "imei", "mac", "androidid", "android_id", "idfa", "idfv", "advertisingid",
+                "ad_id", "adid", "gaid", "aid", "uuid", "uid", "device_id", "deviceid", "serial",
+            ],
+        }
+    }
+}
+
+impl fmt::Display for PiiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        assert_eq!(PiiType::ALL.len(), 10);
+        let abbrevs: Vec<_> = PiiType::ALL.iter().map(|t| t.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["B", "D", "E", "G", "L", "N", "P#", "U", "PW", "UID"]);
+    }
+
+    #[test]
+    fn credential_classes() {
+        assert!(PiiType::Password.is_credential());
+        assert!(PiiType::Username.is_credential());
+        assert!(PiiType::Email.is_credential());
+        assert!(!PiiType::Location.is_credential());
+        assert!(!PiiType::UniqueId.is_credential());
+    }
+
+    #[test]
+    fn key_hints_nonempty() {
+        for t in PiiType::ALL {
+            assert!(!t.key_hints().is_empty(), "{t} needs key hints");
+        }
+    }
+}

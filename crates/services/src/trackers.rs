@@ -1,0 +1,813 @@
+//! Tracker / A&A network behaviour models.
+//!
+//! Each [`TrackerSpec`] describes one advertising or analytics
+//! organization: the hosts its beacons hit, what PII its **app SDK**
+//! collects (SDKs run inside the app process and can read whatever the
+//! host app can), what PII its **web tag** receives (only what the page
+//! exposes — never device identifiers), how chatty it is, and how it
+//! encodes payloads. The set covers every A&A domain in Table 2 of the
+//! paper plus the wider 2016 ecosystem in the bundled filter list.
+
+use appvsweb_pii::PiiType;
+
+/// How a tracker serializes its beacon payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadStyle {
+    /// Everything in URL query parameters (classic pixel).
+    Query,
+    /// POST with form-encoded body.
+    Form,
+    /// POST with a JSON body.
+    Json,
+    /// POST with base64-wrapped JSON (SDK batch upload style).
+    Base64Json,
+    /// POST with a gzip-compressed JSON body and `Content-Encoding:
+    /// gzip` — Flurry's batch-upload convention. Detection only works
+    /// because the interception proxy inflates bodies before scanning.
+    GzipJson,
+}
+
+/// A tracker / A&A organization.
+#[derive(Clone, Debug)]
+pub struct TrackerSpec {
+    /// Short id, matching the organization label of its domains.
+    pub id: &'static str,
+    /// Beacon hosts (first one is primary).
+    pub hosts: &'static [&'static str],
+    /// PII the app SDK transmits (beyond a per-install random token).
+    pub app_collects: &'static [PiiType],
+    /// PII the web tag transmits when the page exposes it.
+    pub web_collects: &'static [PiiType],
+    /// Milliseconds between app SDK beacons (0 = init-only).
+    pub beacon_period_ms: u64,
+    /// How often app beacons carry PII: `0` = only the init beacon
+    /// (attribution SDKs send the identifier once), `1` = every beacon
+    /// (the hyper-chatty trackers like Amobee), `n` = every nth.
+    /// Calibrated against Table 2's per-service leak averages.
+    pub pii_every_n: u32,
+    /// Whether the *web* tag re-sends page PII on every page view
+    /// (most tags push the data layer only on landing pages).
+    pub web_pii_all_pages: bool,
+    /// Whether beacons travel over plaintext HTTP.
+    pub plaintext: bool,
+    /// Payload serialization.
+    pub style: PayloadStyle,
+    /// Whether the web tag participates in RTB redirect chains.
+    pub rtb_exchange: bool,
+    /// Bytes of ad creative the app SDK fetches alongside each beacon
+    /// (0 = pure analytics, no creatives). Ad-serving SDKs dominate the
+    /// app-side A&A byte counts of paper Fig. 1c.
+    pub creative_bytes: usize,
+}
+
+/// The tracker catalog.
+pub fn all() -> &'static [TrackerSpec] {
+    TRACKERS
+}
+
+/// Look up a tracker by id.
+///
+/// # Panics
+/// Panics when `id` is unknown — catalog references are static data and a
+/// bad one is a programming error, caught by tests.
+pub fn by_id(id: &str) -> &'static TrackerSpec {
+    TRACKERS
+        .iter()
+        .find(|t| t.id == id)
+        .unwrap_or_else(|| panic!("unknown tracker id: {id}"))
+}
+
+use PiiType::*;
+
+const TRACKERS: &[TrackerSpec] = &[
+    // ---- Table 2 organizations ----
+    TrackerSpec {
+        id: "amobee",
+        hosts: &["ads.amobee.com", "rt.amobee.com"],
+        app_collects: &[UniqueId, Location, Gender],
+        web_collects: &[Location, Gender],
+        beacon_period_ms: 1_000,
+        pii_every_n: 1,
+        web_pii_all_pages: true, // the most leak-heavy tracker in the study
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 6_000,
+    },
+    TrackerSpec {
+        id: "moatads",
+        hosts: &["z.moatads.com", "px.moatads.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 4_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "vrvm",
+        hosts: &["api.vrvm.com"],
+        app_collects: &[UniqueId, Location, DeviceInfo],
+        web_collects: &[],
+        beacon_period_ms: 3_500,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: true, // Verve was a known plaintext offender in 2016
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 5_000,
+    },
+    TrackerSpec {
+        id: "google-analytics",
+        hosts: &["www.google-analytics.com", "ssl.google-analytics.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 15_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "facebook",
+        hosts: &["graph.facebook.com", "connect.facebook.net"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[Name],
+        beacon_period_ms: 20_000,
+        pii_every_n: 3,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Form,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "groceryserver",
+        hosts: &["api.groceryserver.com"],
+        app_collects: &[Location, UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 3_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "serving-sys",
+        hosts: &["bs.serving-sys.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 12_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "googlesyndication",
+        hosts: &["pagead2.googlesyndication.com", "securepubads.googlesyndication.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 9_000,
+        pii_every_n: 4,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "thebrighttag",
+        hosts: &["s.thebrighttag.com"],
+        app_collects: &[UniqueId, Email],
+        web_collects: &[],
+        beacon_period_ms: 16_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "tiqcdn",
+        hosts: &["tags.tiqcdn.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Email],
+        beacon_period_ms: 15_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "marinsm",
+        hosts: &["tracker.marinsm.com"],
+        app_collects: &[UniqueId, Username],
+        web_collects: &[Username],
+        beacon_period_ms: 5_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "criteo",
+        hosts: &["widget.criteo.com", "dis.criteo.com"],
+        app_collects: &[UniqueId, Email],
+        web_collects: &[Email],
+        beacon_period_ms: 50_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "2mdn",
+        hosts: &["s0.2mdn.net"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 30_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "monetate",
+        hosts: &["e.monetate.net"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 3_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "247realmedia",
+        hosts: &["oasc.247realmedia.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 5_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "krxd",
+        hosts: &["beacon.krxd.net", "cdn.krxd.net"],
+        app_collects: &[UniqueId, Location, Email],
+        web_collects: &[],
+        beacon_period_ms: 40_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "doubleverify",
+        hosts: &["rtb0.doubleverify.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 12_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "cloudinary",
+        hosts: &["res.cloudinary.com"],
+        app_collects: &[],
+        web_collects: &[Location], // web-only recipient in Table 2
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "webtrends",
+        hosts: &["statse.webtrendslive.com", "s.webtrends.com"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[],
+        beacon_period_ms: 8_600,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "liftoff",
+        hosts: &["impression.liftoff.io"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[],
+        beacon_period_ms: 9_000,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 8_000,
+    },
+    // ---- §4.2 case-study recipients ----
+    TrackerSpec {
+        id: "taplytics",
+        hosts: &["api.taplytics.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 20_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "usablenet",
+        hosts: &["jetblue.usablenet.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Form,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "gigya",
+        hosts: &["accounts.gigya.com", "cdns.gigya.com"],
+        app_collects: &[Email],
+        web_collects: &[Email],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Form,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    // ---- Ecosystem staples (Web ad stack + app SDKs) ----
+    TrackerSpec {
+        id: "doubleclick",
+        hosts: &["ad.doubleclick.net", "ads.g.doubleclick.net", "cm.g.doubleclick.net"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 18_000,
+        pii_every_n: 6,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "flurry",
+        hosts: &["data.flurry.com"],
+        app_collects: &[UniqueId, DeviceInfo, Location],
+        web_collects: &[],
+        beacon_period_ms: 10_000,
+        pii_every_n: 8,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::GzipJson,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "crashlytics",
+        hosts: &["settings.crashlytics.com", "reports.crashlytics.com"],
+        app_collects: &[UniqueId, DeviceInfo],
+        web_collects: &[],
+        beacon_period_ms: 60_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "chartbeat",
+        hosts: &["ping.chartbeat.net"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: true, // chartbeat pings were plain HTTP in 2016
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "scorecardresearch",
+        hosts: &["b.scorecardresearch.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 30_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: true,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "quantserve",
+        hosts: &["pixel.quantserve.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "mixpanel",
+        hosts: &["api.mixpanel.com"],
+        app_collects: &[UniqueId, Email],
+        web_collects: &[Email, Gender],
+        beacon_period_ms: 22_000,
+        pii_every_n: 5,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Base64Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "adjust",
+        hosts: &["app.adjust.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 45_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Form,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "appsflyer",
+        hosts: &["t.appsflyer.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 40_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "yieldmo",
+        hosts: &["ads.yieldmo.com"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[], // paper: "YieldMo only collects PII from apps"
+        beacon_period_ms: 7_000,
+        pii_every_n: 2,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 8_000,
+    },
+    TrackerSpec {
+        id: "adnxs",
+        hosts: &["ib.adnxs.com", "secure.adnxs.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[Location],
+        beacon_period_ms: 14_000,
+        pii_every_n: 8,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "rubiconproject",
+        hosts: &["fastlane.rubiconproject.com", "pixel.rubiconproject.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "openx",
+        hosts: &["u.openx.net"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "pubmatic",
+        hosts: &["ads.pubmatic.com", "image2.pubmatic.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "casalemedia",
+        hosts: &["dsum.casalemedia.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "bluekai",
+        hosts: &["tags.bluekai.com", "stags.bluekai.com"],
+        app_collects: &[],
+        web_collects: &[Gender, Birthday],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "demdex",
+        hosts: &["dpm.demdex.net"],
+        app_collects: &[],
+        web_collects: &[Email],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "mathtag",
+        hosts: &["pixel.mathtag.com"],
+        app_collects: &[],
+        web_collects: &[Location],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: true,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "outbrain",
+        hosts: &["widgets.outbrain.com", "log.outbrainimg.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "taboola",
+        hosts: &["trc.taboola.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 0,
+        pii_every_n: 1,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "comscore",
+        hosts: &["sb.comscore.com"],
+        app_collects: &[],
+        web_collects: &[],
+        beacon_period_ms: 35_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: true,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "omtrdc",
+        hosts: &["metrics.omtrdc.net"],
+        app_collects: &[UniqueId, Location, Username],
+        web_collects: &[Name],
+        beacon_period_ms: 16_000,
+        pii_every_n: 4,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "amazon-adsystem",
+        hosts: &["aax.amazon-adsystem.com", "s.amazon-adsystem.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 20_000,
+        pii_every_n: 6,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: true,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "mopub",
+        hosts: &["ads.mopub.com"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[],
+        beacon_period_ms: 11_000,
+        pii_every_n: 4,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 8_000,
+    },
+    TrackerSpec {
+        id: "inmobi",
+        hosts: &["ads.inmobi.com"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[],
+        beacon_period_ms: 13_000,
+        pii_every_n: 4,
+        web_pii_all_pages: false,
+        plaintext: true,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 8_000,
+    },
+    TrackerSpec {
+        id: "millennialmedia",
+        hosts: &["ads.mp.mydas.mobi"],
+        app_collects: &[UniqueId, Location],
+        web_collects: &[],
+        beacon_period_ms: 12_500,
+        pii_every_n: 4,
+        web_pii_all_pages: false,
+        plaintext: true,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 8_000,
+    },
+    TrackerSpec {
+        id: "tapjoy",
+        hosts: &["ws.tapjoyads.com"],
+        app_collects: &[UniqueId],
+        web_collects: &[],
+        beacon_period_ms: 17_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Query,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+    TrackerSpec {
+        id: "newrelic",
+        hosts: &["mobile-collector.newrelic.com"],
+        app_collects: &[UniqueId, DeviceInfo],
+        web_collects: &[],
+        beacon_period_ms: 55_000,
+        pii_every_n: 0,
+        web_pii_all_pages: false,
+        plaintext: false,
+        style: PayloadStyle::Json,
+        rtb_exchange: false,
+        creative_bytes: 0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = TRACKERS.iter().map(|t| t.id).collect();
+        ids.sort();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate tracker id");
+    }
+
+    #[test]
+    fn every_tracker_has_hosts() {
+        for t in TRACKERS {
+            assert!(!t.hosts.is_empty(), "{} needs at least one host", t.id);
+        }
+    }
+
+    #[test]
+    fn web_tags_never_collect_device_identifiers() {
+        // The paper's key structural finding: Web pages cannot read UID or
+        // device info. Our tracker catalog must respect the platform.
+        for t in TRACKERS {
+            assert!(
+                !t.web_collects.contains(&PiiType::UniqueId),
+                "{}: web tags cannot read device unique IDs",
+                t.id
+            );
+            assert!(
+                !t.web_collects.contains(&PiiType::DeviceInfo),
+                "{}: web tags cannot read the hardware model",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn table2_organizations_present() {
+        for id in [
+            "amobee", "moatads", "vrvm", "google-analytics", "facebook", "groceryserver",
+            "serving-sys", "googlesyndication", "thebrighttag", "tiqcdn", "marinsm", "criteo",
+            "2mdn", "monetate", "247realmedia", "krxd", "doubleverify", "cloudinary",
+            "webtrends", "liftoff",
+        ] {
+            assert_eq!(by_id(id).id, id);
+        }
+    }
+
+    #[test]
+    fn yieldmo_is_app_only_collector() {
+        let t = by_id("yieldmo");
+        assert!(!t.app_collects.is_empty());
+        assert!(t.web_collects.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tracker id")]
+    fn unknown_id_panics() {
+        by_id("not-a-tracker");
+    }
+}

@@ -1,0 +1,38 @@
+//! # appvsweb-tlssim
+//!
+//! A TLS *behaviour* model for the `appvsweb` reproduction of
+//! *"Should You Use the App for That?"* (IMC 2016).
+//!
+//! The paper decrypts HTTPS with mitmproxy: the proxy terminates TLS,
+//! presents a leaf certificate forged under a CA the test device trusts,
+//! and re-encrypts toward the real server. Two behaviours of that setup
+//! matter to the study and are reproduced faithfully here:
+//!
+//! 1. **Interception succeeds** when the client's trust store contains the
+//!    proxy CA and the service does not pin — yielding plaintext
+//!    visibility of HTTPS bodies.
+//! 2. **Interception fails closed** when the service pins its certificate
+//!    or public key — which is why Facebook and Twitter had to be excluded
+//!    from the original study.
+//!
+//! This is not a cryptographic implementation: no key exchange or cipher
+//! runs. Certificates carry opaque key identifiers, "signing" is the act
+//! of recording the issuer relationship, and "verification" checks chain
+//! structure, name matching, validity windows, trust anchoring, and pins —
+//! the exact checks whose outcomes drive the measurement pipeline.
+//! Record-layer framing overhead is modelled so byte accounting
+//! (paper Fig. 1c) reflects TLS costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod handshake;
+pub mod pinning;
+pub mod record;
+pub mod trust;
+
+pub use cert::{Certificate, CertificateAuthority, CertificateChain, KeyId};
+pub use handshake::{ClientConfig, HandshakeError, HandshakeOutcome, ServerConfig, TlsSession};
+pub use pinning::PinSet;
+pub use trust::TrustStore;

@@ -1,0 +1,74 @@
+//! TLS record-layer sizing.
+//!
+//! Figure 1c of the paper compares megabytes of A&A traffic between app
+//! and Web versions of services, so the simulation needs a credible model
+//! of how many bytes TLS adds to a given application payload. We model
+//! TLS 1.2 with an AES-GCM suite (the dominant configuration in 2016):
+//! 5-byte record header + 8-byte explicit nonce + 16-byte tag per record,
+//! records capped at 16 KiB of plaintext, plus a fixed handshake cost.
+
+/// Maximum plaintext fragment per TLS record.
+pub const MAX_FRAGMENT: usize = 16 * 1024;
+
+/// Per-record overhead: 5 (header) + 8 (explicit nonce) + 16 (GCM tag).
+pub const RECORD_OVERHEAD: usize = 29;
+
+/// Approximate bytes exchanged by a full TLS 1.2 handshake
+/// (ClientHello + ServerHello/cert chain/ServerHelloDone + client key
+/// exchange + Finished in both directions). Dominated by the certificate
+/// chain; 4 KiB is a representative 2016 value for a two-cert chain.
+pub const FULL_HANDSHAKE_BYTES: usize = 4096;
+
+/// Approximate bytes for an abbreviated (session-resumption) handshake.
+pub const RESUMED_HANDSHAKE_BYTES: usize = 330;
+
+/// Bytes on the wire for `plaintext_len` bytes of application data.
+///
+/// ```
+/// use appvsweb_tlssim::record::wire_bytes;
+/// assert_eq!(wire_bytes(0), 0);
+/// assert_eq!(wire_bytes(100), 129);
+/// // Two records needed just past the fragment cap:
+/// assert_eq!(wire_bytes(16 * 1024 + 1), 16 * 1024 + 1 + 2 * 29);
+/// ```
+pub fn wire_bytes(plaintext_len: usize) -> usize {
+    if plaintext_len == 0 {
+        return 0;
+    }
+    let records = plaintext_len.div_ceil(MAX_FRAGMENT);
+    plaintext_len + records * RECORD_OVERHEAD
+}
+
+/// Number of TLS records needed for `plaintext_len` bytes.
+pub fn record_count(plaintext_len: usize) -> usize {
+    plaintext_len.div_ceil(MAX_FRAGMENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_payload_zero_records() {
+        assert_eq!(record_count(0), 0);
+        assert_eq!(wire_bytes(0), 0);
+    }
+
+    #[test]
+    fn single_record_boundary() {
+        assert_eq!(record_count(MAX_FRAGMENT), 1);
+        assert_eq!(record_count(MAX_FRAGMENT + 1), 2);
+        assert_eq!(wire_bytes(MAX_FRAGMENT), MAX_FRAGMENT + RECORD_OVERHEAD);
+    }
+
+    #[test]
+    fn overhead_is_monotonic() {
+        let mut prev = 0;
+        for len in [1, 10, 1000, 20_000, 100_000] {
+            let w = wire_bytes(len);
+            assert!(w > prev);
+            assert!(w >= len);
+            prev = w;
+        }
+    }
+}

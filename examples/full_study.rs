@@ -1,0 +1,47 @@
+//! The full measurement campaign: 50 services × 2 OSes × 2 media.
+//!
+//! ```text
+//! cargo run --release --example full_study [dataset.json]
+//! ```
+//!
+//! Reproduces the complete study of the paper and prints Tables 1–3 plus
+//! the headline statistics; optionally exports the dataset as JSON (the
+//! original authors publish theirs at recon.meddle.mobi/appvsweb/).
+
+use appvsweb::analysis::figures::{self, FigureId};
+use appvsweb::analysis::{render, tables};
+use appvsweb::core::dataset;
+use appvsweb::core::study::{run_study, StudyConfig};
+use appvsweb::netsim::Os;
+
+fn main() {
+    let cfg = StudyConfig::default();
+    eprintln!("running the full study (this takes a few seconds in release mode)...");
+    let t0 = std::time::Instant::now();
+    let study = run_study(&cfg);
+    eprintln!("done in {:.2?}: {} cells\n", t0.elapsed(), study.cells.len());
+
+    println!("== Table 1 ==\n{}", render::render_table1(&tables::table1(&study)));
+    println!("== Table 2 ==\n{}", render::render_table2(&tables::table2(&study, 20)));
+    println!("== Table 3 ==\n{}", render::render_table3(&tables::table3(&study)));
+
+    println!("== Headline comparisons ==");
+    for os in [Os::Android, Os::Ios] {
+        let aa = figures::cdf(&study, FigureId::AaDomains, os);
+        let jac = figures::cdf(&study, FigureId::Jaccard, os);
+        let pdf = figures::pdf_1e(&study, os);
+        println!(
+            "{os}: web contacts more A&A domains for {:.0}% of services; \
+             {:.0}% of services share no leaked types across media; \
+             modal type difference {:+}",
+            aa.fraction_negative() * 100.0,
+            jac.at(0.0) * 100.0,
+            pdf.mode().unwrap_or(0),
+        );
+    }
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, dataset::to_json(&study)).expect("write dataset");
+        println!("\ndataset exported to {path}");
+    }
+}
