@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 gate, runnable fully offline: every dependency is an in-repo
+# crate, so a fresh checkout needs nothing beyond the Rust toolchain.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace

@@ -13,10 +13,9 @@
 
 use crate::engine::FilterEngine;
 use appvsweb_httpsim::Host;
-use serde::{Deserialize, Serialize};
 
 /// Category assigned to a destination domain.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// A domain belonging to the service under test (or its CDN alias).
     FirstParty,
@@ -191,3 +190,12 @@ mod tests {
         assert!(!Category::OtherThirdParty.is_aa());
     }
 }
+
+appvsweb_json::impl_json!(
+    enum Category {
+        FirstParty,
+        Advertising,
+        Analytics,
+        OtherThirdParty,
+    }
+);

@@ -116,7 +116,10 @@ impl FilterEngine {
             {
                 return false;
             }
-            if f.exclude_domains.iter().any(|d| domain_covers(d, req.origin_host)) {
+            if f.exclude_domains
+                .iter()
+                .any(|d| domain_covers(d, req.origin_host))
+            {
                 return false;
             }
             if !f.resource_types.is_empty() {
@@ -140,8 +143,12 @@ impl FilterEngine {
 
     /// Convenience: does any blocking rule hit this URL for this origin?
     pub fn is_ad_or_tracking(&self, url: &str, origin_host: &str) -> bool {
-        self.check(&RequestInfo { url, origin_host, resource_type: None })
-            .is_blocked()
+        self.check(&RequestInfo {
+            url,
+            origin_host,
+            resource_type: None,
+        })
+        .is_blocked()
     }
 }
 
@@ -234,7 +241,10 @@ mod tests {
         };
         assert!(e.check(&img).is_blocked());
         assert!(!e.check(&script).is_blocked());
-        assert!(!e.check(&unknown).is_blocked(), "typed rules need a typed request");
+        assert!(
+            !e.check(&unknown).is_blocked(),
+            "typed rules need a typed request"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Filter parsing and single-pattern matching.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource types a filter's `$` options may restrict to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ResourceType {
     /// JavaScript (ad tags, analytics snippets).
     Script,
@@ -31,7 +29,7 @@ impl ResourceType {
 }
 
 /// How the filter's pattern anchors to the URL.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FilterKind {
     /// `||host…` — anchored at a hostname boundary.
     HostAnchor,
@@ -42,7 +40,7 @@ pub enum FilterKind {
 }
 
 /// A parsed network filter rule.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Filter {
     /// The original rule text (for reporting which rule fired).
     pub raw: String,
@@ -266,7 +264,10 @@ mod tests {
         assert_eq!(parse_line("! comment"), ParsedLine::Comment);
         assert_eq!(parse_line("[Adblock Plus 2.0]"), ParsedLine::Comment);
         assert_eq!(parse_line(""), ParsedLine::Comment);
-        assert_eq!(parse_line("example.com##.ad-banner"), ParsedLine::ElementHiding);
+        assert_eq!(
+            parse_line("example.com##.ad-banner"),
+            ParsedLine::ElementHiding
+        );
     }
 
     #[test]
@@ -337,3 +338,24 @@ mod tests {
         assert!(f.pattern_matches("https://adserver.com/x"));
     }
 }
+
+appvsweb_json::impl_json!(
+    enum ResourceType {
+        Script,
+        Image,
+        XmlHttpRequest,
+        Subdocument,
+        Other,
+    }
+);
+appvsweb_json::impl_json!(
+    enum FilterKind {
+        HostAnchor,
+        StartAnchor,
+        Substring,
+    }
+);
+appvsweb_json::impl_json!(struct Filter {
+    raw, exception, kind, pattern, end_anchor, third_party, include_domains, exclude_domains,
+    resource_types
+});

@@ -8,10 +8,9 @@
 use crate::leaks::Study;
 use crate::stats::{Cdf, Pdf};
 use appvsweb_netsim::Os;
-use serde::{Deserialize, Serialize};
 
 /// Which figure of the paper a series reproduces.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FigureId {
     /// 1a: (app − web) unique A&A domains contacted.
     AaDomains,
@@ -52,7 +51,7 @@ impl FigureId {
 }
 
 /// One per-OS data series of a figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigureSeries {
     /// OS the series belongs to (the paper plots Android and iOS curves).
     pub os: Os,
@@ -61,7 +60,7 @@ pub struct FigureSeries {
 }
 
 /// A full figure: one series per OS.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Which subfigure.
     pub id: FigureId,
@@ -197,6 +196,22 @@ mod tests {
     #[test]
     fn bytes_figure_is_in_megabytes() {
         let s = samples(&study(), FigureId::AaBytes, Os::Android);
-        assert!(s.iter().all(|v| v.abs() < 10.0), "expected MB-scale values: {s:?}");
+        assert!(
+            s.iter().all(|v| v.abs() < 10.0),
+            "expected MB-scale values: {s:?}"
+        );
     }
 }
+
+appvsweb_json::impl_json!(
+    enum FigureId {
+        AaDomains,
+        AaFlows,
+        AaBytes,
+        LeakDomains,
+        LeakedIdentifiers,
+        Jaccard,
+    }
+);
+appvsweb_json::impl_json!(struct FigureSeries { os, points });
+appvsweb_json::impl_json!(struct Figure { id, series });

@@ -15,13 +15,12 @@ use appvsweb_mitm::Trace;
 use appvsweb_netsim::Os;
 use appvsweb_pii::{CombinedDetector, PiiType};
 use appvsweb_services::{Medium, ServiceCategory, ServiceSpec};
-use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 
 /// One leaked (transaction, PII-type) instance.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeakEvent {
     /// The PII class.
     pub pii_type: PiiType,
@@ -34,7 +33,7 @@ pub struct LeakEvent {
 }
 
 /// Per-PII-type aggregates within one cell.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TypeAggregate {
     /// Total leak instances of this type.
     pub count: u64,
@@ -43,7 +42,7 @@ pub struct TypeAggregate {
 }
 
 /// The analysis of one (service, OS, medium) session.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CellAnalysis {
     /// Service slug.
     pub service_id: String,
@@ -212,9 +211,7 @@ pub fn scan_text_of(request: &appvsweb_httpsim::Request) -> String {
         if name.eq_ignore_ascii_case("user-agent") {
             continue; // ambient hardware-model header, not a leak
         }
-        if name.eq_ignore_ascii_case("content-encoding")
-            && value.eq_ignore_ascii_case("gzip")
-        {
+        if name.eq_ignore_ascii_case("content-encoding") && value.eq_ignore_ascii_case("gzip") {
             gzipped = true;
         }
         out.push_str(name);
@@ -248,7 +245,7 @@ pub fn is_leak(t: PiiType, destination: Category, plaintext: bool) -> bool {
 }
 
 /// All cells of a full study (50 services × 2 OSes × 2 media).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Study {
     /// Every analyzed cell.
     pub cells: Vec<CellAnalysis>,
@@ -256,7 +253,7 @@ pub struct Study {
 
 /// App-vs-web comparison for one service on one OS (one point in each
 /// of Figures 1a–1f).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ServiceComparison {
     /// Service slug.
     pub service_id: String,
@@ -305,10 +302,8 @@ impl Study {
                     aa_domain_diff: app.aa_domains.len() as i64 - web.aa_domains.len() as i64,
                     aa_flow_diff: app.aa_flows as i64 - web.aa_flows as i64,
                     aa_byte_diff: app.aa_bytes as i64 - web.aa_bytes as i64,
-                    leak_domain_diff: app.leak_domains.len() as i64
-                        - web.leak_domains.len() as i64,
-                    leaked_type_diff: app.leaked_types.len() as i64
-                        - web.leaked_types.len() as i64,
+                    leak_domain_diff: app.leak_domains.len() as i64 - web.leak_domains.len() as i64,
+                    leaked_type_diff: app.leaked_types.len() as i64 - web.leaked_types.len() as i64,
                     jaccard: crate::stats::jaccard(&app.leaked_types, &web.leaked_types),
                 });
             }
@@ -341,3 +336,15 @@ mod tests {
         assert!(is_leak(PiiType::UniqueId, OtherThirdParty, false));
     }
 }
+
+appvsweb_json::impl_json!(struct LeakEvent { pii_type, domain, category, plaintext });
+appvsweb_json::impl_json!(struct TypeAggregate { count, domains });
+appvsweb_json::impl_json!(struct CellAnalysis {
+    service_id, service_name, category, rank, os, medium, aa_domains, aa_flows, aa_bytes,
+    total_flows, leaks, leak_domains, leaked_types, per_type, per_domain_leaks, per_domain_types
+});
+appvsweb_json::impl_json!(struct Study { cells });
+appvsweb_json::impl_json!(struct ServiceComparison {
+    service_id, os, aa_domain_diff, aa_flow_diff, aa_byte_diff, leak_domain_diff,
+    leaked_type_diff, jaccard
+});

@@ -25,8 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
-pub mod osdiff;
 pub mod leaks;
+pub mod osdiff;
 pub mod render;
 pub mod report;
 pub mod stats;

@@ -13,11 +13,10 @@ use crate::stats::jaccard;
 use appvsweb_netsim::Os;
 use appvsweb_pii::PiiType;
 use appvsweb_services::Medium;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Android-vs-iOS comparison for one service and medium.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OsComparison {
     /// Service slug.
     pub service_id: String,
@@ -34,12 +33,18 @@ pub struct OsComparison {
 impl OsComparison {
     /// Types leaked only on Android.
     pub fn android_only(&self) -> BTreeSet<PiiType> {
-        self.android_types.difference(&self.ios_types).copied().collect()
+        self.android_types
+            .difference(&self.ios_types)
+            .copied()
+            .collect()
     }
 
     /// Types leaked only on iOS.
     pub fn ios_only(&self) -> BTreeSet<PiiType> {
-        self.ios_types.difference(&self.android_types).copied().collect()
+        self.ios_types
+            .difference(&self.android_types)
+            .copied()
+            .collect()
     }
 
     /// Whether the service behaves identically across OSes on this medium.
@@ -68,7 +73,7 @@ pub fn os_comparisons(study: &Study, medium: Medium) -> Vec<OsComparison> {
 }
 
 /// Medium-level summary of OS agreement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OsAgreement {
     /// App or Web.
     pub medium: Medium,
@@ -132,8 +137,18 @@ mod tests {
     fn study() -> Study {
         Study {
             cells: vec![
-                cell("a", Os::Android, Medium::App, &[PiiType::UniqueId, PiiType::Email]),
-                cell("a", Os::Ios, Medium::App, &[PiiType::UniqueId, PiiType::PhoneNumber]),
+                cell(
+                    "a",
+                    Os::Android,
+                    Medium::App,
+                    &[PiiType::UniqueId, PiiType::Email],
+                ),
+                cell(
+                    "a",
+                    Os::Ios,
+                    Medium::App,
+                    &[PiiType::UniqueId, PiiType::PhoneNumber],
+                ),
                 cell("b", Os::Android, Medium::App, &[PiiType::Location]),
                 cell("b", Os::Ios, Medium::App, &[PiiType::Location]),
                 // c is iOS-only: must be skipped.
@@ -165,3 +180,6 @@ mod tests {
         assert!(!agg.divergent_types.contains(&PiiType::Location));
     }
 }
+
+appvsweb_json::impl_json!(struct OsComparison { service_id, medium, android_types, ios_types, jaccard });
+appvsweb_json::impl_json!(struct OsAgreement { medium, services, identical_fraction, divergent_types });

@@ -19,14 +19,25 @@ pub fn render_table1(t: &Table1) -> String {
     let _ = writeln!(
         out,
         "{:<15} {:<4} {:>4} {:>6} {:>8} {:>12}  {}",
-        "Group", "Med", "#Svc", "Rank", "%Leak", "Domains",
+        "Group",
+        "Med",
+        "#Svc",
+        "Rank",
+        "%Leak",
+        "Domains",
         PiiType::ALL.map(|t| t.abbrev()).join(" ")
     );
     let _ = writeln!(out, "{}", "-".repeat(96));
     for row in &t.rows {
         let matrix: Vec<&str> = PiiType::ALL
             .iter()
-            .map(|t| if row.leaked_types.contains(t) { "x" } else { "." })
+            .map(|t| {
+                if row.leaked_types.contains(t) {
+                    "x"
+                } else {
+                    "."
+                }
+            })
             .collect();
         let rank = row
             .avg_rank
@@ -126,9 +137,9 @@ pub fn ascii_plot(fig: &Figure, width: usize, height: usize) -> String {
         out.push_str("(no data)\n");
         return out;
     }
-    let (xmin, xmax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), (x, _)| (lo.min(*x), hi.max(*x)));
+    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), (x, _)| {
+        (lo.min(*x), hi.max(*x))
+    });
     let span = (xmax - xmin).max(1e-9);
     let mut grid = vec![vec![' '; width]; height];
     for (si, series) in fig.series.iter().enumerate() {
@@ -158,8 +169,14 @@ mod tests {
         let fig = Figure {
             id: FigureId::AaDomains,
             series: vec![
-                FigureSeries { os: Os::Android, points: vec![(-5.0, 50.0), (0.0, 100.0)] },
-                FigureSeries { os: Os::Ios, points: vec![(-3.0, 100.0)] },
+                FigureSeries {
+                    os: Os::Android,
+                    points: vec![(-5.0, 50.0), (0.0, 100.0)],
+                },
+                FigureSeries {
+                    os: Os::Ios,
+                    points: vec![(-3.0, 100.0)],
+                },
             ],
         };
         let text = render_figure(&fig);
@@ -173,7 +190,10 @@ mod tests {
 
     #[test]
     fn empty_figure_plots_gracefully() {
-        let fig = Figure { id: FigureId::Jaccard, series: vec![] };
+        let fig = Figure {
+            id: FigureId::Jaccard,
+            series: vec![],
+        };
         assert!(ascii_plot(&fig, 20, 5).contains("no data"));
     }
 }

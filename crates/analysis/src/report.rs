@@ -75,7 +75,11 @@ pub fn markdown_report(study: &Study) -> String {
         render::render_table2(&tables::table2(study, 20))
     );
     let _ = writeln!(out, "## Table 3 — PII types\n");
-    let _ = writeln!(out, "```text\n{}```\n", render::render_table3(&tables::table3(study)));
+    let _ = writeln!(
+        out,
+        "```text\n{}```\n",
+        render::render_table3(&tables::table3(study))
+    );
 
     // ---- figures ------------------------------------------------------
     let _ = writeln!(out, "## Figures 1a–1f\n");
@@ -92,15 +96,18 @@ pub fn markdown_report(study: &Study) -> String {
             Medium::App => "App",
             Medium::Web => "Web",
         };
-        let divergent: Vec<&str> =
-            agg.divergent_types.iter().map(|t| t.label()).collect();
+        let divergent: Vec<&str> = agg.divergent_types.iter().map(|t| t.label()).collect();
         let _ = writeln!(
             out,
             "- **{label}**: {} services compared on both OSes; {:.0}% leak \
              identical type sets; divergent types: {}.",
             agg.services,
             agg.identical_fraction * 100.0,
-            if divergent.is_empty() { "none".to_string() } else { divergent.join(", ") }
+            if divergent.is_empty() {
+                "none".to_string()
+            } else {
+                divergent.join(", ")
+            }
         );
     }
     let _ = writeln!(out);

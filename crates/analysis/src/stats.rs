@@ -1,6 +1,5 @@
 //! Statistics: CDFs, PDFs, Jaccard, mean/std, bootstrap CIs.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An empirical CDF over integer or real values.
@@ -101,7 +100,11 @@ impl Pdf {
 
     /// Percent of mass at strictly positive values.
     pub fn positive_mass(&self) -> f64 {
-        self.bins.iter().filter(|(v, _)| *v > 0).map(|(_, p)| p).sum()
+        self.bins
+            .iter()
+            .filter(|(v, _)| *v > 0)
+            .map(|(_, p)| p)
+            .sum()
     }
 }
 
@@ -123,7 +126,7 @@ pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
 /// a bootstrap CI communicates how stable those averages are across
 /// resamples. The resampler uses a SplitMix64 stream seeded by the
 /// caller, so CIs are reproducible like everything else in the study.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BootstrapCi {
     /// Point estimate (sample mean).
     pub mean: f64,
@@ -251,7 +254,10 @@ mod tests {
         let samples: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
         let ci = bootstrap_mean_ci(&samples, 0.95, 500, 42).unwrap();
         assert!(ci.low <= ci.mean && ci.mean <= ci.high);
-        assert!(ci.high - ci.low < 2.0, "tight-ish CI for 40 samples: {ci:?}");
+        assert!(
+            ci.high - ci.low < 2.0,
+            "tight-ish CI for 40 samples: {ci:?}"
+        );
         // Deterministic.
         assert_eq!(ci, bootstrap_mean_ci(&samples, 0.95, 500, 42).unwrap());
         // Different seed, similar interval.
@@ -274,3 +280,5 @@ mod tests {
         assert_eq!(std_dev(&[]), 0.0);
     }
 }
+
+appvsweb_json::impl_json!(struct BootstrapCi { mean, low, high, confidence });

@@ -2,10 +2,9 @@
 
 use crate::leaks::{CellAnalysis, Study};
 use crate::stats::{mean, std_dev};
+use appvsweb_netsim::Os;
 use appvsweb_pii::PiiType;
 use appvsweb_services::{Medium, ServiceCategory};
-use appvsweb_netsim::Os;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 // --------------------------------------------------------------------
@@ -13,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 // --------------------------------------------------------------------
 
 /// One row of Table 1 (a service group × medium).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Row label, e.g. "All", "Android", "Weather".
     pub group: String,
@@ -35,7 +34,7 @@ pub struct Table1Row {
 }
 
 /// Table 1: rows for All/OS/category groups × medium.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1 {
     /// Rows in paper order.
     pub rows: Vec<Table1Row>,
@@ -54,7 +53,9 @@ fn summarize<'a>(
     let mut leak_domain_counts: Vec<f64> = Vec::new();
     let mut leaked_types = BTreeSet::new();
     for c in &cells {
-        let e = services.entry(c.service_id.as_str()).or_insert((false, c.rank));
+        let e = services
+            .entry(c.service_id.as_str())
+            .or_insert((false, c.rank));
         e.0 |= c.leaked();
         if c.leaked() {
             leak_domain_counts.push(c.leak_domains.len() as f64);
@@ -68,8 +69,16 @@ fn summarize<'a>(
         group: group.to_string(),
         medium,
         services: n,
-        avg_rank: if medium == Medium::App { Some(mean(&ranks)) } else { None },
-        pct_leaking: if n == 0 { 0.0 } else { leaking as f64 / n as f64 },
+        avg_rank: if medium == Medium::App {
+            Some(mean(&ranks))
+        } else {
+            None
+        },
+        pct_leaking: if n == 0 {
+            0.0
+        } else {
+            leaking as f64 / n as f64
+        },
         avg_leak_domains: mean(&leak_domain_counts),
         std_leak_domains: std_dev(&leak_domain_counts),
         leaked_types,
@@ -91,7 +100,10 @@ pub fn table1(study: &Study) -> Table1 {
             rows.push(summarize(
                 &os.to_string(),
                 medium,
-                study.cells.iter().filter(move |c| c.medium == medium && c.os == os),
+                study
+                    .cells
+                    .iter()
+                    .filter(move |c| c.medium == medium && c.os == os),
             ));
         }
     }
@@ -115,7 +127,7 @@ pub fn table1(study: &Study) -> Table1 {
 // --------------------------------------------------------------------
 
 /// One row of Table 2 (an A&A organization).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Registrable domain, absent its public suffix (paper style).
     pub organization: String,
@@ -187,16 +199,11 @@ pub fn table2(study: &Study, top: usize) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = orgs
         .into_iter()
         .map(|(org, acc)| {
-            let app_leak_values: Vec<f64> =
-                acc.app_leaks.values().map(|v| *v as f64).collect();
-            let web_leak_values: Vec<f64> =
-                acc.web_leaks.values().map(|v| *v as f64).collect();
+            let app_leak_values: Vec<f64> = acc.app_leaks.values().map(|v| *v as f64).collect();
+            let web_leak_values: Vec<f64> = acc.web_leaks.values().map(|v| *v as f64).collect();
             let total = acc.app_leaks.values().sum::<u64>() + acc.web_leaks.values().sum::<u64>();
             Table2Row {
-                services_both: acc
-                    .app_services
-                    .intersection(&acc.web_services)
-                    .count(),
+                services_both: acc.app_services.intersection(&acc.web_services).count(),
                 services_app: acc.app_services.len(),
                 services_web: acc.web_services.len(),
                 avg_leaks_app: mean(&app_leak_values),
@@ -210,7 +217,11 @@ pub fn table2(study: &Study, top: usize) -> Vec<Table2Row> {
         })
         .filter(|r| r.total_leaks > 0)
         .collect();
-    rows.sort_by(|a, b| b.total_leaks.cmp(&a.total_leaks).then(a.organization.cmp(&b.organization)));
+    rows.sort_by(|a, b| {
+        b.total_leaks
+            .cmp(&a.total_leaks)
+            .then(a.organization.cmp(&b.organization))
+    });
     rows.truncate(top);
     rows
 }
@@ -220,7 +231,7 @@ pub fn table2(study: &Study, top: usize) -> Vec<Table2Row> {
 // --------------------------------------------------------------------
 
 /// One row of Table 3 (a PII type).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table3Row {
     /// The PII type.
     pub pii_type: PiiType,
@@ -256,7 +267,9 @@ pub fn table3(study: &Study) -> Vec<Table3Row> {
         let mut web_domains = BTreeSet::new();
 
         for cell in &study.cells {
-            let Some(agg) = cell.per_type.get(&t) else { continue };
+            let Some(agg) = cell.per_type.get(&t) else {
+                continue;
+            };
             match cell.medium {
                 Medium::App => {
                     app_services.insert(cell.service_id.clone());
@@ -356,7 +369,10 @@ mod tests {
                     Os::Android,
                     Medium::App,
                     ServiceCategory::Weather,
-                    &[(PiiType::UniqueId, "flurry.com"), (PiiType::Location, "flurry.com")],
+                    &[
+                        (PiiType::UniqueId, "flurry.com"),
+                        (PiiType::Location, "flurry.com"),
+                    ],
                     &["flurry.com"],
                 ),
                 cell(
@@ -390,11 +406,19 @@ mod tests {
     #[test]
     fn table1_all_rows() {
         let t = table1(&small_study());
-        let all_app = t.rows.iter().find(|r| r.group == "All" && r.medium == Medium::App).unwrap();
+        let all_app = t
+            .rows
+            .iter()
+            .find(|r| r.group == "All" && r.medium == Medium::App)
+            .unwrap();
         assert_eq!(all_app.services, 2);
         assert_eq!(all_app.pct_leaking, 0.5); // svc-a leaks, svc-b doesn't
         assert!(all_app.avg_rank.is_some());
-        let all_web = t.rows.iter().find(|r| r.group == "All" && r.medium == Medium::Web).unwrap();
+        let all_web = t
+            .rows
+            .iter()
+            .find(|r| r.group == "All" && r.medium == Medium::Web)
+            .unwrap();
         assert_eq!(all_web.pct_leaking, 1.0);
         assert!(all_web.avg_rank.is_none());
         assert!(all_web.leaked_types.contains(&PiiType::Location));
@@ -418,14 +442,34 @@ mod tests {
     #[test]
     fn table3_marginals() {
         let rows = table3(&small_study());
-        let loc = rows.iter().find(|r| r.pii_type == PiiType::Location).unwrap();
+        let loc = rows
+            .iter()
+            .find(|r| r.pii_type == PiiType::Location)
+            .unwrap();
         assert_eq!(loc.services_app, 1);
         assert_eq!(loc.services_web, 2);
         assert_eq!(loc.services_both, 1);
         assert_eq!(loc.domains_app, 1);
         assert_eq!(loc.domains_web, 1);
         assert_eq!(loc.domains_both, 0, "flurry.com vs doubleclick.net");
-        let uid = rows.iter().find(|r| r.pii_type == PiiType::UniqueId).unwrap();
+        let uid = rows
+            .iter()
+            .find(|r| r.pii_type == PiiType::UniqueId)
+            .unwrap();
         assert_eq!((uid.services_app, uid.services_web), (1, 0));
     }
 }
+
+appvsweb_json::impl_json!(struct Table1Row {
+    group, medium, services, avg_rank, pct_leaking, avg_leak_domains, std_leak_domains,
+    leaked_types
+});
+appvsweb_json::impl_json!(struct Table1 { rows });
+appvsweb_json::impl_json!(struct Table2Row {
+    organization, services_app, services_both, services_web, avg_leaks_app, avg_leaks_web,
+    ids_app, ids_both, ids_web, total_leaks
+});
+appvsweb_json::impl_json!(struct Table3Row {
+    pii_type, services_app, services_both, services_web, avg_leaks_app, avg_leaks_web,
+    domains_app, domains_both, domains_web, total_leaks
+});

@@ -12,19 +12,22 @@
 
 use appvsweb_adblock::{FilterEngine, RequestInfo};
 use appvsweb_analysis::leaks::scan_text;
+use appvsweb_bench::repo_root;
 use appvsweb_core::study::{train_recon, StudyConfig};
 use appvsweb_core::Testbed;
 use appvsweb_httpsim::Host;
 use appvsweb_netsim::{Os, SimDuration};
 use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
 use appvsweb_services::{Catalog, Medium, SessionConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use appvsweb_testkit::BenchRunner;
 
 /// Capture a corpus of (domain, flow-text) pairs from a few sessions.
 fn corpus() -> (Vec<(String, String)>, appvsweb_pii::GroundTruth) {
     let catalog = Catalog::paper();
-    let cfg = SessionConfig { duration: SimDuration::from_mins(1), ..Default::default() };
+    let cfg = SessionConfig {
+        duration: SimDuration::from_mins(1),
+        ..Default::default()
+    };
     let mut flows = Vec::new();
     let mut truth = None;
     for id in ["weather-channel", "grubhub", "bbc-news"] {
@@ -44,7 +47,7 @@ fn corpus() -> (Vec<(String, String)>, appvsweb_pii::GroundTruth) {
     (flows, truth.unwrap())
 }
 
-fn bench_detection_arms(c: &mut Criterion) {
+fn bench_detection_arms(runner: &mut BenchRunner) {
     let (flows, truth) = corpus();
     let catalog = Catalog::paper();
     let study_cfg = StudyConfig {
@@ -58,9 +61,8 @@ fn bench_detection_arms(c: &mut Criterion) {
     let matcher_only = CombinedDetector::new(&truth, None);
 
     // Report what each arm finds, once.
-    let count = |f: &dyn Fn(&str, &str) -> usize| -> usize {
-        flows.iter().map(|(d, t)| f(d, t)).sum()
-    };
+    let count =
+        |f: &dyn Fn(&str, &str) -> usize| -> usize { flows.iter().map(|(d, t)| f(d, t)).sum() };
     let n_matcher = count(&|_d, t| matcher.types_in(t).len());
     let n_recon = count(&|d, t| recon.predict(d, t).len());
     let n_combined = count(&|d, t| combined.scan(d, t).types().len());
@@ -72,36 +74,27 @@ fn bench_detection_arms(c: &mut Criterion) {
         flows.len()
     );
 
-    c.bench_function("detect_matcher_only", |b| {
-        b.iter(|| {
-            let total: usize = flows
-                .iter()
-                .map(|(d, t)| matcher_only.scan(black_box(d), black_box(t)).types().len())
-                .sum();
-            black_box(total)
-        })
+    runner.bench("detect_matcher_only", || {
+        flows
+            .iter()
+            .map(|(d, t)| matcher_only.scan(d, t).types().len())
+            .sum::<usize>()
     });
-    c.bench_function("detect_recon_only", |b| {
-        b.iter(|| {
-            let total: usize = flows
-                .iter()
-                .map(|(d, t)| recon.predict(black_box(d), black_box(t)).len())
-                .sum();
-            black_box(total)
-        })
+    runner.bench("detect_recon_only", || {
+        flows
+            .iter()
+            .map(|(d, t)| recon.predict(d, t).len())
+            .sum::<usize>()
     });
-    c.bench_function("detect_combined", |b| {
-        b.iter(|| {
-            let total: usize = flows
-                .iter()
-                .map(|(d, t)| combined.scan(black_box(d), black_box(t)).types().len())
-                .sum();
-            black_box(total)
-        })
+    runner.bench("detect_combined", || {
+        flows
+            .iter()
+            .map(|(d, t)| combined.scan(d, t).types().len())
+            .sum::<usize>()
     });
 }
 
-fn bench_leak_rule(c: &mut Criterion) {
+fn bench_leak_rule(runner: &mut BenchRunner) {
     use appvsweb_adblock::Category;
     use appvsweb_analysis::leaks::is_leak;
     use appvsweb_pii::PiiType;
@@ -111,7 +104,11 @@ fn bench_leak_rule(c: &mut Criterion) {
     let mut with_exemption = 0;
     let mut without = 0;
     for t in PiiType::ALL {
-        for cat in [Category::FirstParty, Category::Advertising, Category::Analytics] {
+        for cat in [
+            Category::FirstParty,
+            Category::Advertising,
+            Category::Analytics,
+        ] {
             for plaintext in [false, true] {
                 if is_leak(t, cat, plaintext) {
                     with_exemption += 1;
@@ -125,22 +122,20 @@ fn bench_leak_rule(c: &mut Criterion) {
         "== Leak-rule ablation: {with_exemption}/{without} grid cells are leaks \
          under the paper's rule ==\n"
     );
-    c.bench_function("leak_rule_grid", |b| {
-        b.iter(|| {
-            let mut n = 0u32;
-            for t in PiiType::ALL {
-                for cat in [Category::FirstParty, Category::Advertising] {
-                    if is_leak(black_box(t), cat, false) {
-                        n += 1;
-                    }
+    runner.bench("leak_rule_grid", || {
+        let mut n = 0u32;
+        for t in PiiType::ALL {
+            for cat in [Category::FirstParty, Category::Advertising] {
+                if is_leak(t, cat, false) {
+                    n += 1;
                 }
             }
-            black_box(n)
-        })
+        }
+        n
     });
 }
 
-fn bench_filter_options(c: &mut Criterion) {
+fn bench_filter_options(runner: &mut BenchRunner) {
     let full = FilterEngine::with_bundled_list();
     // Strip `$third-party` options from the list (ablation arm).
     let stripped: String = appvsweb_adblock::lists::BUNDLED_AA_LIST
@@ -158,7 +153,11 @@ fn bench_filter_options(c: &mut Criterion) {
         ("https://www.weather.com/today", "weather.com"),
         ("https://z.moatads.com/pixel?x=1", "bbc.co.uk"),
     ];
-    let hits = |e: &FilterEngine| urls.iter().filter(|(u, o)| e.is_ad_or_tracking(u, o)).count();
+    let hits = |e: &FilterEngine| {
+        urls.iter()
+            .filter(|(u, o)| e.is_ad_or_tracking(u, o))
+            .count()
+    };
     println!(
         "== Filter-option ablation: with $third-party: {} hits; without: {} hits \
          (first-party facebook.com pages stop being exempt) ==\n",
@@ -166,33 +165,36 @@ fn bench_filter_options(c: &mut Criterion) {
         hits(&no_tp)
     );
 
-    c.bench_function("adblock_with_options", |b| {
-        b.iter(|| {
-            for (u, o) in &urls {
-                black_box(full.check(&RequestInfo {
+    runner.bench("adblock_with_options", || {
+        urls.iter()
+            .map(|(u, o)| {
+                full.check(&RequestInfo {
                     url: u,
                     origin_host: o,
                     resource_type: None,
-                }));
-            }
-        })
+                })
+            })
+            .count()
     });
-    c.bench_function("adblock_without_third_party", |b| {
-        b.iter(|| {
-            for (u, o) in &urls {
-                black_box(no_tp.check(&RequestInfo {
+    runner.bench("adblock_without_third_party", || {
+        urls.iter()
+            .map(|(u, o)| {
+                no_tp.check(&RequestInfo {
                     url: u,
                     origin_host: o,
                     resource_type: None,
-                }));
-            }
-        })
+                })
+            })
+            .count()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_detection_arms, bench_leak_rule, bench_filter_options
+fn main() {
+    let mut runner = BenchRunner::new("ablations").with_samples(2, 20);
+    bench_detection_arms(&mut runner);
+    bench_leak_rule(&mut runner);
+    bench_filter_options(&mut runner);
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! The §3.2 duration control as a bench: leak counts scale with session
 //! length, PII types plateau. Prints the comparison table once.
 
-use appvsweb_bench::quick_config;
+use appvsweb_bench::{quick_config, repo_root};
 use appvsweb_core::duration::{default_duration_services, duration_experiment};
 use appvsweb_netsim::{Os, SimDuration};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use appvsweb_testkit::BenchRunner;
 
-fn bench_duration(c: &mut Criterion) {
+fn main() {
     let cfg = quick_config();
     let services = default_duration_services();
 
@@ -19,7 +18,10 @@ fn bench_duration(c: &mut Criterion) {
         &cfg,
     );
     println!("\n== Duration control: 4 vs 10 minutes (regenerated) ==");
-    println!("{:<18} {:>8} {:>8} {:>7}  new-types", "service", "4min", "10min", "ratio");
+    println!(
+        "{:<18} {:>8} {:>8} {:>7}  new-types",
+        "service", "4min", "10min", "ratio"
+    );
     for r in &results {
         println!(
             "{:<18} {:>8} {:>8} {:>7.2}  {:?}",
@@ -32,22 +34,17 @@ fn bench_duration(c: &mut Criterion) {
     }
 
     // Bench a two-service subset so iterations stay affordable.
-    c.bench_function("duration_4v10_two_services", |b| {
-        b.iter(|| {
-            black_box(duration_experiment(
-                &["weather-channel", "streamflix"],
-                Os::Android,
-                SimDuration::from_mins(4),
-                SimDuration::from_mins(10),
-                &cfg,
-            ))
-        })
+    let mut runner = BenchRunner::new("duration").with_samples(1, 10);
+    runner.bench("duration_4v10_two_services", || {
+        duration_experiment(
+            &["weather-channel", "streamflix"],
+            Os::Android,
+            SimDuration::from_mins(4),
+            SimDuration::from_mins(10),
+            &cfg,
+        )
     });
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_duration
-}
-criterion_main!(benches);

@@ -5,12 +5,12 @@
 
 use appvsweb_analysis::figures::{self, FigureId};
 use appvsweb_analysis::render;
-use appvsweb_bench::shared_study;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use appvsweb_bench::{repo_root, shared_study};
+use appvsweb_testkit::BenchRunner;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let study = shared_study();
+    let mut runner = BenchRunner::new("figures").with_samples(2, 20);
     for id in FigureId::ALL {
         let fig = figures::figure(study, id);
         println!("\n{}", render::ascii_plot(&fig, 64, 12));
@@ -22,15 +22,9 @@ fn bench_figures(c: &mut Criterion) {
             FigureId::LeakedIdentifiers => "fig1e_leaked_identifiers",
             FigureId::Jaccard => "fig1f_jaccard",
         };
-        c.bench_function(name, |b| {
-            b.iter(|| black_box(figures::figure(black_box(study), id)))
-        });
+        runner.bench(name, || figures::figure(study, id));
     }
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_figures
-}
-criterion_main!(benches);

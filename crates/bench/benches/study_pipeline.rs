@@ -1,43 +1,36 @@
 //! End-to-end pipeline benches: single cells and the full campaign.
+//!
+//! Emits `BENCH_pipeline.json` at the repo root with median/p95 ns per
+//! stage, so PRs can diff the perf trajectory of the whole pipeline.
 
-use appvsweb_bench::quick_config;
+use appvsweb_bench::{quick_config, repo_root};
 use appvsweb_core::study::{run_cell, run_study};
 use appvsweb_netsim::Os;
 use appvsweb_services::{Catalog, Medium};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use appvsweb_testkit::BenchRunner;
 
-/// One app cell and one web cell (capture + detection + classification).
-fn bench_cells(c: &mut Criterion) {
+fn main() {
     let catalog = Catalog::paper();
     let cfg = quick_config();
+    let mut runner = BenchRunner::new("pipeline").with_samples(1, 10);
+
+    // One app cell and one web cell (capture + detection + classification).
     let weather = catalog.get("weather-channel").unwrap();
-    c.bench_function("cell_app_weather_1min", |b| {
-        b.iter(|| black_box(run_cell(weather, Os::Android, Medium::App, &cfg, None)))
+    runner.bench("cell_app_weather_1min", || {
+        run_cell(weather, Os::Android, Medium::App, &cfg, None)
     });
-    c.bench_function("cell_web_weather_1min", |b| {
-        b.iter(|| black_box(run_cell(weather, Os::Android, Medium::Web, &cfg, None)))
+    runner.bench("cell_web_weather_1min", || {
+        run_cell(weather, Os::Android, Medium::Web, &cfg, None)
     });
     let bbc = catalog.get("bbc-news").unwrap();
-    c.bench_function("cell_web_bbc_heavy_1min", |b| {
-        b.iter(|| black_box(run_cell(bbc, Os::Ios, Medium::Web, &cfg, None)))
+    runner.bench("cell_web_bbc_heavy_1min", || {
+        run_cell(bbc, Os::Ios, Medium::Web, &cfg, None)
     });
-}
 
-/// The full 196-cell campaign at 1 simulated minute per session.
-fn bench_full_study(c: &mut Criterion) {
-    let cfg = quick_config();
-    let mut group = c.benchmark_group("study");
-    group.sample_size(10);
-    group.bench_function("full_campaign_1min_sessions", |b| {
-        b.iter(|| black_box(run_study(black_box(&cfg))))
-    });
-    group.finish();
-}
+    // The full 196-cell campaign at 1 simulated minute per session.
+    runner.bench("full_campaign_1min_sessions", || run_study(&cfg));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cells, bench_full_study
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-criterion_main!(benches);

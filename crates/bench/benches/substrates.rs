@@ -3,55 +3,45 @@
 //! scanner. These are the components whose costs dominate a study run.
 
 use appvsweb_adblock::FilterEngine;
+use appvsweb_bench::repo_root;
 use appvsweb_httpsim::{codec, wire, Body, Request, Url};
 use appvsweb_pii::recon::{DecisionTree, TreeConfig};
 use appvsweb_pii::{hash, GroundTruth, GroundTruthMatcher};
-use criterion::{criterion_group, criterion_main, Criterion};
+use appvsweb_testkit::BenchRunner;
 use std::collections::BTreeSet;
-use std::hint::black_box;
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs(runner: &mut BenchRunner) {
     let text = "jane.conner.4821@testmail.example lat=42.361145 lon=-71.057083";
-    c.bench_function("percent_encode", |b| {
-        b.iter(|| black_box(codec::percent_encode(black_box(text))))
-    });
+    runner.bench("percent_encode", || codec::percent_encode(text));
     let data = vec![0xABu8; 1024];
-    c.bench_function("base64_encode_1k", |b| {
-        b.iter(|| black_box(codec::base64_encode(black_box(&data))))
-    });
+    runner.bench("base64_encode_1k", || codec::base64_encode(&data));
     let encoded = codec::base64_encode(&data);
-    c.bench_function("base64_decode_1k", |b| {
-        b.iter(|| black_box(codec::base64_decode(black_box(&encoded))))
-    });
+    runner.bench("base64_decode_1k", || codec::base64_decode(&encoded));
 }
 
-fn bench_hashes(c: &mut Criterion) {
+fn bench_hashes(runner: &mut BenchRunner) {
     let email = b"jane.conner.4821@testmail.example";
-    c.bench_function("md5_email", |b| b.iter(|| black_box(hash::md5(black_box(email)))));
-    c.bench_function("sha1_email", |b| b.iter(|| black_box(hash::sha1(black_box(email)))));
-    c.bench_function("sha256_email", |b| {
-        b.iter(|| black_box(hash::sha256(black_box(email))))
-    });
+    runner.bench("md5_email", || hash::md5(email));
+    runner.bench("sha1_email", || hash::sha1(email));
+    runner.bench("sha256_email", || hash::sha256(email));
     let blob = vec![0x5Au8; 64 * 1024];
-    c.bench_function("sha256_64k", |b| b.iter(|| black_box(hash::sha256(black_box(&blob)))));
+    runner.bench("sha256_64k", || hash::sha256(&blob));
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire(runner: &mut BenchRunner) {
     let req = Request::post(
         Url::parse("https://api.example.com/v1/track?uid=abc&lat=42.36").unwrap(),
         Body::form(&[("email", "user@example.com"), ("ev", "init")]),
     )
     .with_user_agent("ExampleApp/4.1 (Android; Nexus 5)");
     let bytes = wire::serialize_request(&req);
-    c.bench_function("wire_serialize_request", |b| {
-        b.iter(|| black_box(wire::serialize_request(black_box(&req))))
-    });
-    c.bench_function("wire_parse_request", |b| {
-        b.iter(|| black_box(wire::parse_request(black_box(&bytes), true).unwrap()))
+    runner.bench("wire_serialize_request", || wire::serialize_request(&req));
+    runner.bench("wire_parse_request", || {
+        wire::parse_request(&bytes, true).unwrap()
     });
 }
 
-fn bench_adblock(c: &mut Criterion) {
+fn bench_adblock(runner: &mut BenchRunner) {
     let engine = FilterEngine::with_bundled_list();
     let urls = [
         "https://www.google-analytics.com/collect?v=1&tid=UA-1",
@@ -59,43 +49,40 @@ fn bench_adblock(c: &mut Criterion) {
         "https://www.weather.com/today/l/02138",
         "https://cdn.static.example/app.css",
     ];
-    c.bench_function("adblock_check_4urls", |b| {
-        b.iter(|| {
-            for u in &urls {
-                black_box(engine.is_ad_or_tracking(black_box(u), "weather.com"));
-            }
-        })
+    runner.bench("adblock_check_4urls", || {
+        urls.iter()
+            .filter(|u| engine.is_ad_or_tracking(u, "weather.com"))
+            .count()
     });
 }
 
-fn bench_matcher(c: &mut Criterion) {
+fn bench_matcher(runner: &mut BenchRunner) {
     let truth = GroundTruth::synthetic(2016).with_device(
         "Nexus 5",
-        &[("imei", "354436069633711"), ("ad_id", "9d2a1f6c-0b51-4ef2-a1b0-cc9e34ad8f01")],
+        &[
+            ("imei", "354436069633711"),
+            ("ad_id", "9d2a1f6c-0b51-4ef2-a1b0-cc9e34ad8f01"),
+        ],
         Some((42.361145, -71.057083)),
     );
-    c.bench_function("matcher_build", |b| {
-        b.iter(|| black_box(GroundTruthMatcher::new(black_box(&truth))))
-    });
+    runner.bench("matcher_build", || GroundTruthMatcher::new(&truth));
     let matcher = GroundTruthMatcher::new(&truth);
     let clean = "GET /api/v2/content/7 HTTP/1.1\nHost: api.weather.com\nAccept: */*";
     let dirty = format!(
         "GET /pixel?gaid={}&lat=42.3611&email={} HTTP/1.1\nHost: t.example",
         truth.device_ids[1].1, truth.email
     );
-    c.bench_function("matcher_scan_clean_flow", |b| {
-        b.iter(|| black_box(matcher.scan(black_box(clean))))
-    });
-    c.bench_function("matcher_scan_leaky_flow", |b| {
-        b.iter(|| black_box(matcher.scan(black_box(&dirty))))
-    });
+    runner.bench("matcher_scan_clean_flow", || matcher.scan(clean));
+    runner.bench("matcher_scan_leaky_flow", || matcher.scan(&dirty));
 }
 
-fn bench_decision_tree(c: &mut Criterion) {
+fn bench_decision_tree(runner: &mut BenchRunner) {
     let examples: Vec<(BTreeSet<String>, bool)> = (0..200)
         .map(|i| {
-            let mut set: BTreeSet<String> =
-                ["get", "http", "host", "v1"].iter().map(|s| s.to_string()).collect();
+            let mut set: BTreeSet<String> = ["get", "http", "host", "v1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             set.insert(format!("tok{}", i % 17));
             let positive = i % 3 == 0;
             if positive {
@@ -104,18 +91,22 @@ fn bench_decision_tree(c: &mut Criterion) {
             (set, positive)
         })
         .collect();
-    c.bench_function("decision_tree_train_200", |b| {
-        b.iter(|| black_box(DecisionTree::train(black_box(&examples), &TreeConfig::default())))
+    runner.bench("decision_tree_train_200", || {
+        DecisionTree::train(&examples, &TreeConfig::default())
     });
     let tree = DecisionTree::train(&examples, &TreeConfig::default());
-    c.bench_function("decision_tree_predict", |b| {
-        b.iter(|| black_box(tree.predict(black_box(&examples[0].0))))
-    });
+    runner.bench("decision_tree_predict", || tree.predict(&examples[0].0));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_codecs, bench_hashes, bench_wire, bench_adblock, bench_matcher, bench_decision_tree
+fn main() {
+    let mut runner = BenchRunner::new("substrates");
+    bench_codecs(&mut runner);
+    bench_hashes(&mut runner);
+    bench_wire(&mut runner);
+    bench_adblock(&mut runner);
+    bench_matcher(&mut runner);
+    bench_decision_tree(&mut runner);
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-criterion_main!(benches);

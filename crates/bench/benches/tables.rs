@@ -6,40 +6,26 @@
 //! the actual reproduction artifacts.
 
 use appvsweb_analysis::{render, tables};
-use appvsweb_bench::shared_study;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use appvsweb_bench::{repo_root, shared_study};
+use appvsweb_testkit::BenchRunner;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let study = shared_study();
+    let mut runner = BenchRunner::new("tables").with_samples(2, 20);
+
     println!("\n== Table 1 (regenerated) ==");
     println!("{}", render::render_table1(&tables::table1(study)));
-    c.bench_function("table1_build", |b| {
-        b.iter(|| black_box(tables::table1(black_box(study))))
-    });
-}
+    runner.bench("table1_build", || tables::table1(study));
 
-fn bench_table2(c: &mut Criterion) {
-    let study = shared_study();
     println!("\n== Table 2 (regenerated, top-20 A&A domains) ==");
     println!("{}", render::render_table2(&tables::table2(study, 20)));
-    c.bench_function("table2_build", |b| {
-        b.iter(|| black_box(tables::table2(black_box(study), 20)))
-    });
-}
+    runner.bench("table2_build", || tables::table2(study, 20));
 
-fn bench_table3(c: &mut Criterion) {
-    let study = shared_study();
     println!("\n== Table 3 (regenerated, PII types) ==");
     println!("{}", render::render_table3(&tables::table3(study)));
-    c.bench_function("table3_build", |b| {
-        b.iter(|| black_box(tables::table3(black_box(study))))
-    });
-}
+    runner.bench("table3_build", || tables::table3(study));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_table1, bench_table2, bench_table3
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
 }
-criterion_main!(benches);

@@ -156,7 +156,11 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let study = run_study(&cfg);
-    eprintln!("study completed in {:.2?} ({} cells)\n", t0.elapsed(), study.cells.len());
+    eprintln!(
+        "study completed in {:.2?} ({} cells)\n",
+        t0.elapsed(),
+        study.cells.len()
+    );
 
     if args.all || args.headlines {
         print_headlines(&study);

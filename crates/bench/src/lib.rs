@@ -23,3 +23,13 @@ pub fn quick_config() -> StudyConfig {
         ..StudyConfig::default()
     }
 }
+
+/// The repository root, where `BENCH_*.json` artifacts are written so
+/// successive PRs can diff them in place.
+pub fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}

@@ -9,12 +9,12 @@ use appvsweb_analysis::Study;
 
 /// Serialize a study to pretty JSON.
 pub fn to_json(study: &Study) -> String {
-    serde_json::to_string_pretty(study).expect("Study serializes")
+    appvsweb_json::encode_pretty(study)
 }
 
 /// Parse a study back from JSON.
-pub fn from_json(text: &str) -> Result<Study, serde_json::Error> {
-    serde_json::from_str(text)
+pub fn from_json(text: &str) -> Result<Study, appvsweb_json::JsonError> {
+    appvsweb_json::decode(text)
 }
 
 #[cfg(test)]
@@ -32,7 +32,13 @@ mod tests {
             use_recon: false,
             ..Default::default()
         };
-        let cell = run_cell(catalog.get("yelp").unwrap(), Os::Ios, Medium::Web, &cfg, None);
+        let cell = run_cell(
+            catalog.get("yelp").unwrap(),
+            Os::Ios,
+            Medium::Web,
+            &cfg,
+            None,
+        );
         let study = Study { cells: vec![cell] };
         let json = to_json(&study);
         let parsed = from_json(&json).unwrap();

@@ -11,11 +11,10 @@ use crate::study::{run_cell, StudyConfig};
 use appvsweb_netsim::{Os, SimDuration};
 use appvsweb_pii::PiiType;
 use appvsweb_services::{Catalog, Medium};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Result of one service's duration comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DurationComparison {
     /// Service slug.
     pub service_id: String,
@@ -33,14 +32,21 @@ impl DurationComparison {
     /// leak-count scaling factor (long / short).
     pub fn leak_ratio(&self) -> f64 {
         if self.short_leaks == 0 {
-            return if self.long_leaks == 0 { 1.0 } else { f64::INFINITY };
+            return if self.long_leaks == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.long_leaks as f64 / self.short_leaks as f64
     }
 
     /// PII types seen only in the long run.
     pub fn new_types(&self) -> BTreeSet<PiiType> {
-        self.long_types.difference(&self.short_types).copied().collect()
+        self.long_types
+            .difference(&self.short_types)
+            .copied()
+            .collect()
     }
 }
 
@@ -56,19 +62,27 @@ pub fn duration_experiment(
     let catalog = Catalog::paper();
     let mut out = Vec::new();
     for id in service_ids {
-        let Some(spec) = catalog.get(id) else { continue };
+        let Some(spec) = catalog.get(id) else {
+            continue;
+        };
         let short_cell = run_cell(
             spec,
             os,
             Medium::App,
-            &StudyConfig { duration: short, ..cfg.clone() },
+            &StudyConfig {
+                duration: short,
+                ..cfg.clone()
+            },
             None,
         );
         let long_cell = run_cell(
             spec,
             os,
             Medium::App,
-            &StudyConfig { duration: long, ..cfg.clone() },
+            &StudyConfig {
+                duration: long,
+                ..cfg.clone()
+            },
             None,
         );
         out.push(DurationComparison {
@@ -106,7 +120,10 @@ mod tests {
 
     #[test]
     fn counts_scale_types_plateau() {
-        let cfg = StudyConfig { use_recon: false, ..Default::default() };
+        let cfg = StudyConfig {
+            use_recon: false,
+            ..Default::default()
+        };
         let results = duration_experiment(
             &["biz-board", "weather-channel"],
             Os::Android,
@@ -131,3 +148,7 @@ mod tests {
         }
     }
 }
+
+appvsweb_json::impl_json!(struct DurationComparison {
+    service_id, short_leaks, long_leaks, short_types, long_types
+});

@@ -70,7 +70,9 @@ pub fn train_recon(catalog: &Catalog, cfg: &StudyConfig) -> ReconClassifier {
         strip_background: true,
     };
     for id in TRAINING_SERVICES {
-        let Some(spec) = catalog.get(id) else { continue };
+        let Some(spec) = catalog.get(id) else {
+            continue;
+        };
         for os in [Os::Android, Os::Ios] {
             let mut tb = Testbed::for_cell(spec, os, session_cfg.seed);
             let matcher = GroundTruthMatcher::new(&tb.truth);
@@ -114,7 +116,11 @@ pub fn run_cell(
 /// Run the full study over the paper catalog.
 pub fn run_study(cfg: &StudyConfig) -> Study {
     let catalog = Catalog::paper();
-    let recon = if cfg.use_recon { Some(train_recon(&catalog, cfg)) } else { None };
+    let recon = if cfg.use_recon {
+        Some(train_recon(&catalog, cfg))
+    } else {
+        None
+    };
 
     // Work list: every testable (service, OS, medium) cell, respecting
     // per-OS availability (48 Android / 50 iOS, Table 1).
@@ -135,12 +141,12 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
     } else {
         let (tx, rx) = mpsc::channel::<CellAnalysis>();
         let chunk = work.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for slice in work.chunks(chunk) {
                 let tx = tx.clone();
                 let cfg = cfg.clone();
                 let recon = recon.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (spec, os, medium) in slice {
                         let cell = run_cell(spec, *os, *medium, &cfg, recon.as_ref());
                         // Receiver outlives all senders in this scope.
@@ -151,7 +157,6 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
             drop(tx);
             rx.into_iter().collect::<Vec<_>>()
         })
-        .expect("study worker panicked")
     };
 
     // Deterministic output order regardless of worker scheduling.
@@ -183,14 +188,24 @@ mod tests {
         let android = study.cells.iter().filter(|c| c.os == Os::Android).count();
         let ios = study.cells.iter().filter(|c| c.os == Os::Ios).count();
         assert_eq!(android + ios, 196);
-        let apps = study.cells.iter().filter(|c| c.medium == Medium::App).count();
+        let apps = study
+            .cells
+            .iter()
+            .filter(|c| c.medium == Medium::App)
+            .count();
         assert_eq!(apps * 2, android + ios);
     }
 
     #[test]
     fn study_is_deterministic_across_worker_counts() {
-        let seq = run_study(&StudyConfig { workers: 1, ..quick_cfg() });
-        let par = run_study(&StudyConfig { workers: 4, ..quick_cfg() });
+        let seq = run_study(&StudyConfig {
+            workers: 1,
+            ..quick_cfg()
+        });
+        let par = run_study(&StudyConfig {
+            workers: 4,
+            ..quick_cfg()
+        });
         assert_eq!(seq.cells.len(), par.cells.len());
         for (a, b) in seq.cells.iter().zip(&par.cells) {
             assert_eq!(a.service_id, b.service_id);
@@ -212,7 +227,10 @@ mod tests {
         let catalog = Catalog::paper();
         let spec = catalog.get("grubhub").unwrap();
         let cell = run_cell(spec, Os::Android, Medium::App, &quick_cfg(), None);
-        assert!(cell.leaked(), "Grubhub app leaks (password to taplytics at minimum)");
+        assert!(
+            cell.leaked(),
+            "Grubhub app leaks (password to taplytics at minimum)"
+        );
         assert!(cell.leak_domains.contains("taplytics.com"));
     }
 }

@@ -52,13 +52,16 @@ impl Testbed {
         // Fresh account per service, same device identity per OS.
         let account_seed = seed ^ fnv(spec.id);
         let ids = device.ids.labelled();
-        let truth = GroundTruth::synthetic(account_seed).with_device(
-            os.device_model(),
-            &ids,
-            device.gps,
-        );
+        let truth =
+            GroundTruth::synthetic(account_seed).with_device(os.device_model(), &ids, device.gps);
 
-        Testbed { world, meddle, device, device_trust, truth }
+        Testbed {
+            world,
+            meddle,
+            device,
+            device_trust,
+            truth,
+        }
     }
 
     /// Run one session through this testbed.
@@ -110,8 +113,14 @@ mod tests {
         let catalog = Catalog::paper();
         let yelp = Testbed::for_cell(catalog.get("yelp").unwrap(), Os::Ios, 2016);
         let grubhub = Testbed::for_cell(catalog.get("grubhub").unwrap(), Os::Ios, 2016);
-        assert_ne!(yelp.truth.email, grubhub.truth.email, "fresh account per service");
-        assert_eq!(yelp.device.ids, grubhub.device.ids, "same phone for every service");
+        assert_ne!(
+            yelp.truth.email, grubhub.truth.email,
+            "fresh account per service"
+        );
+        assert_eq!(
+            yelp.device.ids, grubhub.device.ids,
+            "same phone for every service"
+        );
     }
 
     #[test]

@@ -8,11 +8,10 @@
 //! (private-mode browsing starts cold and is discarded afterwards).
 
 use crate::message::{Request, Response};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What the cache says about a pending request.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CacheAdvice {
     /// Entry is fresh: serve locally, no network traffic at all.
     Fresh,
@@ -23,7 +22,7 @@ pub enum CacheAdvice {
     Miss,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct CacheEntry {
     etag: Option<String>,
     stored_at_ms: u64,
@@ -32,7 +31,7 @@ struct CacheEntry {
 }
 
 /// A per-session browser cache keyed by absolute URL.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BrowserCache {
     entries: BTreeMap<String, CacheEntry>,
     /// Requests served without any network use.
@@ -109,7 +108,12 @@ impl BrowserCache {
         }
         self.entries.insert(
             url.to_string(),
-            CacheEntry { etag, stored_at_ms: now_ms, max_age_ms, body_size: resp.body.len() },
+            CacheEntry {
+                etag,
+                stored_at_ms: now_ms,
+                max_age_ms,
+                body_size: resp.body.len(),
+            },
         );
     }
 
@@ -137,7 +141,8 @@ mod tests {
 
     fn cacheable(max_age: u64, etag: &str) -> Response {
         let mut r = Response::ok(Body::binary(vec![b'x'; 100], "application/javascript"));
-        r.headers.set("Cache-Control", format!("public, max-age={max_age}"));
+        r.headers
+            .set("Cache-Control", format!("public, max-age={max_age}"));
         r.headers.set("ETag", etag.to_string());
         r
     }
@@ -152,7 +157,10 @@ mod tests {
         assert_eq!(cache.advise(url, 59_000), CacheAdvice::Fresh);
         assert_eq!(cache.fresh_hits, 1);
         // Past max-age: revalidate with the ETag.
-        assert_eq!(cache.advise(url, 61_000), CacheAdvice::Revalidate("\"v1\"".into()));
+        assert_eq!(
+            cache.advise(url, 61_000),
+            CacheAdvice::Revalidate("\"v1\"".into())
+        );
     }
 
     #[test]
@@ -160,7 +168,10 @@ mod tests {
         let mut cache = BrowserCache::new();
         let url = "https://t.example/x.js";
         cache.store(url, &cacheable(10, "\"e\""), 0);
-        assert!(matches!(cache.advise(url, 20_000), CacheAdvice::Revalidate(_)));
+        assert!(matches!(
+            cache.advise(url, 20_000),
+            CacheAdvice::Revalidate(_)
+        ));
         cache.store(url, &Response::new(StatusCode(304)), 20_000);
         assert_eq!(cache.revalidations, 1);
         assert_eq!(cache.advise(url, 25_000), CacheAdvice::Fresh);
@@ -211,3 +222,38 @@ mod tests {
         assert_eq!(cache.stored_bytes(), 200);
     }
 }
+
+// CacheAdvice carries a payload variant, so its JSON impls are written by
+// hand in serde's externally-tagged shape: `"Fresh"`, `{"Revalidate": e}`.
+impl appvsweb_json::ToJson for CacheAdvice {
+    fn to_json(&self) -> appvsweb_json::Json {
+        use appvsweb_json::Json;
+        match self {
+            CacheAdvice::Fresh => Json::Str("Fresh".to_string()),
+            CacheAdvice::Miss => Json::Str("Miss".to_string()),
+            CacheAdvice::Revalidate(etag) => {
+                Json::Obj(vec![("Revalidate".to_string(), Json::Str(etag.clone()))])
+            }
+        }
+    }
+}
+
+impl appvsweb_json::FromJson for CacheAdvice {
+    fn from_json(v: &appvsweb_json::Json) -> Result<Self, appvsweb_json::JsonError> {
+        use appvsweb_json::{Json, JsonError};
+        match v {
+            Json::Str(s) if s == "Fresh" => Ok(CacheAdvice::Fresh),
+            Json::Str(s) if s == "Miss" => Ok(CacheAdvice::Miss),
+            Json::Obj(entries) if entries.len() == 1 && entries[0].0 == "Revalidate" => Ok(
+                CacheAdvice::Revalidate(appvsweb_json::FromJson::from_json(&entries[0].1)?),
+            ),
+            other => Err(JsonError::schema(format!(
+                "expected CacheAdvice, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+appvsweb_json::impl_json!(struct CacheEntry { etag, stored_at_ms, max_age_ms, body_size });
+appvsweb_json::impl_json!(struct BrowserCache { entries, fresh_hits, revalidations });

@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn hex_roundtrip_and_reject() {
-        assert_eq!(hex_decode(&hex_encode(b"\x00\x7f\xff")).unwrap(), b"\x00\x7f\xff");
+        assert_eq!(
+            hex_decode(&hex_encode(b"\x00\x7f\xff")).unwrap(),
+            b"\x00\x7f\xff"
+        );
         assert!(hex_decode("abc").is_none());
         assert!(hex_decode("zz").is_none());
         assert_eq!(hex_decode("AbCd").unwrap(), vec![0xab, 0xcd]);

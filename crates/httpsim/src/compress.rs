@@ -44,7 +44,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     fn take_bit(&mut self) -> Result<u32, InflateError> {
@@ -81,7 +85,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), bit: 0 }
+        BitWriter {
+            out: Vec::new(),
+            bit: 0,
+        }
     }
 
     fn put_bits(&mut self, value: u32, n: u32) {
@@ -167,8 +174,8 @@ impl Huffman {
 }
 
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LENGTH_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -178,8 +185,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 fn fixed_literal_lengths() -> Vec<u8> {
@@ -239,7 +246,9 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
 }
 
 fn read_dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
-    const ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+    const ORDER: [usize; 19] = [
+        16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+    ];
     let hlit = bits.take_bits(5)? as usize + 257;
     let hdist = bits.take_bits(5)? as usize + 1;
     let hclen = bits.take_bits(4)? as usize + 4;
@@ -255,7 +264,9 @@ fn read_dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), I
         match sym {
             0..=15 => lengths.push(sym as u8),
             16 => {
-                let prev = *lengths.last().ok_or(InflateError::Corrupt("repeat at start"))?;
+                let prev = *lengths
+                    .last()
+                    .ok_or(InflateError::Corrupt("repeat at start"))?;
                 let n = 3 + bits.take_bits(2)?;
                 for _ in 0..n {
                     lengths.push(prev);
@@ -418,7 +429,11 @@ pub fn crc32(data: &[u8]) -> u32 {
     for (n, entry) in table.iter_mut().enumerate() {
         let mut c = n as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         *entry = c;
     }
@@ -435,9 +450,9 @@ pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
         0x1f, 0x8b, // magic
         8,    // deflate
         0,    // flags
-        0, 0, 0, 0, // mtime (deterministic simulation: epoch)
-        0,    // extra flags
-        255,  // OS: unknown
+        0, 0, 0, 0,   // mtime (deterministic simulation: epoch)
+        0,   // extra flags
+        255, // OS: unknown
     ];
     out.extend_from_slice(&deflate(data));
     out.extend_from_slice(&crc32(data).to_le_bytes());
@@ -460,8 +475,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     let mut offset = 10;
     if flags & 0x04 != 0 {
         // FEXTRA
-        let xlen =
-            u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
+        let xlen = u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
         offset += 2 + xlen;
     }
     if flags & 0x08 != 0 {
@@ -487,8 +501,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     let body = &data[offset..data.len() - 8];
     let out = inflate(body)?;
     let expected_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
-    let expected_size =
-        u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let expected_size = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
     if crc32(&out) != expected_crc {
         return Err(InflateError::BadGzip("crc mismatch"));
     }
@@ -510,7 +523,12 @@ mod tests {
         // Repetitive text must actually compress.
         let repetitive = b"abcabcabcabcabcabcabcabcabcabcabcabcabcabcabc".repeat(10);
         let c = deflate(&repetitive);
-        assert!(c.len() < repetitive.len() / 2, "{} vs {}", c.len(), repetitive.len());
+        assert!(
+            c.len() < repetitive.len() / 2,
+            "{} vs {}",
+            c.len(),
+            repetitive.len()
+        );
     }
 
     #[test]
@@ -541,10 +559,13 @@ mod tests {
         let fixed: [u8; 10] = [203, 72, 205, 201, 201, 87, 200, 64, 144, 0];
         assert_eq!(inflate(&fixed).unwrap(), b"hello hello hello");
         let longer: [u8; 27] = [
-            43, 201, 72, 85, 40, 44, 205, 76, 206, 86, 72, 42, 202, 47, 207, 83, 72, 203, 175,
-            80, 40, 25, 21, 27, 48, 49, 0,
+            43, 201, 72, 85, 40, 44, 205, 76, 206, 86, 72, 42, 202, 47, 207, 83, 72, 203, 175, 80,
+            40, 25, 21, 27, 48, 49, 0,
         ];
-        assert_eq!(inflate(&longer).unwrap(), "the quick brown fox ".repeat(20).as_bytes());
+        assert_eq!(
+            inflate(&longer).unwrap(),
+            "the quick brown fox ".repeat(20).as_bytes()
+        );
     }
 
     #[test]
@@ -559,7 +580,10 @@ mod tests {
     fn crc32_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -579,7 +603,10 @@ mod tests {
         // Bad magic.
         let mut bad = gzip_compress(b"x");
         bad[0] = 0;
-        assert_eq!(gzip_decompress(&bad), Err(InflateError::BadGzip("bad magic")));
+        assert_eq!(
+            gzip_decompress(&bad),
+            Err(InflateError::BadGzip("bad magic"))
+        );
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! and "private mode" semantics (the study browsed in private mode, so
 //! each session starts with an empty jar that is discarded afterwards).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single name=value cookie as sent in a `Cookie` request header.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cookie {
     /// Cookie name.
     pub name: String,
@@ -22,7 +21,10 @@ pub struct Cookie {
 impl Cookie {
     /// Create a cookie.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Cookie { name: name.into(), value: value.into() }
+        Cookie {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -57,7 +59,7 @@ pub fn parse_cookie_header(value: &str) -> Vec<Cookie> {
 }
 
 /// A parsed `Set-Cookie` response header.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SetCookie {
     /// The cookie being set.
     pub cookie: Cookie,
@@ -109,8 +111,7 @@ impl SetCookie {
             };
             match key.as_str() {
                 "domain" => {
-                    sc.domain =
-                        Some(val.trim_start_matches('.').to_ascii_lowercase().to_string())
+                    sc.domain = Some(val.trim_start_matches('.').to_ascii_lowercase().to_string())
                 }
                 "path" if !val.is_empty() => sc.path = val.to_string(),
                 "secure" => sc.secure = true,
@@ -146,7 +147,7 @@ impl SetCookie {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct StoredCookie {
     set: SetCookie,
     /// The request host that stored the cookie (for host-only matching).
@@ -158,7 +159,7 @@ struct StoredCookie {
 /// The study's methodology browses in *private mode*: construct a fresh
 /// jar per session and drop it at the end, which is exactly how the
 /// browser model uses this type.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CookieJar {
     cookies: Vec<StoredCookie>,
 }
@@ -184,11 +185,17 @@ impl CookieJar {
         let key = |c: &StoredCookie| {
             (
                 c.set.cookie.name.clone(),
-                c.set.domain.clone().unwrap_or_else(|| c.origin_host.clone()),
+                c.set
+                    .domain
+                    .clone()
+                    .unwrap_or_else(|| c.origin_host.clone()),
                 c.set.path.clone(),
             )
         };
-        let new = StoredCookie { set, origin_host: origin_host.clone() };
+        let new = StoredCookie {
+            set,
+            origin_host: origin_host.clone(),
+        };
         let new_key = key(&new);
         self.cookies.retain(|c| key(c) != new_key);
         if new.set.max_age.is_none_or(|ma| ma > 0) {
@@ -262,8 +269,10 @@ mod tests {
 
     #[test]
     fn parse_set_cookie_attributes() {
-        let sc = SetCookie::parse("_ga=GA1.2.99; Domain=.example.com; Path=/; Secure; HttpOnly; Max-Age=3600")
-            .unwrap();
+        let sc = SetCookie::parse(
+            "_ga=GA1.2.99; Domain=.example.com; Path=/; Secure; HttpOnly; Max-Age=3600",
+        )
+        .unwrap();
         assert_eq!(sc.cookie.name, "_ga");
         assert_eq!(sc.domain.as_deref(), Some("example.com"));
         assert!(sc.secure && sc.http_only);
@@ -294,7 +303,10 @@ mod tests {
     #[test]
     fn jar_rejects_cross_domain_set() {
         let mut jar = CookieJar::new();
-        jar.store("evil.com", SetCookie::session("x", "1").with_domain("bank.com"));
+        jar.store(
+            "evil.com",
+            SetCookie::session("x", "1").with_domain("bank.com"),
+        );
         assert!(jar.is_empty());
     }
 
@@ -316,7 +328,10 @@ mod tests {
         jar.store("example.com", sc);
         assert!(jar.matching("example.com", "/", true).is_empty());
         assert_eq!(jar.matching("example.com", "/account", true).len(), 1);
-        assert_eq!(jar.matching("example.com", "/account/settings", true).len(), 1);
+        assert_eq!(
+            jar.matching("example.com", "/account/settings", true).len(),
+            1
+        );
         assert!(jar.matching("example.com", "/accounting", true).is_empty());
     }
 
@@ -350,3 +365,8 @@ mod tests {
         assert_eq!(sc, reparsed);
     }
 }
+
+appvsweb_json::impl_json!(struct Cookie { name, value });
+appvsweb_json::impl_json!(struct SetCookie { cookie, domain, path, secure, http_only, max_age });
+appvsweb_json::impl_json!(struct StoredCookie { set, origin_host });
+appvsweb_json::impl_json!(struct CookieJar { cookies });

@@ -3,11 +3,10 @@
 //! Header insertion order is preserved because the PII detector tokenizes
 //! whole messages; matching mitmproxy, we never reorder what a client sent.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered multimap of HTTP headers with case-insensitive lookup.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HeaderMap {
     entries: Vec<(String, String)>,
 }
@@ -29,10 +28,15 @@ impl HeaderMap {
     pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
-        let first = self.entries.iter().position(|(n, _)| n.eq_ignore_ascii_case(&name));
+        let first = self
+            .entries
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(&name));
         self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(&name));
         match first {
-            Some(idx) => self.entries.insert(idx.min(self.entries.len()), (name, value)),
+            Some(idx) => self
+                .entries
+                .insert(idx.min(self.entries.len()), (name, value)),
             None => self.entries.push((name, value)),
         }
     }
@@ -93,7 +97,10 @@ impl fmt::Display for HeaderMap {
 impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for HeaderMap {
     fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
         HeaderMap {
-            entries: iter.into_iter().map(|(n, v)| (n.into(), v.into())).collect(),
+            entries: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
         }
     }
 }
@@ -141,3 +148,5 @@ mod tests {
         assert_eq!(h.len(), 1);
     }
 }
+
+appvsweb_json::impl_json!(struct HeaderMap { entries });

@@ -4,12 +4,11 @@ use crate::codec::form_urldecode;
 use crate::cookie::{parse_cookie_header, Cookie, SetCookie};
 use crate::headers::HeaderMap;
 use crate::url::Url;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// HTTP request method. Only the methods observed in the study's traffic
 /// are modelled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Method {
     /// GET — page loads, beacons, pixel fires.
     Get,
@@ -55,7 +54,7 @@ impl fmt::Display for Method {
 }
 
 /// HTTP protocol version (the study's 2016 traffic is HTTP/1.1).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Version {
     /// HTTP/1.0 — still seen from some legacy trackers.
     Http10,
@@ -75,7 +74,7 @@ impl Version {
 }
 
 /// HTTP status code.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StatusCode(pub u16);
 
 impl StatusCode {
@@ -121,7 +120,7 @@ impl StatusCode {
 }
 
 /// A message body plus its declared content type.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Body {
     /// Raw body bytes.
     pub bytes: Vec<u8>,
@@ -145,17 +144,26 @@ impl Body {
 
     /// A JSON body from a pre-rendered string.
     pub fn json(text: impl Into<String>) -> Self {
-        Body { bytes: text.into().into_bytes(), content_type: Some("application/json".into()) }
+        Body {
+            bytes: text.into().into_bytes(),
+            content_type: Some("application/json".into()),
+        }
     }
 
     /// A plain-text body.
     pub fn text(text: impl Into<String>) -> Self {
-        Body { bytes: text.into().into_bytes(), content_type: Some("text/plain".into()) }
+        Body {
+            bytes: text.into().into_bytes(),
+            content_type: Some("text/plain".into()),
+        }
     }
 
     /// An opaque binary body (images, protobuf-ish SDK payloads).
     pub fn binary(bytes: Vec<u8>, content_type: &str) -> Self {
-        Body { bytes, content_type: Some(content_type.into()) }
+        Body {
+            bytes,
+            content_type: Some(content_type.into()),
+        }
     }
 
     /// Body length in bytes.
@@ -185,7 +193,7 @@ impl Body {
 }
 
 /// An HTTP request.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Request method.
     pub method: Method,
@@ -216,7 +224,13 @@ impl Request {
     pub fn new(method: Method, url: Url) -> Self {
         let mut headers = HeaderMap::new();
         headers.set("Host", url.host.as_str());
-        Request { method, url, version: Version::Http11, headers, body: Body::empty() }
+        Request {
+            method,
+            url,
+            version: Version::Http11,
+            headers,
+            body: Body::empty(),
+        }
     }
 
     /// Attach a body, updating `Content-Type` and `Content-Length`.
@@ -269,7 +283,7 @@ impl Request {
 }
 
 /// An HTTP response.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// Status code.
     pub status: StatusCode,
@@ -338,7 +352,9 @@ impl Response {
         if !self.status.is_redirect() {
             return None;
         }
-        self.headers.get("Location").and_then(|l| Url::parse(l).ok())
+        self.headers
+            .get("Location")
+            .and_then(|l| Url::parse(l).ok())
     }
 
     /// Approximate size of this response on the wire, in bytes.
@@ -420,3 +436,23 @@ mod tests {
         assert_eq!(f.form_pairs().unwrap(), vec![("a".into(), "1".into())]);
     }
 }
+
+appvsweb_json::impl_json!(
+    enum Method {
+        Get,
+        Post,
+        Put,
+        Head,
+        Delete,
+    }
+);
+appvsweb_json::impl_json!(
+    enum Version {
+        Http10,
+        Http11,
+    }
+);
+appvsweb_json::impl_json!(newtype StatusCode(u16));
+appvsweb_json::impl_json!(struct Body { bytes, content_type });
+appvsweb_json::impl_json!(struct Request { method, url, version, headers, body });
+appvsweb_json::impl_json!(struct Response { status, version, headers, body });

@@ -6,12 +6,11 @@
 //! transmitted (they stay client-side, as in real browsers).
 
 use crate::codec::{form_urldecode, form_urlencode, percent_encode};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hostname (always lowercase) — the simulation does not use IP literals
 /// at the HTTP layer, mirroring the paper's domain-level analysis.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Host(String);
 
 impl Host {
@@ -42,8 +41,8 @@ impl Host {
         let n = labels.len();
         let last_two = format!("{}.{}", labels[n - 2], labels[n - 1]);
         const SECOND_LEVEL_SUFFIXES: &[&str] = &[
-            "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp",
-            "ne.jp", "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.nz", "co.kr",
+            "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp",
+            "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.nz", "co.kr",
         ];
         if SECOND_LEVEL_SUFFIXES.contains(&last_two.as_str()) && n >= 3 {
             format!("{}.{}", labels[n - 3], last_two)
@@ -75,7 +74,7 @@ impl From<&str> for Host {
 }
 
 /// URL scheme; the study only observes web traffic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Plaintext HTTP — anything PII-bearing here is a leak by rule (1).
     Http,
@@ -102,7 +101,7 @@ impl Scheme {
 }
 
 /// A parsed URL.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Url {
     /// `http` or `https`.
     pub scheme: Scheme,
@@ -189,9 +188,19 @@ impl Url {
             Some((p, q)) => (p, Some(q.to_string())),
             None => (path_query, None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path.to_string() };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path.to_string()
+        };
 
-        Ok(Url { scheme, host: Host::new(host), port, path, query })
+        Ok(Url {
+            scheme,
+            host: Host::new(host),
+            port,
+            path,
+            query,
+        })
     }
 
     /// Build a URL from parts with no query.
@@ -200,12 +209,22 @@ impl Url {
         if !path.starts_with('/') {
             path.insert(0, '/');
         }
-        Url { scheme, host: Host::new(host), port: None, path, query: None }
+        Url {
+            scheme,
+            host: Host::new(host),
+            port: None,
+            path,
+            query: None,
+        }
     }
 
     /// Replace the query with encoded key/value pairs.
     pub fn with_query(mut self, pairs: &[(&str, &str)]) -> Self {
-        self.query = if pairs.is_empty() { None } else { Some(form_urlencode(pairs)) };
+        self.query = if pairs.is_empty() {
+            None
+        } else {
+            Some(form_urlencode(pairs))
+        };
         self
     }
 
@@ -227,7 +246,10 @@ impl Url {
 
     /// Decode the query into key/value pairs (empty if no query).
     pub fn query_pairs(&self) -> Vec<(String, String)> {
-        self.query.as_deref().map(form_urldecode).unwrap_or_default()
+        self.query
+            .as_deref()
+            .map(form_urldecode)
+            .unwrap_or_default()
     }
 
     /// The effective TCP port (explicit, or the scheme default).
@@ -280,7 +302,10 @@ mod tests {
     fn parse_rejects_bad_inputs() {
         assert_eq!(Url::parse("ftp://x.com"), Err(UrlError::BadScheme));
         assert_eq!(Url::parse("https://"), Err(UrlError::MissingHost));
-        assert_eq!(Url::parse("https://x.com:notaport/"), Err(UrlError::BadPort));
+        assert_eq!(
+            Url::parse("https://x.com:notaport/"),
+            Err(UrlError::BadPort)
+        );
     }
 
     #[test]
@@ -325,9 +350,24 @@ mod tests {
     #[test]
     fn registrable_domain_cases() {
         assert_eq!(Host::new("weather.com").registrable_domain(), "weather.com");
-        assert_eq!(Host::new("a.b.c.weather.com").registrable_domain(), "weather.com");
+        assert_eq!(
+            Host::new("a.b.c.weather.com").registrable_domain(),
+            "weather.com"
+        );
         assert_eq!(Host::new("localhost").registrable_domain(), "localhost");
         assert_eq!(Host::new("news.bbc.co.uk").organization_label(), "bbc");
-        assert_eq!(Host::new("ssl.google-analytics.com").organization_label(), "google-analytics");
+        assert_eq!(
+            Host::new("ssl.google-analytics.com").organization_label(),
+            "google-analytics"
+        );
     }
 }
+
+appvsweb_json::impl_json!(newtype Host(String));
+appvsweb_json::impl_json!(
+    enum Scheme {
+        Http,
+        Https,
+    }
+);
+appvsweb_json::impl_json!(struct Url { scheme, host, port, path, query });

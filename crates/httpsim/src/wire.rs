@@ -9,7 +9,6 @@
 use crate::headers::HeaderMap;
 use crate::message::{Body, Method, Request, Response, StatusCode, Version};
 use crate::url::{Scheme, Url};
-use bytes::{BufMut, BytesMut};
 
 /// Error from the wire parsers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,45 +38,48 @@ impl std::error::Error for WireError {}
 
 /// Serialize a request to HTTP/1.1 wire bytes (origin-form target).
 pub fn serialize_request(req: &Request) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(256 + req.body.len());
-    buf.put_slice(req.method.as_str().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(req.url.request_target().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(req.version.as_str().as_bytes());
-    buf.put_slice(b"\r\n");
+    let mut buf = Vec::with_capacity(256 + req.body.len());
+    buf.extend_from_slice(req.method.as_str().as_bytes());
+    buf.push(b' ');
+    buf.extend_from_slice(req.url.request_target().as_bytes());
+    buf.push(b' ');
+    buf.extend_from_slice(req.version.as_str().as_bytes());
+    buf.extend_from_slice(b"\r\n");
     put_headers(&mut buf, &req.headers);
-    buf.put_slice(b"\r\n");
-    buf.put_slice(&req.body.bytes);
-    buf.to_vec()
+    buf.extend_from_slice(b"\r\n");
+    buf.extend_from_slice(&req.body.bytes);
+    buf
 }
 
 /// Serialize a response to HTTP/1.1 wire bytes.
 pub fn serialize_response(resp: &Response) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(256 + resp.body.len());
-    buf.put_slice(resp.version.as_str().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(resp.status.0.to_string().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(resp.status.reason().as_bytes());
-    buf.put_slice(b"\r\n");
+    let mut buf = Vec::with_capacity(256 + resp.body.len());
+    buf.extend_from_slice(resp.version.as_str().as_bytes());
+    buf.push(b' ');
+    buf.extend_from_slice(resp.status.0.to_string().as_bytes());
+    buf.push(b' ');
+    buf.extend_from_slice(resp.status.reason().as_bytes());
+    buf.extend_from_slice(b"\r\n");
     put_headers(&mut buf, &resp.headers);
-    buf.put_slice(b"\r\n");
-    if resp.headers.get("Transfer-Encoding").is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+    buf.extend_from_slice(b"\r\n");
+    if resp
+        .headers
+        .get("Transfer-Encoding")
+        .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
     {
-        buf.put_slice(&chunk_body(&resp.body.bytes, 1024));
+        buf.extend_from_slice(&chunk_body(&resp.body.bytes, 1024));
     } else {
-        buf.put_slice(&resp.body.bytes);
+        buf.extend_from_slice(&resp.body.bytes);
     }
-    buf.to_vec()
+    buf
 }
 
-fn put_headers(buf: &mut BytesMut, headers: &HeaderMap) {
+fn put_headers(buf: &mut Vec<u8>, headers: &HeaderMap) {
     for (n, v) in headers.iter() {
-        buf.put_slice(n.as_bytes());
-        buf.put_slice(b": ");
-        buf.put_slice(v.as_bytes());
-        buf.put_slice(b"\r\n");
+        buf.extend_from_slice(n.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(v.as_bytes());
+        buf.extend_from_slice(b"\r\n");
     }
 }
 
@@ -140,7 +142,13 @@ pub fn parse_request(data: &[u8], secure: bool) -> Result<Request, WireError> {
         .map_err(|_| WireError::BadStartLine)?;
 
     let body = read_body(&headers, body_bytes)?;
-    Ok(Request { method, url, version, headers, body })
+    Ok(Request {
+        method,
+        url,
+        version,
+        headers,
+        body,
+    })
 }
 
 /// Parse response wire bytes.
@@ -153,7 +161,12 @@ pub fn parse_response(data: &[u8]) -> Result<Response, WireError> {
         .and_then(|c| c.parse().ok())
         .ok_or(WireError::BadStartLine)?;
     let body = read_body(&headers, body_bytes)?;
-    Ok(Response { status: StatusCode(code), version, headers, body })
+    Ok(Response {
+        status: StatusCode(code),
+        version,
+        headers,
+        body,
+    })
 }
 
 fn parse_version(s: &str) -> Result<Version, WireError> {
@@ -205,7 +218,10 @@ fn read_body(headers: &HeaderMap, body_bytes: &[u8]) -> Result<Body, WireError> 
     } else {
         body_bytes.to_vec()
     };
-    Ok(Body { bytes, content_type })
+    Ok(Body {
+        bytes,
+        content_type,
+    })
 }
 
 #[cfg(test)]
@@ -230,7 +246,10 @@ mod tests {
         assert_eq!(parsed.method, req.method);
         assert_eq!(parsed.url, req.url);
         assert_eq!(parsed.body.bytes, req.body.bytes);
-        assert_eq!(parsed.headers.get("User-Agent"), Some("ExampleApp/3.2 (Android 4.4)"));
+        assert_eq!(
+            parsed.headers.get("User-Agent"),
+            Some("ExampleApp/3.2 (Android 4.4)")
+        );
     }
 
     #[test]
@@ -267,7 +286,10 @@ mod tests {
 
     #[test]
     fn dechunk_rejects_bad_framing() {
-        assert_eq!(dechunk_body(b"zz\r\nxx\r\n0\r\n\r\n"), Err(WireError::BadChunk));
+        assert_eq!(
+            dechunk_body(b"zz\r\nxx\r\n0\r\n\r\n"),
+            Err(WireError::BadChunk)
+        );
         assert_eq!(dechunk_body(b"5\r\nab"), Err(WireError::Truncated));
         assert_eq!(dechunk_body(b"nothing here"), Err(WireError::BadChunk));
     }

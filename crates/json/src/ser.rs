@@ -1,0 +1,130 @@
+//! Compact and pretty serializers.
+//!
+//! Both writers are deterministic: object fields appear in insertion
+//! order, floats use Rust's shortest round-trippable `Display` form, and
+//! string escapes are canonical. A serialized document re-parses to an
+//! equal value, and re-serializing that value reproduces the bytes —
+//! the fixed-point property the golden-snapshot tests assert.
+
+use crate::value::Json;
+use std::fmt::Write;
+
+impl Json {
+    /// Serialize without whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Uint(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Json::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Json::Float(v) => write_float(out, *v),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => write_seq(out, items.iter(), indent, level, ('[', ']'), |out, v, l| {
+            write_value(out, v, indent, l)
+        }),
+        Json::Obj(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            indent,
+            level,
+            ('{', '}'),
+            |out, (k, v), l| {
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, l);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; serde_json errors here, we degrade
+        // to null (decoding null as f64 yields NaN).
+        out.push_str("null");
+    } else if v == 0.0 {
+        // Canonicalize -0.0: "-0" would re-parse as integer 0 and break
+        // the serialize→parse→serialize fixed point.
+        out.push('0');
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,137 @@
+//! The JSON value tree and error type.
+
+use crate::FromJson;
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+///
+/// Integers keep full 64-bit precision (JSON text has no width limit;
+/// `serde_json` makes the same split between integer and float
+/// representations). Non-negative integers are always represented as
+/// [`Json::Uint`] so that equal numbers have equal representations.
+/// Objects preserve insertion order — serialization is deterministic and
+/// writers control the canonical field order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Short name of this value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Uint(_) | Json::Int(_) => "integer",
+            Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array; `None` out of bounds or for non-arrays.
+    pub fn at(&self, index: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Decode an object field. Missing keys read as `null`, so `Option`
+    /// fields tolerate elided keys; any decode error is annotated with
+    /// the field name.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        if !matches!(self, Json::Obj(_)) {
+            return Err(JsonError::schema(format!(
+                "expected object with field {key:?}, got {}",
+                self.kind()
+            )));
+        }
+        let value = self.get(key).unwrap_or(&Json::Null);
+        T::from_json(value).map_err(|e| JsonError::schema(format!("field {key:?}: {}", e.msg)))
+    }
+
+    /// The array items, or a schema error for non-arrays.
+    pub fn items(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::schema(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The object entries, or a schema error for non-objects.
+    pub fn entries(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            other => Err(JsonError::schema(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Error from parsing or decoding JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the input, for parse errors.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    /// A structural (schema) error with no text position.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        JsonError {
+            msg: msg.into(),
+            offset: None,
+        }
+    }
+
+    /// A parse error at a byte offset.
+    pub fn at(offset: usize, msg: impl Into<String>) -> Self {
+        JsonError {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(pos) => write!(f, "{} at byte {pos}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}

@@ -73,10 +73,18 @@ mod tests {
     #[test]
     fn background_host_matching() {
         assert!(is_background_host("play.googleapis.com", Os::Android, &[]));
-        assert!(is_background_host("sub.play.googleapis.com", Os::Android, &[]));
+        assert!(is_background_host(
+            "sub.play.googleapis.com",
+            Os::Android,
+            &[]
+        ));
         assert!(!is_background_host("play.googleapis.com", Os::Ios, &[]));
         assert!(is_background_host("push.apple.com", Os::Ios, &[]));
-        assert!(is_background_host("ota.vendor.example", Os::Ios, &["ota.vendor.example"]));
+        assert!(is_background_host(
+            "ota.vendor.example",
+            Os::Ios,
+            &["ota.vendor.example"]
+        ));
         assert!(!is_background_host("api.yelp.com", Os::Android, &[]));
     }
 

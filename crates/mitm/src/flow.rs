@@ -8,10 +8,9 @@
 
 use appvsweb_httpsim::{Request, Response};
 use appvsweb_netsim::{ConnectionStats, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Why a connection's payload was not readable, when it wasn't.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpaqueReason {
     /// The client aborted the device-side handshake because the forged
     /// chain violated its pin set.
@@ -21,7 +20,7 @@ pub enum OpaqueReason {
 }
 
 /// One TCP connection as seen by the tunnel.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConnectionRecord {
     /// Tunnel-assigned connection id.
     pub id: u64,
@@ -50,7 +49,7 @@ pub struct ConnectionRecord {
 }
 
 /// One decrypted HTTP request/response exchange.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HttpTransaction {
     /// The connection that carried this exchange.
     pub connection_id: u64,
@@ -74,7 +73,7 @@ impl HttpTransaction {
 }
 
 /// Everything captured during one test session.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     /// All connections, in open order.
     pub connections: Vec<ConnectionRecord>,
@@ -160,3 +159,16 @@ mod tests {
         assert_eq!(t1.connections[0].host, "b.com");
     }
 }
+
+appvsweb_json::impl_json!(
+    enum OpaqueReason {
+        PinViolation,
+        UpstreamUntrusted,
+    }
+);
+appvsweb_json::impl_json!(struct ConnectionRecord {
+    id, host, port, tls, decrypted, opaque_reason, opened_at, closed_at, stats, busy_ms,
+    transactions
+});
+appvsweb_json::impl_json!(struct HttpTransaction { connection_id, host, plaintext, at, request, response });
+appvsweb_json::impl_json!(struct Trace { connections, transactions });

@@ -3,24 +3,23 @@
 //! The original testbed's mitmproxy dumps interoperate with standard
 //! traffic tooling via HAR; the reproduction offers the same escape
 //! hatch. [`to_har`] converts a captured [`Trace`] into the HAR 1.2
-//! object model (serde-serializable), so any HAR viewer can inspect a
-//! simulated session.
+//! object model (JSON-serializable via `appvsweb-json`), so any HAR
+//! viewer can inspect a simulated session.
 //!
 //! [`Trace`]: crate::Trace
 
 use crate::flow::Trace;
 use appvsweb_httpsim::codec::base64_encode;
-use serde::{Deserialize, Serialize};
 
 /// Top-level HAR document.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Har {
     /// The single `log` object.
     pub log: HarLog,
 }
 
 /// The HAR `log` object.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarLog {
     /// Format version (always "1.2").
     pub version: String,
@@ -31,7 +30,7 @@ pub struct HarLog {
 }
 
 /// HAR `creator` metadata.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarCreator {
     /// Tool name.
     pub name: String,
@@ -40,11 +39,10 @@ pub struct HarCreator {
 }
 
 /// One request/response exchange.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarEntry {
     /// Start time. HAR wants ISO 8601; simulation time is an offset from
     /// the session epoch, rendered as a fake UTC instant.
-    #[serde(rename = "startedDateTime")]
     pub started_date_time: String,
     /// Total entry time in ms (simulated).
     pub time: f64,
@@ -53,58 +51,49 @@ pub struct HarEntry {
     /// The response.
     pub response: HarResponse,
     /// Which TCP connection carried it (HAR custom field convention).
-    #[serde(rename = "_connectionId")]
     pub connection_id: String,
     /// Whether the transaction was plaintext HTTP (custom field).
-    #[serde(rename = "_plaintext")]
     pub plaintext: bool,
 }
 
 /// HAR request object.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarRequest {
     /// HTTP method.
     pub method: String,
     /// Absolute URL.
     pub url: String,
     /// Protocol version string.
-    #[serde(rename = "httpVersion")]
     pub http_version: String,
     /// Headers.
     pub headers: Vec<HarNameValue>,
     /// Decomposed query string.
-    #[serde(rename = "queryString")]
     pub query_string: Vec<HarNameValue>,
     /// Body, when present.
-    #[serde(rename = "postData", skip_serializing_if = "Option::is_none")]
     pub post_data: Option<HarPostData>,
     /// Total request body size.
-    #[serde(rename = "bodySize")]
     pub body_size: i64,
 }
 
 /// HAR response object.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarResponse {
     /// Status code.
     pub status: u16,
     /// Reason phrase.
-    #[serde(rename = "statusText")]
     pub status_text: String,
     /// Protocol version string.
-    #[serde(rename = "httpVersion")]
     pub http_version: String,
     /// Headers.
     pub headers: Vec<HarNameValue>,
     /// Body content.
     pub content: HarContent,
     /// Total response body size.
-    #[serde(rename = "bodySize")]
     pub body_size: i64,
 }
 
 /// A name/value pair (headers, query params).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarNameValue {
     /// Name.
     pub name: String,
@@ -113,31 +102,26 @@ pub struct HarNameValue {
 }
 
 /// Request body.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarPostData {
     /// Content type.
-    #[serde(rename = "mimeType")]
     pub mime_type: String,
     /// Body text (base64 for binary, per HAR convention with encoding).
     pub text: String,
     /// `"base64"` when `text` is encoded.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub encoding: Option<String>,
 }
 
 /// Response body.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HarContent {
     /// Decompressed size.
     pub size: i64,
     /// Content type.
-    #[serde(rename = "mimeType")]
     pub mime_type: String,
     /// Body text; omitted for large opaque bodies.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub text: Option<String>,
     /// `"base64"` when `text` is encoded.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub encoding: Option<String>,
 }
 
@@ -148,7 +132,10 @@ const MAX_INLINE_BODY: usize = 4096;
 fn name_values(headers: &appvsweb_httpsim::HeaderMap) -> Vec<HarNameValue> {
     headers
         .iter()
-        .map(|(n, v)| HarNameValue { name: n.to_string(), value: v.to_string() })
+        .map(|(n, v)| HarNameValue {
+            name: n.to_string(),
+            value: v.to_string(),
+        })
         .collect()
 }
 
@@ -169,7 +156,13 @@ fn iso_time(millis: u64) -> String {
     // the time-of-day component moves.
     let total_secs = millis / 1000;
     let (h, m, s) = (total_secs / 3600, (total_secs / 60) % 60, total_secs % 60);
-    format!("2016-03-23T{:02}:{:02}:{:02}.{:03}Z", h % 24, m, s, millis % 1000)
+    format!(
+        "2016-03-23T{:02}:{:02}:{:02}.{:03}Z",
+        h % 24,
+        m,
+        s,
+        millis % 1000
+    )
 }
 
 /// Convert a trace to a HAR document.
@@ -278,7 +271,10 @@ mod tests {
         assert_eq!(e.request.method, "POST");
         assert!(e.request.url.starts_with("https://t.example.com/pixel"));
         assert_eq!(e.request.query_string[0].name, "uid");
-        assert_eq!(e.request.post_data.as_ref().unwrap().text, "email=a%40b.com");
+        assert_eq!(
+            e.request.post_data.as_ref().unwrap().text,
+            "email=a%40b.com"
+        );
         assert_eq!(e.response.status, 200);
         assert_eq!(e.connection_id, "7");
         assert_eq!(e.started_date_time, "2016-03-23T00:01:05.250Z");
@@ -310,3 +306,22 @@ mod tests {
         assert_eq!(iso_time(3_600_000 + 61_001), "2016-03-23T01:01:01.001Z");
     }
 }
+
+appvsweb_json::impl_json!(struct Har { log });
+appvsweb_json::impl_json!(struct HarLog { version, creator, entries });
+appvsweb_json::impl_json!(struct HarCreator { name, version });
+appvsweb_json::impl_json!(struct HarEntry {
+    started_date_time as "startedDateTime", time, request, response,
+    connection_id as "_connectionId", plaintext as "_plaintext"
+});
+appvsweb_json::impl_json!(struct HarRequest {
+    method, url, http_version as "httpVersion", headers, query_string as "queryString",
+    post_data as "postData", body_size as "bodySize"
+});
+appvsweb_json::impl_json!(struct HarResponse {
+    status, status_text as "statusText", http_version as "httpVersion", headers, content,
+    body_size as "bodySize"
+});
+appvsweb_json::impl_json!(struct HarNameValue { name, value });
+appvsweb_json::impl_json!(struct HarPostData { mime_type as "mimeType", text, encoding });
+appvsweb_json::impl_json!(struct HarContent { size, mime_type as "mimeType", text, encoding });

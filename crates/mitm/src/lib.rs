@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod filter;
-pub mod har;
 pub mod flow;
+pub mod har;
 pub mod proxy;
 
 pub use flow::{ConnectionRecord, HttpTransaction, Trace};

@@ -11,8 +11,8 @@ use appvsweb_httpsim::{wire, Request, Response};
 use appvsweb_netsim::dns::NxDomain;
 use appvsweb_netsim::{Connection, DnsResolver, Endpoint, Link, SimRng, SimTime};
 use appvsweb_tlssim::{
-    handshake::handshake, CertificateAuthority, ClientConfig, HandshakeError, PinSet,
-    ServerConfig, TlsSession, TrustStore,
+    handshake::handshake, CertificateAuthority, ClientConfig, HandshakeError, PinSet, ServerConfig,
+    TlsSession, TrustStore,
 };
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -45,19 +45,28 @@ pub struct ReusePolicy {
 impl ReusePolicy {
     /// App-style: persistent connections, generous reuse.
     pub fn app() -> Self {
-        ReusePolicy { reuse: true, max_per_conn: 100 }
+        ReusePolicy {
+            reuse: true,
+            max_per_conn: 100,
+        }
     }
 
     /// Browser-style: limited reuse per connection (headers, parallel
     /// sockets, and server `Connection: close` all cap real-world reuse).
     pub fn browser() -> Self {
-        ReusePolicy { reuse: true, max_per_conn: 6 }
+        ReusePolicy {
+            reuse: true,
+            max_per_conn: 6,
+        }
     }
 
     /// No reuse: every exchange opens a fresh connection (beacons,
     /// redirect chains across distinct hosts behave this way).
     pub fn one_shot() -> Self {
-        ReusePolicy { reuse: false, max_per_conn: 1 }
+        ReusePolicy {
+            reuse: false,
+            max_per_conn: 1,
+        }
     }
 }
 
@@ -252,7 +261,14 @@ impl Meddle {
                 } else {
                     None
                 };
-                self.pool.insert(key.clone(), PoolEntry { conn_index, uses: 0, tls_session });
+                self.pool.insert(
+                    key.clone(),
+                    PoolEntry {
+                        conn_index,
+                        uses: 0,
+                        tls_session,
+                    },
+                );
                 self.pool.get_mut(&key).unwrap()
             }
         };
@@ -275,8 +291,7 @@ impl Meddle {
             conn.receive(down);
         }
         self.records[conn_index].stats = self.connections[conn_index].stats;
-        self.records[conn_index].busy_ms +=
-            self.config.link.exchange_time(up, down).as_millis();
+        self.records[conn_index].busy_ms += self.config.link.exchange_time(up, down).as_millis();
 
         if decrypted {
             self.records[conn_index].transactions += 1;
@@ -298,7 +313,14 @@ impl Meddle {
         Ok(response)
     }
 
-    fn open_conn(&mut self, host: &str, port: u16, addr: Ipv4Addr, tls: bool, now: SimTime) -> usize {
+    fn open_conn(
+        &mut self,
+        host: &str,
+        port: u16,
+        addr: Ipv4Addr,
+        tls: bool,
+        now: SimTime,
+    ) -> usize {
         let id = self.next_conn_id;
         self.next_conn_id += 1;
         let client = Endpoint::new(self.client_addr, 49152 + (id % 16384) as u16);
@@ -352,7 +374,10 @@ impl Meddle {
                 .map_err(|_| ExchangeError::UpstreamUntrusted)?;
 
             // …then presents a forged chain to the device.
-            let forged = ServerConfig { chain: self.ca.chain_for(host), supports_resumption: true };
+            let forged = ServerConfig {
+                chain: self.ca.chain_for(host),
+                supports_resumption: true,
+            };
             let device_client = ClientConfig {
                 trust: client_trust,
                 pins: client_pins,
@@ -420,14 +445,20 @@ mod tests {
 
     impl TestOrigin {
         fn new(host: &str) -> Self {
-            TestOrigin { chain_ca: CertificateAuthority::new("PublicRoot"), host: host.into() }
+            TestOrigin {
+                chain_ca: CertificateAuthority::new("PublicRoot"),
+                host: host.into(),
+            }
         }
     }
 
     impl OriginServer for TestOrigin {
         fn tls_config(&self, host: &str) -> ServerConfig {
             assert_eq!(host, self.host, "test origin serves a single host");
-            ServerConfig { chain: self.chain_ca.chain_for(&self.host), supports_resumption: true }
+            ServerConfig {
+                chain: self.chain_ca.chain_for(&self.host),
+                supports_resumption: true,
+            }
         }
         fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
             Response::ok(Body::text(format!("echo {}", req.url.path)))
@@ -470,7 +501,10 @@ mod tests {
         assert!(trace.connections[0].decrypted);
         assert!(trace.connections[0].tls);
         assert_eq!(trace.transactions.len(), 1);
-        assert_eq!(trace.transactions[0].request.url.query.as_deref(), Some("uid=42"));
+        assert_eq!(
+            trace.transactions[0].request.url.query.as_deref(),
+            Some("uid=42")
+        );
         // TLS handshake + record overhead is visible in the byte counts.
         assert!(trace.connections[0].stats.total_bytes() > 1000);
     }
@@ -479,7 +513,12 @@ mod tests {
     fn pinned_client_defeats_interception() {
         let (mut meddle, trust, mut origin) = world();
         // Pin the origin's *real* leaf key.
-        let real_key = origin.tls_config("api.example.com").chain.leaf().unwrap().key;
+        let real_key = origin
+            .tls_config("api.example.com")
+            .chain
+            .leaf()
+            .unwrap()
+            .key;
         let pins = PinSet::of([real_key]);
         let err = meddle.exchange(
             &trust,
@@ -493,8 +532,14 @@ mod tests {
         let trace = meddle.finish_session(SimTime(1));
         assert_eq!(trace.connections.len(), 1);
         assert!(!trace.connections[0].decrypted);
-        assert_eq!(trace.connections[0].opaque_reason, Some(OpaqueReason::PinViolation));
-        assert!(trace.transactions.is_empty(), "no plaintext visibility for pinned traffic");
+        assert_eq!(
+            trace.connections[0].opaque_reason,
+            Some(OpaqueReason::PinViolation)
+        );
+        assert!(
+            trace.transactions.is_empty(),
+            "no plaintext visibility for pinned traffic"
+        );
     }
 
     #[test]
@@ -533,7 +578,11 @@ mod tests {
                 .unwrap();
         }
         let reused = meddle.finish_session(SimTime(1));
-        assert_eq!(reused.connections.len(), 1, "app policy reuses one connection");
+        assert_eq!(
+            reused.connections.len(),
+            1,
+            "app policy reuses one connection"
+        );
         assert_eq!(reused.connections[0].transactions, 10);
 
         for _ in 0..10 {
@@ -549,7 +598,11 @@ mod tests {
                 .unwrap();
         }
         let one_shot = meddle.finish_session(SimTime(1));
-        assert_eq!(one_shot.connections.len(), 10, "one-shot opens a flow per exchange");
+        assert_eq!(
+            one_shot.connections.len(),
+            10,
+            "one-shot opens a flow per exchange"
+        );
     }
 
     #[test]
@@ -588,8 +641,14 @@ mod tests {
         let trace = meddle.finish_session(SimTime(1));
         let busy = trace.connections[0].busy_ms;
         // TCP RTT + TLS handshake (RTT + flights) + one exchange RTT.
-        assert!(busy >= 3 * 60, "busy time should cover three round trips, got {busy}");
-        assert!(busy < 5_000, "busy time should stay sub-second-scale, got {busy}");
+        assert!(
+            busy >= 3 * 60,
+            "busy time should cover three round trips, got {busy}"
+        );
+        assert!(
+            busy < 5_000,
+            "busy time should stay sub-second-scale, got {busy}"
+        );
     }
 
     #[test]
@@ -597,7 +656,10 @@ mod tests {
         let public = CertificateAuthority::new("PublicRoot");
         let mut upstream = TrustStore::new();
         upstream.add_root(&public.root);
-        let cfg = MeddleConfig { intercept_tls: false, ..MeddleConfig::default() };
+        let cfg = MeddleConfig {
+            intercept_tls: false,
+            ..MeddleConfig::default()
+        };
         let mut meddle = Meddle::new(cfg, upstream, &SimRng::new(7));
         let mut device_trust = TrustStore::new();
         device_trust.add_root(&public.root);

@@ -5,20 +5,15 @@
 //! floating-point drift between runs, which matters because the whole
 //! study must replay identically from a seed.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in simulation time (milliseconds since simulation start).
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time in milliseconds.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -112,7 +107,7 @@ impl fmt::Display for SimDuration {
 
 /// A monotonic simulation clock. Advancing is explicit; nothing in the
 /// simulation reads wall time.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: SimTime,
 }
@@ -136,7 +131,11 @@ impl SimClock {
     /// Jump forward to `t`; panics if `t` is in the past (monotonicity is
     /// an invariant, not a suggestion).
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.now, "SimClock must be monotonic: {t} < {}", self.now);
+        assert!(
+            t >= self.now,
+            "SimClock must be monotonic: {t} < {}",
+            self.now
+        );
         self.now = t;
     }
 }
@@ -178,3 +177,7 @@ mod tests {
         assert_eq!(SimDuration(250).to_string(), "0.250s");
     }
 }
+
+appvsweb_json::impl_json!(newtype SimTime(u64));
+appvsweb_json::impl_json!(newtype SimDuration(u64));
+appvsweb_json::impl_json!(struct SimClock { now });

@@ -9,12 +9,11 @@
 //! services whose traffic the methodology filters out.
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Mobile operating system under test.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Os {
     /// Stock Android 4.4 (the most common version in-the-wild, April 2016).
     Android,
@@ -87,7 +86,7 @@ impl fmt::Display for Os {
 /// system permission requests when prompted", so sessions grant these
 /// liberally — but the ledger still gates which identifiers an app *can*
 /// read, mirroring each platform's API surface.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Permission {
     /// GPS / network location.
     Location,
@@ -100,7 +99,7 @@ pub enum Permission {
 /// Device-specific identifiers. Which of these an app may read depends on
 /// OS and permissions; a mobile browser can read none of them — the root
 /// of the paper's finding that only apps leak unique device identifiers.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviceIds {
     /// IMEI (Android, behind `PhoneState`): 15 decimal digits.
     pub imei: String,
@@ -144,7 +143,9 @@ impl DeviceIds {
 }
 
 fn gen_digits(rng: &mut SimRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'0' + rng.below(10) as u8)).collect()
+    (0..n)
+        .map(|_| char::from(b'0' + rng.below(10) as u8))
+        .collect()
 }
 
 fn gen_hex(rng: &mut SimRng, n: usize) -> String {
@@ -172,7 +173,7 @@ fn gen_uuid(rng: &mut SimRng) -> String {
 }
 
 /// A simulated, factory-reset test phone.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Device {
     /// Operating system.
     pub os: Os,
@@ -273,7 +274,7 @@ impl Device {
 fn boston_fix(rng: &mut SimRng) -> (f64, f64) {
     let lat = 42.30 + rng.unit() * 0.12; // 42.30..42.42
     let lon = -71.15 + rng.unit() * 0.12; // -71.15..-71.03
-    // Quantize to 6 decimal places like a real GPS reading.
+                                          // Quantize to 6 decimal places like a real GPS reading.
     ((lat * 1e6).round() / 1e6, (lon * 1e6).round() / 1e6)
 }
 
@@ -347,3 +348,19 @@ mod tests {
         assert!(!Os::Ios.background_hosts().is_empty());
     }
 }
+
+appvsweb_json::impl_json!(
+    enum Os {
+        Android,
+        Ios,
+    }
+);
+appvsweb_json::impl_json!(
+    enum Permission {
+        Location,
+        PhoneState,
+        Accounts,
+    }
+);
+appvsweb_json::impl_json!(struct DeviceIds { imei, mac, android_id, ad_id, vendor_id, serial });
+appvsweb_json::impl_json!(struct Device { os, ids, granted, gps });

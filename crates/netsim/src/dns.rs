@@ -8,7 +8,6 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -18,7 +17,7 @@ use std::net::Ipv4Addr;
 pub const DEFAULT_TTL: SimDuration = SimDuration(300_000);
 
 /// A DNS answer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DnsAnswer {
     /// Resolved address.
     pub addr: Ipv4Addr,
@@ -29,7 +28,7 @@ pub struct DnsAnswer {
 }
 
 /// Resolution statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DnsStats {
     /// Queries that went to the network.
     pub network_queries: u64,
@@ -113,9 +112,22 @@ impl DnsResolver {
             return Err(NxDomain(host));
         };
         self.stats.network_queries += 1;
-        let jitter = self.rng.approx_normal(self.mean_latency_ms, 8.0).clamp(2.0, 300.0);
-        self.cache.insert(host, CacheEntry { addr, expires: now + DEFAULT_TTL });
-        Ok(DnsAnswer { addr, cached: false, latency: SimDuration(jitter as u64) })
+        let jitter = self
+            .rng
+            .approx_normal(self.mean_latency_ms, 8.0)
+            .clamp(2.0, 300.0);
+        self.cache.insert(
+            host,
+            CacheEntry {
+                addr,
+                expires: now + DEFAULT_TTL,
+            },
+        );
+        Ok(DnsAnswer {
+            addr,
+            cached: false,
+            latency: SimDuration(jitter as u64),
+        })
     }
 
     /// Drop all cached entries (a new private-mode session).
@@ -214,3 +226,6 @@ mod tests {
         assert_ne!(a.octets()[3], 0);
     }
 }
+
+appvsweb_json::impl_json!(struct DnsAnswer { addr, cached, latency });
+appvsweb_json::impl_json!(struct DnsStats { network_queries, cache_hits, failures });

@@ -7,10 +7,9 @@
 //! 4-minute session.
 
 use crate::clock::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point link.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Link {
     /// Round-trip time in milliseconds.
     pub rtt_ms: u64,
@@ -22,12 +21,18 @@ impl Link {
     /// 2016-era phone on home Wi-Fi through a VPN: ~60 ms RTT,
     /// ~2.5 MB/s effective throughput.
     pub fn wifi_vpn() -> Self {
-        Link { rtt_ms: 60, bytes_per_sec: 2_500_000 }
+        Link {
+            rtt_ms: 60,
+            bytes_per_sec: 2_500_000,
+        }
     }
 
     /// A fast LAN link for tests.
     pub fn lan() -> Self {
-        Link { rtt_ms: 1, bytes_per_sec: 100_000_000 }
+        Link {
+            rtt_ms: 1,
+            bytes_per_sec: 100_000_000,
+        }
     }
 
     /// One-way propagation delay.
@@ -51,9 +56,7 @@ impl Link {
     /// Time for a request/response exchange: one RTT plus serialization of
     /// both directions.
     pub fn exchange_time(&self, bytes_up: usize, bytes_down: usize) -> SimDuration {
-        self.round_trip()
-            + self.serialization_time(bytes_up)
-            + self.serialization_time(bytes_down)
+        self.round_trip() + self.serialization_time(bytes_up) + self.serialization_time(bytes_down)
     }
 }
 
@@ -63,7 +66,10 @@ mod tests {
 
     #[test]
     fn serialization_scales_with_bytes() {
-        let l = Link { rtt_ms: 10, bytes_per_sec: 1000 };
+        let l = Link {
+            rtt_ms: 10,
+            bytes_per_sec: 1000,
+        };
         assert_eq!(l.serialization_time(1000), SimDuration(1000));
         assert_eq!(l.serialization_time(1), SimDuration(1));
         assert_eq!(l.serialization_time(0), SimDuration(0));
@@ -71,7 +77,10 @@ mod tests {
 
     #[test]
     fn exchange_includes_rtt() {
-        let l = Link { rtt_ms: 50, bytes_per_sec: 1_000_000 };
+        let l = Link {
+            rtt_ms: 50,
+            bytes_per_sec: 1_000_000,
+        };
         let t = l.exchange_time(500, 1500);
         assert!(t >= l.round_trip());
         assert_eq!(t, SimDuration(50 + 1 + 2));
@@ -79,7 +88,12 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_degrades_gracefully() {
-        let l = Link { rtt_ms: 10, bytes_per_sec: 0 };
+        let l = Link {
+            rtt_ms: 10,
+            bytes_per_sec: 0,
+        };
         assert_eq!(l.serialization_time(1_000_000), SimDuration::ZERO);
     }
 }
+
+appvsweb_json::impl_json!(struct Link { rtt_ms, bytes_per_sec });

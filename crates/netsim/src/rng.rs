@@ -8,10 +8,8 @@
 //! is what keeps calibrated experiment outputs stable as the codebase
 //! evolves.
 
-use serde::{Deserialize, Serialize};
-
 /// A SplitMix64 pseudo-random generator.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimRng {
     state: u64,
 }
@@ -186,3 +184,5 @@ mod tests {
         assert!((mean - 100.0).abs() < 1.0, "mean drifted: {mean}");
     }
 }
+
+appvsweb_json::impl_json!(struct SimRng { state });

@@ -9,7 +9,6 @@
 //! study's metrics never depended on loss behaviour.
 
 use crate::clock::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -20,7 +19,7 @@ pub const MSS: usize = 1460;
 pub const HEADER_OVERHEAD: usize = 40;
 
 /// One endpoint of a connection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// IPv4 address.
     pub addr: Ipv4Addr,
@@ -42,7 +41,7 @@ impl fmt::Display for Endpoint {
 }
 
 /// Connection lifecycle state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConnState {
     /// Handshake done, data may flow.
     Established,
@@ -51,7 +50,7 @@ pub enum ConnState {
 }
 
 /// Byte/packet counters for one connection.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConnectionStats {
     /// Application bytes sent client→server.
     pub bytes_up: u64,
@@ -76,7 +75,7 @@ impl ConnectionStats {
 }
 
 /// A TCP connection between a client and a server endpoint.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Connection {
     /// Monotonic connection id (assigned by the caller / capture layer).
     pub id: u64,
@@ -108,7 +107,7 @@ impl Connection {
             stats: ConnectionStats {
                 bytes_up: 0,
                 bytes_down: 0,
-                packets_up: 2,  // SYN + final ACK
+                packets_up: 2,   // SYN + final ACK
                 packets_down: 1, // SYN-ACK
             },
         }
@@ -120,7 +119,11 @@ impl Connection {
     /// Panics if the connection is closed — sending on a closed
     /// connection is a simulation bug, not a recoverable condition.
     pub fn send(&mut self, bytes: usize) {
-        assert_eq!(self.state, ConnState::Established, "send on closed connection");
+        assert_eq!(
+            self.state,
+            ConnState::Established,
+            "send on closed connection"
+        );
         self.stats.bytes_up += bytes as u64;
         self.stats.packets_up += segments_for(bytes);
         // Pure ACKs from the receiver (one per two segments, delayed-ACK).
@@ -132,7 +135,11 @@ impl Connection {
     /// # Panics
     /// Panics if the connection is closed.
     pub fn receive(&mut self, bytes: usize) {
-        assert_eq!(self.state, ConnState::Established, "receive on closed connection");
+        assert_eq!(
+            self.state,
+            ConnState::Established,
+            "receive on closed connection"
+        );
         self.stats.bytes_down += bytes as u64;
         self.stats.packets_down += segments_for(bytes);
         self.stats.packets_up += segments_for(bytes).div_ceil(2);
@@ -225,3 +232,13 @@ mod tests {
         c.send(10);
     }
 }
+
+appvsweb_json::impl_json!(struct Endpoint { addr, port });
+appvsweb_json::impl_json!(
+    enum ConnState {
+        Established,
+        Closed,
+    }
+);
+appvsweb_json::impl_json!(struct ConnectionStats { bytes_up, bytes_down, packets_up, packets_down });
+appvsweb_json::impl_json!(struct Connection { id, client, server, opened_at, closed_at, state, stats });

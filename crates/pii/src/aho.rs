@@ -93,7 +93,11 @@ impl AhoCorasick {
             }
         }
 
-        AhoCorasick { next, outputs, pattern_count: patterns.len() }
+        AhoCorasick {
+            next,
+            outputs,
+            pattern_count: patterns.len(),
+        }
     }
 
     /// Number of patterns.
@@ -113,7 +117,10 @@ impl AhoCorasick {
         for (i, &b) in haystack.iter().enumerate() {
             state = self.next[state][b as usize] as usize;
             for &pat in &self.outputs[state] {
-                out.push(Match { pattern: pat, end: i + 1 });
+                out.push(Match {
+                    pattern: pat,
+                    end: i + 1,
+                });
             }
         }
         out

@@ -19,10 +19,9 @@ use crate::matcher::{GroundTruthMatcher, PiiFinding};
 use crate::profile::GroundTruth;
 use crate::recon::ReconClassifier;
 use crate::types::PiiType;
-use serde::{Deserialize, Serialize};
 
 /// Which stage(s) of the pipeline produced a detection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Source {
     /// Only the ground-truth matcher found it.
     Matcher,
@@ -33,7 +32,7 @@ pub enum Source {
 }
 
 /// One verified PII detection in a flow.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Detection {
     /// The PII class.
     pub pii_type: PiiType,
@@ -45,7 +44,7 @@ pub struct Detection {
 }
 
 /// Report for one scanned flow.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DetectorReport {
     /// Verified detections, sorted by type.
     pub detections: Vec<Detection>,
@@ -86,7 +85,11 @@ impl CombinedDetector {
                 truth_variants.push((t, chain.apply(&v).to_ascii_lowercase()));
             }
         }
-        CombinedDetector { matcher: GroundTruthMatcher::new(truth), recon, truth_variants }
+        CombinedDetector {
+            matcher: GroundTruthMatcher::new(truth),
+            recon,
+            truth_variants,
+        }
     }
 
     /// Access the underlying matcher (for matcher-only pipelines).
@@ -138,11 +141,18 @@ impl CombinedDetector {
             detections.push(Detection {
                 pii_type: t,
                 source,
-                findings: findings.iter().filter(|f| f.pii_type == t).cloned().collect(),
+                findings: findings
+                    .iter()
+                    .filter(|f| f.pii_type == t)
+                    .cloned()
+                    .collect(),
             });
         }
 
-        DetectorReport { detections, rejected_predictions: rejected }
+        DetectorReport {
+            detections,
+            rejected_predictions: rejected,
+        }
     }
 
     /// Does any k/v value under a `t`-hinted key equal a ground-truth
@@ -271,3 +281,13 @@ mod tests {
         assert!(types.contains(&PiiType::UniqueId));
     }
 }
+
+appvsweb_json::impl_json!(
+    enum Source {
+        Matcher,
+        Recon,
+        Both,
+    }
+);
+appvsweb_json::impl_json!(struct Detection { pii_type, source, findings });
+appvsweb_json::impl_json!(struct DetectorReport { detections, rejected_predictions });

@@ -10,10 +10,9 @@
 
 use crate::hash;
 use appvsweb_httpsim::codec;
-use serde::{Deserialize, Serialize};
 
 /// A single value transform.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Encoding {
     /// Verbatim.
     Plain,
@@ -103,7 +102,7 @@ impl Encoding {
 /// A transform pipeline applied left to right, e.g.
 /// `[Lowercase, Md5]` = "hash of the lowercased e-mail" —
 /// the canonical tracker e-mail transform.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EncodingChain(pub Vec<Encoding>);
 
 impl EncodingChain {
@@ -130,8 +129,10 @@ impl EncodingChain {
 /// The chains the matcher searches, in priority order. Single transforms
 /// plus the handful of compound transforms trackers actually use.
 pub fn search_chains() -> Vec<EncodingChain> {
-    let mut chains: Vec<EncodingChain> =
-        Encoding::ALL.iter().map(|&e| EncodingChain(vec![e])).collect();
+    let mut chains: Vec<EncodingChain> = Encoding::ALL
+        .iter()
+        .map(|&e| EncodingChain(vec![e]))
+        .collect();
     chains.extend([
         EncodingChain(vec![Encoding::Lowercase, Encoding::Md5]),
         EncodingChain(vec![Encoding::Lowercase, Encoding::Sha1]),
@@ -165,12 +166,18 @@ mod tests {
 
     #[test]
     fn strip_separators_for_identifiers() {
-        assert_eq!(Encoding::StripSeparators.apply("02:00:4c:4f:4f:50"), "02004c4f4f50");
+        assert_eq!(
+            Encoding::StripSeparators.apply("02:00:4c:4f:4f:50"),
+            "02004c4f4f50"
+        );
         assert_eq!(
             Encoding::StripSeparators.apply("aaaa-bbbb-cccc"),
             "aaaabbbbcccc"
         );
-        assert_eq!(Encoding::StripSeparators.apply("(617) 555-0142"), "6175550142");
+        assert_eq!(
+            Encoding::StripSeparators.apply("(617) 555-0142"),
+            "6175550142"
+        );
     }
 
     #[test]
@@ -199,3 +206,22 @@ mod tests {
             .any(|c| c.0 == vec![Encoding::Lowercase, Encoding::Md5]));
     }
 }
+
+appvsweb_json::impl_json!(
+    enum Encoding {
+        Plain,
+        Lowercase,
+        Uppercase,
+        Percent,
+        FormPercent,
+        Base64,
+        Base64Url,
+        Hex,
+        Md5,
+        Sha1,
+        Sha256,
+        StripSeparators,
+        Rot13,
+    }
+);
+appvsweb_json::impl_json!(newtype EncodingChain(Vec<Encoding>));

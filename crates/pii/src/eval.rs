@@ -11,7 +11,6 @@
 use crate::encode::{search_chains, EncodingChain};
 use crate::profile::GroundTruth;
 use crate::types::PiiType;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One labelled corpus flow.
@@ -26,7 +25,7 @@ pub struct LabelledFlow {
 }
 
 /// Precision/recall counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counts {
     /// Planted and detected.
     pub true_positives: u64,
@@ -70,7 +69,7 @@ impl Counts {
 }
 
 /// Evaluation results.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Evaluation {
     /// Overall counters.
     pub overall: Counts,
@@ -90,7 +89,10 @@ pub fn build_corpus(truth: &GroundTruth, clean_flows: usize) -> Vec<LabelledFlow
     let mut corpus = Vec::new();
     let decoy = GroundTruth::synthetic(0xDEC0).with_device(
         "Nexus 5",
-        &[("imei", "490154203237518"), ("ad_id", "ffffeeee-dddd-cccc-bbbb-aaaa99998888")],
+        &[
+            ("imei", "490154203237518"),
+            ("ad_id", "ffffeeee-dddd-cccc-bbbb-aaaa99998888"),
+        ],
         Some((47.6097, -122.3331)),
     );
 
@@ -121,7 +123,9 @@ pub fn build_corpus(truth: &GroundTruth, clean_flows: usize) -> Vec<LabelledFlow
     // single-character values, mirroring the matcher's design envelope.
     for chain in search_chains() {
         for t in PiiType::ALL {
-            let Some((key, value)) = plant(t, truth) else { continue };
+            let Some((key, value)) = plant(t, truth) else {
+                continue;
+            };
             if value.len() <= 2 && chain.label() != "plain" {
                 continue;
             }
@@ -188,7 +192,10 @@ pub fn evaluate<F>(corpus: &[LabelledFlow], mut detect: F) -> Evaluation
 where
     F: FnMut(&str) -> Vec<PiiType>,
 {
-    let mut eval = Evaluation { flows: corpus.len(), ..Default::default() };
+    let mut eval = Evaluation {
+        flows: corpus.len(),
+        ..Default::default()
+    };
     for flow in corpus {
         let predicted = detect(&flow.text);
         for t in PiiType::ALL {
@@ -277,7 +284,10 @@ mod tests {
         let corpus = build_corpus(&t, 0);
         let matcher = GroundTruthMatcher::new(&t);
         let eval = evaluate(&corpus, |text| matcher.types_in(text));
-        let md5 = eval.per_encoding.get("lowercase>md5").expect("md5 chain present");
+        let md5 = eval
+            .per_encoding
+            .get("lowercase>md5")
+            .expect("md5 chain present");
         assert_eq!(md5.false_negatives, 0, "hashed identifiers must be caught");
     }
 
@@ -287,7 +297,11 @@ mod tests {
         let eval = evaluate(&corpus, |_| vec![]);
         assert_eq!(eval.overall.true_positives, 0);
         assert_eq!(eval.overall.recall(), 0.0);
-        assert_eq!(eval.overall.precision(), 1.0, "no predictions = vacuous precision");
+        assert_eq!(
+            eval.overall.precision(),
+            1.0,
+            "no predictions = vacuous precision"
+        );
     }
 
     #[test]
@@ -301,7 +315,11 @@ mod tests {
 
     #[test]
     fn counts_math() {
-        let c = Counts { true_positives: 8, false_positives: 2, false_negatives: 2 };
+        let c = Counts {
+            true_positives: 8,
+            false_positives: 2,
+            false_negatives: 2,
+        };
         assert!((c.precision() - 0.8).abs() < 1e-9);
         assert!((c.recall() - 0.8).abs() < 1e-9);
         assert!((c.f1() - 0.8).abs() < 1e-9);
@@ -309,3 +327,6 @@ mod tests {
         assert_eq!(Counts::default().recall(), 1.0);
     }
 }
+
+appvsweb_json::impl_json!(struct Counts { true_positives, false_positives, false_negatives });
+appvsweb_json::impl_json!(struct Evaluation { overall, per_type, per_encoding, flows });

@@ -32,8 +32,12 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
     ];
 
     let msg = pad_le(data);
-    let (mut a0, mut b0, mut c0, mut d0) =
-        (0x6745_2301u32, 0xefcd_ab89u32, 0x98ba_dcfeu32, 0x1032_5476u32);
+    let (mut a0, mut b0, mut c0, mut d0) = (
+        0x6745_2301u32,
+        0xefcd_ab89u32,
+        0x98ba_dcfeu32,
+        0x1032_5476u32,
+    );
 
     for block in msg.chunks_exact(64) {
         let mut m = [0u32; 16];
@@ -48,10 +52,7 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
                 32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
                 _ => (c ^ (b | !d), (7 * i) % 16),
             };
-            let f = f
-                .wrapping_add(a)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let f = f.wrapping_add(a).wrapping_add(K[i]).wrapping_add(m[g]);
             a = d;
             d = c;
             c = b;
@@ -74,7 +75,13 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
 /// SHA-1 digest (20 bytes) of `data`.
 pub fn sha1(data: &[u8]) -> [u8; 20] {
     let msg = pad_be(data);
-    let mut h: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
 
     for block in msg.chunks_exact(64) {
         let mut w = [0u32; 80];
@@ -135,8 +142,14 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
 
     let msg = pad_be(data);
     let mut h: [u32; 8] = [
-        0x6a09_e667, 0xbb67_ae85, 0x3c6e_f372, 0xa54f_f53a, 0x510e_527f, 0x9b05_688c,
-        0x1f83_d9ab, 0x5be0_cd19,
+        0x6a09_e667,
+        0xbb67_ae85,
+        0x3c6e_f372,
+        0xa54f_f53a,
+        0x510e_527f,
+        0x9b05_688c,
+        0x1f83_d9ab,
+        0x5be0_cd19,
     ];
 
     for block in msg.chunks_exact(64) {
@@ -240,7 +253,10 @@ mod tests {
         assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(md5_hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(md5_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
-        assert_eq!(md5_hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            md5_hex(b"message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
         assert_eq!(
             md5_hex(b"abcdefghijklmnopqrstuvwxyz"),
             "c3fcd3d76192e4007dfb496cca67e13b"
@@ -294,10 +310,7 @@ mod tests {
     fn known_email_hash() {
         // A canonical cross-check value (md5 of a lowercase email is the
         // Gravatar convention trackers copied).
-        assert_eq!(
-            md5_hex(b"jane.conner.test@example.com").len(),
-            32
-        );
+        assert_eq!(md5_hex(b"jane.conner.test@example.com").len(), 32);
         assert_ne!(md5_hex(b"a@b.com"), md5_hex(b"a@b.org"));
     }
 }

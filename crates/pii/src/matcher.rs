@@ -18,14 +18,13 @@ use crate::profile::GroundTruth;
 use crate::tokenize::extract_kv;
 use crate::types::PiiType;
 use appvsweb_httpsim::codec;
-use serde::{Deserialize, Serialize};
 
 /// Minimum candidate length for free-text (non-keyed) matching. Anything
 /// shorter only matches in key/value context.
 const MIN_FREE_TEXT_LEN: usize = 6;
 
 /// One ground-truth match in a flow.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PiiFinding {
     /// The PII class found.
     pub pii_type: PiiType,
@@ -95,7 +94,11 @@ impl GroundTruthMatcher {
                     pii_type,
                     original: value.to_string(),
                     chain_label: chain.label(),
-                    encoded: if is_hashlike { encoded.clone() } else { encoded.to_ascii_lowercase() },
+                    encoded: if is_hashlike {
+                        encoded.clone()
+                    } else {
+                        encoded.to_ascii_lowercase()
+                    },
                     case_sensitive: is_hashlike,
                     free_text: encoded.len() >= MIN_FREE_TEXT_LEN,
                 });
@@ -149,7 +152,13 @@ impl GroundTruthMatcher {
         let ci_auto = AhoCorasick::new(&ci_patterns);
         let cs_auto = AhoCorasick::new(&cs_patterns);
 
-        GroundTruthMatcher { candidates, ci_auto, ci_index, cs_auto, cs_index }
+        GroundTruthMatcher {
+            candidates,
+            ci_auto,
+            ci_index,
+            cs_auto,
+            cs_index,
+        }
     }
 
     /// Number of precomputed candidates (index size).
@@ -208,7 +217,11 @@ impl GroundTruthMatcher {
                 if !key_matches_type {
                     continue;
                 }
-                let v_norm = if c.case_sensitive { v.clone() } else { v.to_ascii_lowercase() };
+                let v_norm = if c.case_sensitive {
+                    v.clone()
+                } else {
+                    v.to_ascii_lowercase()
+                };
                 if v_norm == c.encoded || codec::percent_decode(&v_norm) == c.encoded {
                     findings.push(PiiFinding {
                         pii_type: c.pii_type,
@@ -269,7 +282,12 @@ fn tokenize_base64_blobs(text: &str) -> Vec<String> {
 
 fn dedup(mut findings: Vec<PiiFinding>) -> Vec<PiiFinding> {
     findings.sort_by(|a, b| {
-        (a.pii_type, &a.value, &a.encoding, &a.key).cmp(&(b.pii_type, &b.value, &b.encoding, &b.key))
+        (a.pii_type, &a.value, &a.encoding, &a.key).cmp(&(
+            b.pii_type,
+            &b.value,
+            &b.encoding,
+            &b.key,
+        ))
     });
     findings.dedup();
     findings
@@ -343,7 +361,9 @@ mod tests {
         let found = matcher().scan("beacon?ll=42.36,-71.06&v=2");
         assert!(found.iter().any(|f| f.pii_type == PiiType::Location));
         let found_precise = matcher().scan("lat=42.3611&lon=-71.0571");
-        assert!(found_precise.iter().any(|f| f.pii_type == PiiType::Location));
+        assert!(found_precise
+            .iter()
+            .any(|f| f.pii_type == PiiType::Location));
     }
 
     #[test]
@@ -402,3 +422,5 @@ mod tests {
         assert!(types.contains(&PiiType::UniqueId));
     }
 }
+
+appvsweb_json::impl_json!(struct PiiFinding { pii_type, value, encoding, key });

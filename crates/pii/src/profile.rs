@@ -6,12 +6,10 @@
 //! up for a service, plus the device identifiers and the current GPS fix.
 
 use crate::types::PiiType;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use appvsweb_netsim::SimRng;
 
 /// Everything the testbed knows about the identity used in a session.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GroundTruth {
     /// Account first name.
     pub first_name: String,
@@ -44,8 +42,16 @@ const FIRST_NAMES: &[&str] = &[
     "Jane", "Alex", "Morgan", "Riley", "Casey", "Jordan", "Taylor", "Avery", "Quinn", "Dana",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Conner", "Whitfield", "Marsh", "Delgado", "Okafor", "Lindgren", "Barrett", "Soto",
-    "Hale", "Kovacs",
+    "Conner",
+    "Whitfield",
+    "Marsh",
+    "Delgado",
+    "Okafor",
+    "Lindgren",
+    "Barrett",
+    "Soto",
+    "Hale",
+    "Kovacs",
 ];
 const MAILBOX_ADJECTIVES: &[&str] = &[
     "amber", "cobalt", "crimson", "indigo", "mauve", "ochre", "sable", "teal", "umber", "viridian",
@@ -60,31 +66,27 @@ impl GroundTruth {
     /// Device fields are filled separately with
     /// [`GroundTruth::with_device`].
     pub fn synthetic(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
-        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string();
-        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string();
-        let tag: u32 = rng.gen_range(100..9999);
+        let mut rng = SimRng::new(seed ^ 0x5eed_f00d);
+        let first = FIRST_NAMES[rng.below(FIRST_NAMES.len() as u64) as usize].to_string();
+        let last = LAST_NAMES[rng.below(LAST_NAMES.len() as u64) as usize].to_string();
+        let tag: u32 = rng.range(100, 9998) as u32;
         // Mailbox and username are deliberately unrelated to the name:
         // the methodology needs each ground-truth value to be separately
         // detectable, so one leak must not imply another by substring.
-        let adjective = MAILBOX_ADJECTIVES[rng.gen_range(0..MAILBOX_ADJECTIVES.len())];
-        let noun = MAILBOX_NOUNS[rng.gen_range(0..MAILBOX_NOUNS.len())];
+        let adjective = MAILBOX_ADJECTIVES[rng.below(MAILBOX_ADJECTIVES.len() as u64) as usize];
+        let noun = MAILBOX_NOUNS[rng.below(MAILBOX_NOUNS.len() as u64) as usize];
         let email = format!("{adjective}.{noun}.{tag}@testmail.example");
         let username = format!("{noun}{adjective}{tag}");
-        let password = format!("Tr0ub4dor-{:06}!", rng.gen_range(0..1_000_000));
-        let gender = if rng.gen_bool(0.5) { "F" } else { "M" }.to_string();
+        let password = format!("Tr0ub4dor-{:06}!", rng.below(1_000_000));
+        let gender = if rng.chance(0.5) { "F" } else { "M" }.to_string();
         let birthday = format!(
             "{:04}-{:02}-{:02}",
-            rng.gen_range(1970..1998),
-            rng.gen_range(1..13),
-            rng.gen_range(1..29)
+            rng.range(1970, 1997),
+            rng.range(1, 12),
+            rng.range(1, 28)
         );
-        let phone = format!(
-            "(617) {:03}-{:04}",
-            rng.gen_range(200..1000),
-            rng.gen_range(0..10_000)
-        );
-        let zip = format!("021{:02}", rng.gen_range(8..40)); // Boston-area ZIPs
+        let phone = format!("(617) {:03}-{:04}", rng.range(200, 999), rng.below(10_000));
+        let zip = format!("021{:02}", rng.range(8, 39)); // Boston-area ZIPs
         GroundTruth {
             first_name: first,
             last_name: last,
@@ -166,7 +168,10 @@ mod tests {
     #[test]
     fn synthetic_is_deterministic() {
         assert_eq!(GroundTruth::synthetic(7), GroundTruth::synthetic(7));
-        assert_ne!(GroundTruth::synthetic(7).email, GroundTruth::synthetic(8).email);
+        assert_ne!(
+            GroundTruth::synthetic(7).email,
+            GroundTruth::synthetic(8).email
+        );
     }
 
     #[test]
@@ -214,3 +219,8 @@ mod tests {
         assert!(GroundTruth::synthetic(1).gps_at_precision(2).is_none());
     }
 }
+
+appvsweb_json::impl_json!(struct GroundTruth {
+    first_name, last_name, email, username, password, gender, birthday, phone, zip, gps,
+    device_model, device_ids
+});

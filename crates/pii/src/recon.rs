@@ -17,11 +17,10 @@
 
 use crate::tokenize::{extract_kv, token_set};
 use crate::types::PiiType;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Tree-growing parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TreeConfig {
     /// Maximum tree depth.
     pub max_depth: usize,
@@ -38,12 +37,17 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-3, max_features: 256 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_gain: 1e-3,
+            max_features: 256,
+        }
     }
 }
 
 /// A node in the tree.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 enum Node {
     /// Leaf with the positive-class probability at this node.
     Leaf(f64),
@@ -58,7 +62,7 @@ enum Node {
 }
 
 /// A binary decision tree over token-presence features.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DecisionTree {
     root: Node,
     /// Number of training examples the tree saw.
@@ -100,7 +104,10 @@ impl DecisionTree {
         };
         let indices: Vec<usize> = (0..filtered.len()).collect();
         let root = Self::grow(&filtered, &indices, config, 0);
-        DecisionTree { root, trained_on: examples.len() }
+        DecisionTree {
+            root,
+            trained_on: examples.len(),
+        }
     }
 
     fn grow(
@@ -111,7 +118,11 @@ impl DecisionTree {
     ) -> Node {
         let pos = indices.iter().filter(|&&i| examples[i].1).count();
         let neg = indices.len() - pos;
-        let p_here = if indices.is_empty() { 0.0 } else { pos as f64 / indices.len() as f64 };
+        let p_here = if indices.is_empty() {
+            0.0
+        } else {
+            pos as f64 / indices.len() as f64
+        };
 
         if depth >= config.max_depth
             || indices.len() < config.min_samples_split
@@ -157,11 +168,16 @@ impl DecisionTree {
         };
         let token = token.to_string();
 
-        let (with, without): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| examples[i].0.contains(&token));
+        let (with, without): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| examples[i].0.contains(&token));
         let present = Self::grow(examples, &with, config, depth + 1);
         let absent = Self::grow(examples, &without, config, depth + 1);
-        Node::Split { token, present: Box::new(present), absent: Box::new(absent) }
+        Node::Split {
+            token,
+            present: Box::new(present),
+            absent: Box::new(absent),
+        }
     }
 
     /// Positive-class probability for a token set.
@@ -170,8 +186,16 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf(p) => return *p,
-                Node::Split { token, present, absent } => {
-                    node = if tokens.contains(token) { present } else { absent };
+                Node::Split {
+                    token,
+                    present,
+                    absent,
+                } => {
+                    node = if tokens.contains(token) {
+                        present
+                    } else {
+                        absent
+                    };
                 }
             }
         }
@@ -187,7 +211,9 @@ impl DecisionTree {
         fn d(n: &Node) -> usize {
             match n {
                 Node::Leaf(_) => 0,
-                Node::Split { present, absent, .. } => 1 + d(present).max(d(absent)),
+                Node::Split {
+                    present, absent, ..
+                } => 1 + d(present).max(d(absent)),
             }
         }
         d(&self.root)
@@ -196,10 +222,7 @@ impl DecisionTree {
 
 /// Rank every token by root information gain and keep the top `k`
 /// (`None` when no cap applies or the vocabulary is already small).
-fn select_features(
-    examples: &[(BTreeSet<String>, bool)],
-    k: usize,
-) -> Option<BTreeSet<String>> {
+fn select_features(examples: &[(BTreeSet<String>, bool)], k: usize) -> Option<BTreeSet<String>> {
     if k == 0 {
         return None;
     }
@@ -231,7 +254,13 @@ fn select_features(
         })
         .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(b.1)));
-    Some(scored.into_iter().take(k).map(|(_, t)| t.to_string()).collect())
+    Some(
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, t)| t.to_string())
+            .collect(),
+    )
 }
 
 /// One labelled training flow.
@@ -296,7 +325,10 @@ impl ReconTrainer {
         }
 
         let train_set = |indices: &[usize], t: PiiType| -> Option<DecisionTree> {
-            let positives = indices.iter().filter(|&&i| tokenized[i].2.contains(&t)).count();
+            let positives = indices
+                .iter()
+                .filter(|&&i| tokenized[i].2.contains(&t))
+                .count();
             // Need both classes to learn anything.
             if positives == 0 || positives == indices.len() {
                 return None;
@@ -332,12 +364,15 @@ impl ReconTrainer {
             }
         }
 
-        ReconClassifier { domain_models, general }
+        ReconClassifier {
+            domain_models,
+            general,
+        }
     }
 }
 
 /// The trained ensemble: per-domain trees with a general fallback.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ReconClassifier {
     domain_models: BTreeMap<String, BTreeMap<PiiType, DecisionTree>>,
     general: BTreeMap<PiiType, DecisionTree>,
@@ -459,7 +494,10 @@ mod tests {
             let set: BTreeSet<String> = toks.into_iter().collect();
             ex.push((set, i.count_ones() % 2 == 0));
         }
-        let cfg = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::train(&ex, &cfg);
         assert!(tree.depth() <= 3);
     }
@@ -480,7 +518,10 @@ mod tests {
             }
             ex.push((set, positive));
         }
-        let cfg = TreeConfig { max_features: 8, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_features: 8,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTree::train(&ex, &cfg);
         assert!(tree.predict(&ts(&["email"])));
         assert!(!tree.predict(&ts(&["noise-3-1"])));
@@ -491,13 +532,29 @@ mod tests {
         let ex: Vec<(BTreeSet<String>, bool)> = (0..20)
             .map(|i| {
                 (
-                    if i % 2 == 0 { ts(&["lat", "v"]) } else { ts(&["v"]) },
+                    if i % 2 == 0 {
+                        ts(&["lat", "v"])
+                    } else {
+                        ts(&["v"])
+                    },
                     i % 2 == 0,
                 )
             })
             .collect();
-        let capped = DecisionTree::train(&ex, &TreeConfig { max_features: 4, ..Default::default() });
-        let uncapped = DecisionTree::train(&ex, &TreeConfig { max_features: 0, ..Default::default() });
+        let capped = DecisionTree::train(
+            &ex,
+            &TreeConfig {
+                max_features: 4,
+                ..Default::default()
+            },
+        );
+        let uncapped = DecisionTree::train(
+            &ex,
+            &TreeConfig {
+                max_features: 0,
+                ..Default::default()
+            },
+        );
         for probe in [ts(&["lat"]), ts(&["v"]), ts(&["other"])] {
             assert_eq!(capped.predict(&probe), uncapped.predict(&probe));
         }
@@ -511,7 +568,11 @@ mod tests {
             let has = i % 2 == 0;
             trainer.add(TrainingFlow {
                 domain: "tracker-a.com".into(),
-                text: if has { format!("zx=42.3{i}&v=1") } else { format!("v=1&page={i}") },
+                text: if has {
+                    format!("zx=42.3{i}&v=1")
+                } else {
+                    format!("v=1&page={i}")
+                },
                 labels: if has {
                     [PiiType::Location].into_iter().collect()
                 } else {
@@ -524,7 +585,11 @@ mod tests {
             let has = i % 2 == 0;
             trainer.add(TrainingFlow {
                 domain: format!("misc-{i}.com"),
-                text: if has { "email=x@y.com".into() } else { "q=news".into() },
+                text: if has {
+                    "email=x@y.com".into()
+                } else {
+                    "q=news".into()
+                },
                 labels: if has {
                     [PiiType::Email].into_iter().collect()
                 } else {
@@ -534,7 +599,10 @@ mod tests {
         }
         let clf = trainer.train(&TreeConfig::default());
         assert!(clf.domain_model_count() >= 1);
-        assert_eq!(clf.predict("tracker-a.com", "zx=47.61&v=9"), vec![PiiType::Location]);
+        assert_eq!(
+            clf.predict("tracker-a.com", "zx=47.61&v=9"),
+            vec![PiiType::Location]
+        );
         // Unknown domain falls back to the general model.
         assert_eq!(
             clf.predict("never-seen.com", "email=someone@else.org"),
@@ -550,7 +618,11 @@ mod tests {
             let has = i % 2 == 0;
             trainer.add(TrainingFlow {
                 domain: "geo.com".into(),
-                text: if has { format!("lat=1.{i}&lon=2.{i}") } else { format!("ping={i}") },
+                text: if has {
+                    format!("lat=1.{i}&lon=2.{i}")
+                } else {
+                    format!("ping={i}")
+                },
                 labels: if has {
                     [PiiType::Location].into_iter().collect()
                 } else {
@@ -562,7 +634,11 @@ mod tests {
             let has = i % 2 == 0;
             trainer.add(TrainingFlow {
                 domain: format!("m{i}.com"),
-                text: if has { "email=x@y.com".into() } else { "q=1".into() },
+                text: if has {
+                    "email=x@y.com".into()
+                } else {
+                    "q=1".into()
+                },
                 labels: if has {
                     [PiiType::Email].into_iter().collect()
                 } else {
@@ -593,5 +669,55 @@ mod tests {
         let clf = ReconTrainer::new().train(&TreeConfig::default());
         assert!(clf.predict("x.com", "email=a@b.com").is_empty());
         assert_eq!(clf.domain_model_count(), 0);
+    }
+}
+
+appvsweb_json::impl_json!(struct TreeConfig { max_depth, min_samples_split, min_gain, max_features });
+appvsweb_json::impl_json!(struct DecisionTree { root, trained_on });
+appvsweb_json::impl_json!(struct ReconClassifier { domain_models, general });
+
+// Node has a payload variant, so its JSON impls are written by hand in
+// serde's externally-tagged shape: `{"Leaf": p}` / `{"Split": {...}}`.
+impl appvsweb_json::ToJson for Node {
+    fn to_json(&self) -> appvsweb_json::Json {
+        use appvsweb_json::Json;
+        match self {
+            Node::Leaf(p) => Json::Obj(vec![("Leaf".to_string(), p.to_json())]),
+            Node::Split {
+                token,
+                present,
+                absent,
+            } => Json::Obj(vec![(
+                "Split".to_string(),
+                Json::Obj(vec![
+                    ("token".to_string(), token.to_json()),
+                    ("present".to_string(), present.to_json()),
+                    ("absent".to_string(), absent.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl appvsweb_json::FromJson for Node {
+    fn from_json(v: &appvsweb_json::Json) -> Result<Self, appvsweb_json::JsonError> {
+        use appvsweb_json::{Json, JsonError};
+        match v {
+            Json::Obj(entries) if entries.len() == 1 && entries[0].0 == "Leaf" => Ok(Node::Leaf(
+                appvsweb_json::FromJson::from_json(&entries[0].1)?,
+            )),
+            Json::Obj(entries) if entries.len() == 1 && entries[0].0 == "Split" => {
+                let body = &entries[0].1;
+                Ok(Node::Split {
+                    token: body.field("token")?,
+                    present: body.field("present")?,
+                    absent: body.field("absent")?,
+                })
+            }
+            other => Err(JsonError::schema(format!(
+                "expected Node, got {}",
+                other.kind()
+            ))),
+        }
     }
 }

@@ -11,8 +11,29 @@
 fn is_delimiter(c: char) -> bool {
     matches!(
         c,
-        '=' | '&' | '?' | '/' | ':' | ';' | ',' | '"' | '\'' | '{' | '}' | '[' | ']' | '('
-            | ')' | ' ' | '\t' | '\r' | '\n' | '<' | '>' | '%' | '+' | '\\'
+        '=' | '&'
+            | '?'
+            | '/'
+            | ':'
+            | ';'
+            | ','
+            | '"'
+            | '\''
+            | '{'
+            | '}'
+            | '['
+            | ']'
+            | '('
+            | ')'
+            | ' '
+            | '\t'
+            | '\r'
+            | '\n'
+            | '<'
+            | '>'
+            | '%'
+            | '+'
+            | '\\'
     )
 }
 
@@ -74,7 +95,11 @@ pub fn extract_kv(text: &str) -> Vec<(String, String)> {
                                 .map(|off| j + off)
                                 .unwrap_or(bytes.len());
                             let v = text[j..end].trim();
-                            if v.is_empty() { None } else { Some(v.to_string()) }
+                            if v.is_empty() {
+                                None
+                            } else {
+                                Some(v.to_string())
+                            }
                         };
                         if let Some(v) = value {
                             if !key.is_empty() && key.len() <= 40 && v.len() <= 256 {
@@ -96,7 +121,10 @@ pub fn extract_kv(text: &str) -> Vec<(String, String)> {
 }
 
 fn find_quote(bytes: &[u8], from: usize) -> Option<usize> {
-    bytes[from..].iter().position(|&b| b == b'"').map(|p| from + p)
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'"')
+        .map(|p| from + p)
 }
 
 #[cfg(test)]

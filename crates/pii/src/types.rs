@@ -4,13 +4,10 @@
 //! B D E G L N P# U PW UID. [`PiiType`] reproduces that taxonomy exactly;
 //! every table and figure in the reproduction is keyed on it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A class of personally identifiable information.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PiiType {
     /// **B** — birthday / date of birth.
     Birthday,
@@ -103,19 +100,50 @@ impl PiiType {
             PiiType::Email => &["email", "e-mail", "mail", "login", "user"],
             PiiType::Gender => &["gender", "sex", "g"],
             PiiType::Location => &[
-                "lat", "latitude", "lon", "lng", "longitude", "loc", "location", "geo", "zip",
-                "zipcode", "postal", "postalcode", "ll",
+                "lat",
+                "latitude",
+                "lon",
+                "lng",
+                "longitude",
+                "loc",
+                "location",
+                "geo",
+                "zip",
+                "zipcode",
+                "postal",
+                "postalcode",
+                "ll",
             ],
             PiiType::Name => &[
-                "name", "firstname", "lastname", "first_name", "last_name", "fname", "lname",
+                "name",
+                "firstname",
+                "lastname",
+                "first_name",
+                "last_name",
+                "fname",
+                "lname",
                 "fullname",
             ],
             PiiType::PhoneNumber => &["phone", "tel", "mobile", "msisdn", "phonenumber"],
             PiiType::Username => &["username", "user", "uname", "login", "account"],
             PiiType::Password => &["password", "pass", "pwd", "passwd", "secret"],
             PiiType::UniqueId => &[
-                "imei", "mac", "androidid", "android_id", "idfa", "idfv", "advertisingid",
-                "ad_id", "adid", "gaid", "aid", "uuid", "uid", "device_id", "deviceid", "serial",
+                "imei",
+                "mac",
+                "androidid",
+                "android_id",
+                "idfa",
+                "idfv",
+                "advertisingid",
+                "ad_id",
+                "adid",
+                "gaid",
+                "aid",
+                "uuid",
+                "uid",
+                "device_id",
+                "deviceid",
+                "serial",
             ],
         }
     }
@@ -135,7 +163,10 @@ mod tests {
     fn all_is_complete_and_ordered() {
         assert_eq!(PiiType::ALL.len(), 10);
         let abbrevs: Vec<_> = PiiType::ALL.iter().map(|t| t.abbrev()).collect();
-        assert_eq!(abbrevs, vec!["B", "D", "E", "G", "L", "N", "P#", "U", "PW", "UID"]);
+        assert_eq!(
+            abbrevs,
+            vec!["B", "D", "E", "G", "L", "N", "P#", "U", "PW", "UID"]
+        );
     }
 
     #[test]
@@ -154,3 +185,18 @@ mod tests {
         }
     }
 }
+
+appvsweb_json::impl_json!(
+    enum PiiType {
+        Birthday,
+        DeviceInfo,
+        Email,
+        Gender,
+        Location,
+        Name,
+        PhoneNumber,
+        Username,
+        Password,
+        UniqueId,
+    }
+);

@@ -22,12 +22,11 @@ use appvsweb_analysis::{CellAnalysis, Study};
 use appvsweb_netsim::Os;
 use appvsweb_pii::PiiType;
 use appvsweb_services::Medium;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// User privacy preferences: how much each PII class and exposure axis
 /// matters, on a 0.0–1.0 scale.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Preferences {
     /// Weight per PII class (absent = 0: the user does not care).
     pub type_weights: BTreeMap<PiiType, f64>,
@@ -60,7 +59,12 @@ impl Preferences {
     /// "Don't link my identity": names, e-mail, phone, birthday dominate.
     pub fn identity_sensitive() -> Self {
         let mut p = Preferences::balanced();
-        for t in [PiiType::Name, PiiType::Email, PiiType::PhoneNumber, PiiType::Birthday] {
+        for t in [
+            PiiType::Name,
+            PiiType::Email,
+            PiiType::PhoneNumber,
+            PiiType::Birthday,
+        ] {
             p.type_weights.insert(t, 5.0);
         }
         p
@@ -85,7 +89,7 @@ impl Preferences {
 }
 
 /// The verdict for one service.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The app is less invasive under these preferences.
     UseApp,
@@ -96,7 +100,7 @@ pub enum Verdict {
 }
 
 /// A scored recommendation for one service on one OS.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Recommendation {
     /// Service slug.
     pub service_id: String,
@@ -179,15 +183,14 @@ pub fn recommend(study: &Study, prefs: &Preferences) -> Vec<Recommendation> {
             };
             let app_score = score_cell(app, prefs);
             let web_score = score_cell(web, prefs);
-            let verdict = if (app_score - web_score).abs()
-                <= 0.05 * app_score.max(web_score).max(1e-9)
-            {
-                Verdict::Either
-            } else if app_score < web_score {
-                Verdict::UseApp
-            } else {
-                Verdict::UseWeb
-            };
+            let verdict =
+                if (app_score - web_score).abs() <= 0.05 * app_score.max(web_score).max(1e-9) {
+                    Verdict::Either
+                } else if app_score < web_score {
+                    Verdict::UseApp
+                } else {
+                    Verdict::UseWeb
+                };
             out.push(Recommendation {
                 service_id: app.service_id.clone(),
                 service_name: app.service_name.clone(),
@@ -203,7 +206,7 @@ pub fn recommend(study: &Study, prefs: &Preferences) -> Vec<Recommendation> {
 }
 
 /// Verdict counts for one preference profile.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VerdictSummary {
     /// Recommendations to use the app.
     pub use_app: usize,
@@ -247,7 +250,7 @@ pub fn preset_profiles() -> Vec<(&'static str, Preferences)> {
 /// A what-if matrix: how every preset profile would advise each service.
 /// This is exactly the data the paper's interactive interface serves —
 /// the same measurements, re-scored per user priority.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WhatIfMatrix {
     /// Profile names, in column order.
     pub profiles: Vec<String>,
@@ -428,3 +431,17 @@ mod tests {
         assert!(Preferences::tracking_averse().tracking_weight > 1.0);
     }
 }
+
+appvsweb_json::impl_json!(struct Preferences { type_weights, tracking_weight, plaintext_weight, spread_weight });
+appvsweb_json::impl_json!(
+    enum Verdict {
+        UseApp,
+        UseWeb,
+        Either,
+    }
+);
+appvsweb_json::impl_json!(struct Recommendation {
+    service_id, service_name, os, app_score, web_score, verdict, reasons
+});
+appvsweb_json::impl_json!(struct VerdictSummary { use_app, use_web, either });
+appvsweb_json::impl_json!(struct WhatIfMatrix { profiles, rows });

@@ -19,12 +19,9 @@
 //! variety of PII"; Education and Weather leak to the most domains).
 
 use appvsweb_pii::PiiType;
-use serde::{Deserialize, Serialize};
 
 /// Service category (Table 1 rows).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ServiceCategory {
     /// Business tools.
     Business,
@@ -81,7 +78,7 @@ impl ServiceCategory {
 }
 
 /// Which interface of a service a session exercises.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Medium {
     /// The native app.
     App,
@@ -95,7 +92,7 @@ impl Medium {
 }
 
 /// Why an otherwise-popular service is excluded from the 50 (§3.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Exclusion {
     /// Certificate pinning defeats TLS interception (Facebook, Twitter).
     CertificatePinning,
@@ -244,24 +241,66 @@ use ServiceCategory::*;
 // stacks; minimal sites carry almost nothing (these produce the ~17% of
 // services where the app contacts as many or more A&A domains).
 const WEB_HEAVY: &[&str] = &[
-    "doubleclick", "googlesyndication", "google-analytics", "facebook", "moatads", "krxd",
-    "chartbeat", "scorecardresearch", "quantserve", "outbrain", "taboola", "adnxs",
-    "rubiconproject", "openx", "pubmatic", "casalemedia", "bluekai", "demdex", "mathtag",
-    "2mdn", "doubleverify", "247realmedia", "serving-sys", "comscore",
+    "doubleclick",
+    "googlesyndication",
+    "google-analytics",
+    "facebook",
+    "moatads",
+    "krxd",
+    "chartbeat",
+    "scorecardresearch",
+    "quantserve",
+    "outbrain",
+    "taboola",
+    "adnxs",
+    "rubiconproject",
+    "openx",
+    "pubmatic",
+    "casalemedia",
+    "bluekai",
+    "demdex",
+    "mathtag",
+    "2mdn",
+    "doubleverify",
+    "247realmedia",
+    "serving-sys",
+    "comscore",
 ];
 const WEB_MEDIUM: &[&str] = &[
-    "doubleclick", "googlesyndication", "google-analytics", "facebook", "adnxs",
-    "rubiconproject", "criteo", "mathtag", "demdex", "quantserve", "scorecardresearch",
+    "doubleclick",
+    "googlesyndication",
+    "google-analytics",
+    "facebook",
+    "adnxs",
+    "rubiconproject",
+    "criteo",
+    "mathtag",
+    "demdex",
+    "quantserve",
+    "scorecardresearch",
     "bluekai",
 ];
 /// Priceline's Web stack: MEDIUM plus the data brokers that received its
 /// birthday/gender (§4.2 names Priceline's Web site as the B/G leaker).
 const WEB_PRICELINE: &[&str] = &[
-    "bluekai", "doubleclick", "googlesyndication", "google-analytics", "facebook",
-    "criteo", "demdex", "adnxs", "rubiconproject", "mathtag",
+    "bluekai",
+    "doubleclick",
+    "googlesyndication",
+    "google-analytics",
+    "facebook",
+    "criteo",
+    "demdex",
+    "adnxs",
+    "rubiconproject",
+    "mathtag",
 ];
 const WEB_LIGHT: &[&str] = &[
-    "google-analytics", "facebook", "doubleclick", "googlesyndication", "criteo", "tiqcdn",
+    "google-analytics",
+    "facebook",
+    "doubleclick",
+    "googlesyndication",
+    "criteo",
+    "tiqcdn",
 ];
 const WEB_MINIMAL: &[&str] = &["google-analytics"];
 
@@ -280,7 +319,13 @@ fn build() -> Vec<ServiceSpec> {
         on_ios: true,
         excluded: None,
         app: AppSpec {
-            trackers: &["flurry", "doubleclick", "webtrends", "facebook", "google-analytics"],
+            trackers: &[
+                "flurry",
+                "doubleclick",
+                "webtrends",
+                "facebook",
+                "google-analytics",
+            ],
             requests_location: true,
             first_party_pii: &[Location],
             api_period_ms: 6_000,
@@ -414,15 +459,69 @@ fn build() -> Vec<ServiceSpec> {
     // Generic news fill-ins: heavy web ad stacks, light apps.
     let news_fill: &[(&str, &str, u32, &AppSpec, bool)] = &[];
     let _ = news_fill;
-    v.push(news_site("daily-times", "Daily Times", 9, &["dailytimes.example"], true));
-    v.push(news_site("globe-reader", "Globe Reader", 12, &["globereader.example"], false));
-    v.push(news_site("headline-hub", "Headline Hub", 15, &["headlinehub.example"], true));
-    v.push(news_site("world-wire", "World Wire", 21, &["worldwire.example"], true));
-    v.push(news_site("metro-daily", "Metro Daily", 24, &["metrodaily.example"], true));
-    v.push(news_site("press-reader", "Press Reader", 28, &["pressreader.example"], true));
-    v.push(news_site("newsblend", "NewsBlend", 31, &["newsblend.example"], true));
-    v.push(news_site("buzz-reel", "BuzzReel", 35, &["buzzreel.example"], true));
-    v.push(news_site("sport-ticker", "Sport Ticker", 40, &["sportticker.example"], true));
+    v.push(news_site(
+        "daily-times",
+        "Daily Times",
+        9,
+        &["dailytimes.example"],
+        true,
+    ));
+    v.push(news_site(
+        "globe-reader",
+        "Globe Reader",
+        12,
+        &["globereader.example"],
+        false,
+    ));
+    v.push(news_site(
+        "headline-hub",
+        "Headline Hub",
+        15,
+        &["headlinehub.example"],
+        true,
+    ));
+    v.push(news_site(
+        "world-wire",
+        "World Wire",
+        21,
+        &["worldwire.example"],
+        true,
+    ));
+    v.push(news_site(
+        "metro-daily",
+        "Metro Daily",
+        24,
+        &["metrodaily.example"],
+        true,
+    ));
+    v.push(news_site(
+        "press-reader",
+        "Press Reader",
+        28,
+        &["pressreader.example"],
+        true,
+    ));
+    v.push(news_site(
+        "newsblend",
+        "NewsBlend",
+        31,
+        &["newsblend.example"],
+        true,
+    ));
+    v.push(news_site(
+        "buzz-reel",
+        "BuzzReel",
+        35,
+        &["buzzreel.example"],
+        true,
+    ));
+    v.push(news_site(
+        "sport-ticker",
+        "Sport Ticker",
+        40,
+        &["sportticker.example"],
+        true,
+    ));
 
     // ---------------- Shopping (9) ----------------
     v.push(ServiceSpec {
@@ -474,7 +573,12 @@ fn build() -> Vec<ServiceSpec> {
             // cloudinary leads the stack: it is Table 2's one web-only
             // PII recipient, so its tag must be among the wired-up ones.
             ad_networks: &[
-                "cloudinary", "google-analytics", "facebook", "criteo", "demdex", "bluekai",
+                "cloudinary",
+                "google-analytics",
+                "facebook",
+                "criteo",
+                "demdex",
+                "bluekai",
             ],
             rtb_depth: 2,
             page_period_ms: 12_000,
@@ -550,7 +654,12 @@ fn build() -> Vec<ServiceSpec> {
         on_ios: true,
         excluded: None,
         app: AppSpec {
-            trackers: &["amazon-adsystem", "crashlytics", "facebook", "google-analytics"],
+            trackers: &[
+                "amazon-adsystem",
+                "crashlytics",
+                "facebook",
+                "google-analytics",
+            ],
             api_period_ms: 4_200,
             ..Default::default()
         },
@@ -1107,9 +1216,18 @@ fn build() -> Vec<ServiceSpec> {
             // (11.7 ± 14.4 leak domains): StudyPal is the outlier app
             // with a kitchen-sink SDK stack.
             trackers: &[
-                "flurry", "facebook", "google-analytics", "mixpanel", "doubleclick",
-                "googlesyndication", "2mdn", "serving-sys", "krxd", "doubleverify",
-                "tiqcdn", "inmobi",
+                "flurry",
+                "facebook",
+                "google-analytics",
+                "mixpanel",
+                "doubleclick",
+                "googlesyndication",
+                "2mdn",
+                "serving-sys",
+                "krxd",
+                "doubleverify",
+                "tiqcdn",
+                "inmobi",
             ],
             shares_profile_with_sdks: true,
             api_period_ms: 3_600,
@@ -1394,8 +1512,14 @@ fn build() -> Vec<ServiceSpec> {
         },
         web: WebSpec {
             ad_networks: &[
-                "marinsm", "doubleclick", "google-analytics", "facebook", "criteo",
-                "adnxs", "demdex", "rubiconproject",
+                "marinsm",
+                "doubleclick",
+                "google-analytics",
+                "facebook",
+                "criteo",
+                "adnxs",
+                "demdex",
+                "rubiconproject",
             ],
             rtb_depth: 2,
             page_period_ms: 13_200,
@@ -1417,8 +1541,17 @@ fn build() -> Vec<ServiceSpec> {
         on_android: true,
         on_ios: true,
         excluded: Some(Exclusion::CertificatePinning),
-        app: AppSpec { trackers: &[], api_period_ms: 3_000, ..Default::default() },
-        web: WebSpec { ad_networks: &[], page_period_ms: 10_000, objects_per_page: 20, ..Default::default() },
+        app: AppSpec {
+            trackers: &[],
+            api_period_ms: 3_000,
+            ..Default::default()
+        },
+        web: WebSpec {
+            ad_networks: &[],
+            page_period_ms: 10_000,
+            objects_per_page: 20,
+            ..Default::default()
+        },
     });
     v.push(ServiceSpec {
         id: "twitter",
@@ -1430,8 +1563,17 @@ fn build() -> Vec<ServiceSpec> {
         on_android: true,
         on_ios: true,
         excluded: Some(Exclusion::CertificatePinning),
-        app: AppSpec { trackers: &[], api_period_ms: 3_000, ..Default::default() },
-        web: WebSpec { ad_networks: &[], page_period_ms: 10_000, objects_per_page: 18, ..Default::default() },
+        app: AppSpec {
+            trackers: &[],
+            api_period_ms: 3_000,
+            ..Default::default()
+        },
+        web: WebSpec {
+            ad_networks: &[],
+            page_period_ms: 10_000,
+            objects_per_page: 18,
+            ..Default::default()
+        },
     });
     v.push(ServiceSpec {
         id: "instagram",
@@ -1443,8 +1585,17 @@ fn build() -> Vec<ServiceSpec> {
         on_android: true,
         on_ios: true,
         excluded: Some(Exclusion::NoEquivalentWeb),
-        app: AppSpec { trackers: &[], api_period_ms: 3_000, ..Default::default() },
-        web: WebSpec { ad_networks: &[], page_period_ms: 10_000, objects_per_page: 6, ..Default::default() },
+        app: AppSpec {
+            trackers: &[],
+            api_period_ms: 3_000,
+            ..Default::default()
+        },
+        web: WebSpec {
+            ad_networks: &[],
+            page_period_ms: 10_000,
+            objects_per_page: 6,
+            ..Default::default()
+        },
     });
     v.push(ServiceSpec {
         id: "pandora",
@@ -1456,8 +1607,17 @@ fn build() -> Vec<ServiceSpec> {
         on_android: true,
         on_ios: true,
         excluded: Some(Exclusion::BrokenInBrowser),
-        app: AppSpec { trackers: &[], api_period_ms: 3_000, ..Default::default() },
-        web: WebSpec { ad_networks: &[], page_period_ms: 10_000, objects_per_page: 8, ..Default::default() },
+        app: AppSpec {
+            trackers: &[],
+            api_period_ms: 3_000,
+            ..Default::default()
+        },
+        web: WebSpec {
+            ad_networks: &[],
+            page_period_ms: 10_000,
+            objects_per_page: 8,
+            ..Default::default()
+        },
     });
 
     v
@@ -1547,7 +1707,11 @@ mod tests {
         // netting 49/49... so assert the actual catalog numbers:
         let android = c.testable_on(Os::Android).count();
         let ios = c.testable_on(Os::Ios).count();
-        assert_eq!(android + ios, 98, "Table 1 tests 98 (service, OS) app cells");
+        assert_eq!(
+            android + ios,
+            98,
+            "Table 1 tests 98 (service, OS) app cells"
+        );
         assert!(android >= 48 && ios >= 48);
     }
 
@@ -1560,7 +1724,11 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), n);
         for s in c.all() {
-            assert!(!s.first_party.is_empty(), "{} needs first-party domains", s.id);
+            assert!(
+                !s.first_party.is_empty(),
+                "{} needs first-party domains",
+                s.id
+            );
         }
     }
 
@@ -1570,11 +1738,20 @@ mod tests {
         assert_eq!(c.get("grubhub").unwrap().app.password_to, Some("taplytics"));
         assert_eq!(c.get("jetblue").unwrap().app.password_to, Some("usablenet"));
         assert_eq!(c.get("jetblue").unwrap().web.password_to, Some("usablenet"));
-        assert_eq!(c.get("food-network").unwrap().app.password_to, Some("gigya"));
-        assert_eq!(c.get("food-network").unwrap().web.password_to, Some("gigya"));
+        assert_eq!(
+            c.get("food-network").unwrap().app.password_to,
+            Some("gigya")
+        );
+        assert_eq!(
+            c.get("food-network").unwrap().web.password_to,
+            Some("gigya")
+        );
         assert_eq!(c.get("ncaa-sports").unwrap().app.password_to, Some("gigya"));
         assert_eq!(c.get("ncaa-sports").unwrap().web.password_to, None);
-        assert_eq!(c.get("campus-connect").unwrap().web.password_to, Some("gigya"));
+        assert_eq!(
+            c.get("campus-connect").unwrap().web.password_to,
+            Some("gigya")
+        );
         // Table 3 password row: 4 apps, 3 webs, 2 in common.
         let app_pw = c.testable().filter(|s| s.app.password_to.is_some()).count();
         let web_pw = c.testable().filter(|s| s.web.password_to.is_some()).count();
@@ -1592,17 +1769,37 @@ mod tests {
             c.get("facebook-app").unwrap().excluded,
             Some(Exclusion::CertificatePinning)
         );
-        assert_eq!(c.get("instagram").unwrap().excluded, Some(Exclusion::NoEquivalentWeb));
-        assert_eq!(c.get("pandora").unwrap().excluded, Some(Exclusion::BrokenInBrowser));
+        assert_eq!(
+            c.get("instagram").unwrap().excluded,
+            Some(Exclusion::NoEquivalentWeb)
+        );
+        assert_eq!(
+            c.get("pandora").unwrap().excluded,
+            Some(Exclusion::BrokenInBrowser)
+        );
         assert!(c.get("twitter").unwrap().excluded.is_some());
     }
 
     #[test]
     fn named_services_present_with_real_domains() {
         let c = Catalog::paper();
-        assert_eq!(c.get("weather-channel").unwrap().first_party, &["weather.com", "imwx.com"]);
-        for id in ["accuweather", "bbc-news", "cnn-news", "yelp", "starbucks", "allrecipes",
-                   "jetblue", "priceline", "grubhub", "food-network", "ncaa-sports"] {
+        assert_eq!(
+            c.get("weather-channel").unwrap().first_party,
+            &["weather.com", "imwx.com"]
+        );
+        for id in [
+            "accuweather",
+            "bbc-news",
+            "cnn-news",
+            "yelp",
+            "starbucks",
+            "allrecipes",
+            "jetblue",
+            "priceline",
+            "grubhub",
+            "food-network",
+            "ncaa-sports",
+        ] {
             assert!(c.get(id).is_some(), "missing named service {id}");
         }
     }
@@ -1632,6 +1829,38 @@ mod tests {
             .testable()
             .filter(|s| s.web.ad_networks.contains(&"amobee"))
             .count();
-        assert_eq!((app_count, web_count), (1, 1), "Table 2: amobee used by 1 service");
+        assert_eq!(
+            (app_count, web_count),
+            (1, 1),
+            "Table 2: amobee used by 1 service"
+        );
     }
 }
+
+appvsweb_json::impl_json!(
+    enum ServiceCategory {
+        Business,
+        Education,
+        Entertainment,
+        Lifestyle,
+        Music,
+        News,
+        Shopping,
+        Social,
+        Travel,
+        Weather,
+    }
+);
+appvsweb_json::impl_json!(
+    enum Medium {
+        App,
+        Web,
+    }
+);
+appvsweb_json::impl_json!(
+    enum Exclusion {
+        CertificatePinning,
+        NoEquivalentWeb,
+        BrokenInBrowser,
+    }
+);

@@ -15,10 +15,10 @@
 use crate::catalog::{Exclusion, Medium, ServiceSpec};
 use crate::trackers::{self, PayloadStyle, TrackerSpec};
 use crate::world::OriginWorld;
+use appvsweb_httpsim::cache::{BrowserCache, CacheAdvice};
 use appvsweb_httpsim::codec::base64_encode;
 use appvsweb_httpsim::compress::gzip_compress;
 use appvsweb_httpsim::url::Scheme;
-use appvsweb_httpsim::cache::{BrowserCache, CacheAdvice};
 use appvsweb_httpsim::{Body, CookieJar, Request, Url};
 use appvsweb_mitm::{Meddle, OriginServer, ReusePolicy, Trace};
 use appvsweb_netsim::{EventQueue, Os, SimDuration, SimRng, SimTime};
@@ -253,9 +253,7 @@ impl SessionRunner<'_> {
         let url = Url::new(Scheme::Https, self.www_host(), "/account/login");
         let body = Body::form(&[("email", &truth.email), ("password", &truth.password)]);
         let req = Request::post(url, body).with_user_agent(self.user_agent());
-        if let Ok(resp) =
-            meddle.exchange(trust, pins, world, req, now, self.reuse_policy())
-        {
+        if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, self.reuse_policy()) {
             for sc in resp.set_cookies() {
                 jar.store(&self.www_host(), sc);
             }
@@ -306,11 +304,12 @@ impl SessionRunner<'_> {
         for t in pii {
             params.extend(pii_params(t, truth, self.os, None));
         }
-        let pairs: Vec<(&str, &str)> =
-            params.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let pairs: Vec<(&str, &str)> = params
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
         let url = Url::new(Scheme::Https, host.clone(), "/account/profile");
-        let mut req =
-            Request::post(url, Body::form(&pairs)).with_user_agent(self.user_agent());
+        let mut req = Request::post(url, Body::form(&pairs)).with_user_agent(self.user_agent());
         if let Some(cookie) = jar.cookie_header(&host, "/account/profile", true) {
             req.headers.set("Cookie", cookie);
         }
@@ -331,7 +330,11 @@ impl SessionRunner<'_> {
         // Every fourth call on a sloppy API goes over plaintext HTTP —
         // that is how "encrypted-looking" apps still leak to eavesdroppers.
         let plaintext = self.spec.app.plaintext_api && n % 4 == 3;
-        let scheme = if plaintext { Scheme::Http } else { Scheme::Https };
+        let scheme = if plaintext {
+            Scheme::Http
+        } else {
+            Scheme::Https
+        };
         // Endpoints follow the service's domain: a weather app polls
         // forecasts, a shop browses products, a news app pulls articles.
         let endpoint = match self.spec.category {
@@ -397,7 +400,11 @@ impl SessionRunner<'_> {
             }
         }
         let host = tracker.hosts[now.as_millis() as usize % tracker.hosts.len()];
-        let scheme = if tracker.plaintext { Scheme::Http } else { Scheme::Https };
+        let scheme = if tracker.plaintext {
+            Scheme::Http
+        } else {
+            Scheme::Https
+        };
         let req = build_payload(scheme, host, tracker.style, &params, &self.user_agent());
         let _ = meddle.exchange(trust, pins, world, req, now, ReusePolicy::app());
         // Ad-serving SDKs pull a creative with each refresh — the bulk of
@@ -437,7 +444,11 @@ impl SessionRunner<'_> {
     ) {
         let www = self.www_host();
         let plaintext_page = self.spec.web.plaintext_site && n % 2 == 1;
-        let scheme = if plaintext_page { Scheme::Http } else { Scheme::Https };
+        let scheme = if plaintext_page {
+            Scheme::Http
+        } else {
+            Scheme::Https
+        };
 
         // 1. The page itself. Sites that key content on location put it
         // in the page URL — over HTTP on plaintext sites, a textbook leak.
@@ -527,13 +538,16 @@ impl SessionRunner<'_> {
                     }
                 }
             }
-            let scheme = if tracker.plaintext { Scheme::Http } else { Scheme::Https };
+            let scheme = if tracker.plaintext {
+                Scheme::Http
+            } else {
+                Scheme::Https
+            };
             let mut req = build_payload(scheme, host, tracker.style, &params, &self.user_agent());
             if let Some(cookie) = jar.cookie_header(host, "/", scheme == Scheme::Https) {
                 req.headers.set("Cookie", cookie);
             }
-            if let Ok(resp) =
-                meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot())
+            if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot())
             {
                 for sc in resp.set_cookies() {
                     jar.store(host, sc);
@@ -620,9 +634,7 @@ fn pii_params(
                     (Os::Android, "ad_id") => ("gaid", value.clone()),
                     (Os::Android, "android_id") => ("android_id", value.clone()),
                     (Os::Android, "imei") => ("imei", value.clone()),
-                    (Os::Android, "mac") => {
-                        ("wifi_mac", Encoding::StripSeparators.apply(value))
-                    }
+                    (Os::Android, "mac") => ("wifi_mac", Encoding::StripSeparators.apply(value)),
                     (Os::Ios, "ad_id") => ("idfa", value.to_ascii_uppercase()),
                     (Os::Ios, "vendor_id") => ("idfv", value.to_ascii_uppercase()),
                     _ => continue,
@@ -667,8 +679,10 @@ fn build_payload(
     params: &[(String, String)],
     user_agent: &str,
 ) -> Request {
-    let pairs: Vec<(&str, &str)> =
-        params.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = params
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
     let req = match style {
         PayloadStyle::Query => {
             let url = Url::new(scheme, host, "/pixel").with_query(&pairs);
@@ -744,7 +758,13 @@ mod tests {
         let spec = catalog.get(id).unwrap();
         let (mut meddle, mut world, trust) = testbed();
         let runner = SessionRunner { spec, os, medium };
-        runner.run(&mut meddle, &mut world, &trust, &truth_for(os), &SessionConfig::default())
+        runner.run(
+            &mut meddle,
+            &mut world,
+            &trust,
+            &truth_for(os),
+            &SessionConfig::default(),
+        )
     }
 
     #[test]
@@ -781,7 +801,10 @@ mod tests {
     fn background_traffic_is_stripped_by_default() {
         let trace = run("bbc-news", Os::Android, Medium::App);
         assert!(
-            !trace.hosts().iter().any(|h| h.contains("google.com") || h.contains("googleapis")),
+            !trace
+                .hosts()
+                .iter()
+                .any(|h| h.contains("google.com") || h.contains("googleapis")),
             "OS background hosts must be filtered"
         );
     }
@@ -791,10 +814,16 @@ mod tests {
         let catalog = Catalog::paper();
         let spec = catalog.get("bbc-news").unwrap();
         let (mut meddle, mut world, trust) = testbed();
-        let runner = SessionRunner { spec, os: Os::Ios, medium: Medium::App };
-        let cfg = SessionConfig { strip_background: false, ..Default::default() };
-        let trace =
-            runner.run(&mut meddle, &mut world, &trust, &truth_for(Os::Ios), &cfg);
+        let runner = SessionRunner {
+            spec,
+            os: Os::Ios,
+            medium: Medium::App,
+        };
+        let cfg = SessionConfig {
+            strip_background: false,
+            ..Default::default()
+        };
+        let trace = runner.run(&mut meddle, &mut world, &trust, &truth_for(Os::Ios), &cfg);
         assert!(trace.hosts().iter().any(|h| h.contains("apple.com")));
     }
 
@@ -807,9 +836,15 @@ mod tests {
             .filter(|c| c.host.contains("facebook.com"))
             .collect();
         assert!(!fp.is_empty());
-        assert!(fp.iter().all(|c| !c.decrypted), "pinned traffic must stay opaque");
         assert!(
-            !trace.transactions.iter().any(|t| t.host.contains("facebook.com")),
+            fp.iter().all(|c| !c.decrypted),
+            "pinned traffic must stay opaque"
+        );
+        assert!(
+            !trace
+                .transactions
+                .iter()
+                .any(|t| t.host.contains("facebook.com")),
             "no plaintext visibility for pinned flows"
         );
     }
@@ -850,7 +885,10 @@ mod tests {
     fn plaintext_api_produces_http_flows() {
         let trace = run("accuweather", Os::Android, Medium::App);
         assert!(
-            trace.transactions.iter().any(|t| t.plaintext && t.host.contains("accuweather")),
+            trace
+                .transactions
+                .iter()
+                .any(|t| t.plaintext && t.host.contains("accuweather")),
             "Accuweather's plaintext API calls must appear"
         );
     }
@@ -862,9 +900,10 @@ mod tests {
         let truth_a = truth_for(Os::Android);
         let truth_i = truth_for(Os::Ios);
         let has_name = |trace: &Trace, truth: &GroundTruth| {
-            trace.transactions.iter().any(|t| {
-                String::from_utf8_lossy(&t.request_bytes()).contains(&truth.first_name)
-            })
+            trace
+                .transactions
+                .iter()
+                .any(|t| String::from_utf8_lossy(&t.request_bytes()).contains(&truth.first_name))
         };
         assert!(!has_name(&android, &truth_a));
         assert!(has_name(&ios, &truth_i));
@@ -881,7 +920,11 @@ mod tests {
         let mut traces = vec![];
         for mins in [4u64, 10] {
             let (mut meddle, mut world, trust) = testbed();
-            let runner = SessionRunner { spec, os: Os::Android, medium: Medium::App };
+            let runner = SessionRunner {
+                spec,
+                os: Os::Android,
+                medium: Medium::App,
+            };
             let cfg = SessionConfig {
                 duration: SimDuration::from_mins(mins),
                 ..Default::default()

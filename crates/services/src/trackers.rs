@@ -174,7 +174,10 @@ const TRACKERS: &[TrackerSpec] = &[
     },
     TrackerSpec {
         id: "googlesyndication",
-        hosts: &["pagead2.googlesyndication.com", "securepubads.googlesyndication.com"],
+        hosts: &[
+            "pagead2.googlesyndication.com",
+            "securepubads.googlesyndication.com",
+        ],
         app_collects: &[UniqueId],
         web_collects: &[Location],
         beacon_period_ms: 9_000,
@@ -384,7 +387,11 @@ const TRACKERS: &[TrackerSpec] = &[
     // ---- Ecosystem staples (Web ad stack + app SDKs) ----
     TrackerSpec {
         id: "doubleclick",
-        hosts: &["ad.doubleclick.net", "ads.g.doubleclick.net", "cm.g.doubleclick.net"],
+        hosts: &[
+            "ad.doubleclick.net",
+            "ads.g.doubleclick.net",
+            "cm.g.doubleclick.net",
+        ],
         app_collects: &[UniqueId],
         web_collects: &[Location],
         beacon_period_ms: 18_000,
@@ -789,10 +796,26 @@ mod tests {
     #[test]
     fn table2_organizations_present() {
         for id in [
-            "amobee", "moatads", "vrvm", "google-analytics", "facebook", "groceryserver",
-            "serving-sys", "googlesyndication", "thebrighttag", "tiqcdn", "marinsm", "criteo",
-            "2mdn", "monetate", "247realmedia", "krxd", "doubleverify", "cloudinary",
-            "webtrends", "liftoff",
+            "amobee",
+            "moatads",
+            "vrvm",
+            "google-analytics",
+            "facebook",
+            "groceryserver",
+            "serving-sys",
+            "googlesyndication",
+            "thebrighttag",
+            "tiqcdn",
+            "marinsm",
+            "criteo",
+            "2mdn",
+            "monetate",
+            "247realmedia",
+            "krxd",
+            "doubleverify",
+            "cloudinary",
+            "webtrends",
+            "liftoff",
         ] {
             assert_eq!(by_id(id).id, id);
         }

@@ -37,7 +37,10 @@ impl OriginWorld {
     /// Build the world. All server certificates chain to a public root CA
     /// derived from `ca_label`.
     pub fn new(ca_label: &str, rng: SimRng) -> Self {
-        OriginWorld { ca: CertificateAuthority::new(ca_label), rng }
+        OriginWorld {
+            ca: CertificateAuthority::new(ca_label),
+            rng,
+        }
     }
 
     /// The public root CA. Devices and the Meddle proxy must trust this.
@@ -73,7 +76,10 @@ impl OriginWorld {
 
 impl OriginServer for OriginWorld {
     fn tls_config(&self, host: &str) -> ServerConfig {
-        ServerConfig { chain: self.ca.chain_for(host), supports_resumption: true }
+        ServerConfig {
+            chain: self.ca.chain_for(host),
+            supports_resumption: true,
+        }
     }
 
     fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
@@ -91,8 +97,7 @@ impl OriginServer for OriginWorld {
             .and_then(|(_, v)| v.parse::<u32>().ok())
         {
             if hops > 0 {
-                let candidates: Vec<&&str> =
-                    RTB_EXCHANGES.iter().filter(|e| **e != host).collect();
+                let candidates: Vec<&&str> = RTB_EXCHANGES.iter().filter(|e| **e != host).collect();
                 let next = candidates[self.rng.below(candidates.len() as u64) as usize];
                 let mut location = Url::new(Scheme::Https, *next, "/rtb");
                 location.push_query("rtb", &(hops - 1).to_string());
@@ -116,14 +121,21 @@ impl OriginServer for OriginWorld {
         }
 
         // --- Tracker beacons ------------------------------------------
-        if path.contains("beacon") || path.contains("collect") || path.contains("pixel")
-            || path.contains("track") || path.contains("impression") || path.contains("batch")
+        if path.contains("beacon")
+            || path.contains("collect")
+            || path.contains("pixel")
+            || path.contains("track")
+            || path.contains("impression")
+            || path.contains("batch")
         {
             let mut resp = Response::no_content();
             // Trackers set an id cookie on first contact.
             resp.add_set_cookie(
-                &SetCookie::session("_tid", format!("t{:012x}", self.rng.next_u64() & 0xffff_ffff_ffff))
-                    .with_domain(req.url.host.registrable_domain()),
+                &SetCookie::session(
+                    "_tid",
+                    format!("t{:012x}", self.rng.next_u64() & 0xffff_ffff_ffff),
+                )
+                .with_domain(req.url.host.registrable_domain()),
             );
             return resp;
         }
@@ -143,8 +155,7 @@ impl OriginServer for OriginWorld {
                 return resp;
             }
             let size = self.content_size("adjs");
-            let mut resp =
-                Response::ok(Body::binary(vec![b'/'; size], "application/javascript"));
+            let mut resp = Response::ok(Body::binary(vec![b'/'; size], "application/javascript"));
             resp.headers.set("Cache-Control", "public, max-age=600");
             resp.headers.set("ETag", etag);
             return resp;
@@ -159,8 +170,7 @@ impl OriginServer for OriginWorld {
                 return resp;
             }
             let size = self.content_size("obj");
-            let mut resp =
-                Response::ok(Body::binary(vec![b'.'; size], "application/octet-stream"));
+            let mut resp = Response::ok(Body::binary(vec![b'.'; size], "application/octet-stream"));
             resp.headers.set("Cache-Control", "public, max-age=15");
             resp.headers.set("ETag", etag);
             return resp;
@@ -215,7 +225,11 @@ mod tests {
         let r1 = w.handle(&get("https://ib.adnxs.com/rtb?rtb=2&sync=abc"), SimTime(0));
         assert!(r1.status.is_redirect());
         let next = r1.redirect_target().unwrap();
-        assert_ne!(next.host.as_str(), "ib.adnxs.com", "chain must hop to a different exchange");
+        assert_ne!(
+            next.host.as_str(),
+            "ib.adnxs.com",
+            "chain must hop to a different exchange"
+        );
         assert!(next.query.as_deref().unwrap().contains("rtb=1"));
         assert!(next.query.as_deref().unwrap().contains("sync=abc"));
         // Follow to terminus.
@@ -239,15 +253,27 @@ mod tests {
         let mut w = world();
         let resp = w.handle(&get("https://grubhub.com/login"), SimTime(0));
         assert!(resp.status.is_success());
-        assert!(resp.set_cookies().iter().any(|c| c.cookie.name == "session"));
+        assert!(resp
+            .set_cookies()
+            .iter()
+            .any(|c| c.cookie.name == "session"));
     }
 
     #[test]
     fn content_sizes_by_kind() {
         let mut w = world();
-        let page = w.handle(&get("https://cnn.com/page/1"), SimTime(0)).body.len();
-        let asset = w.handle(&get("https://cnn.com/obj/7.png"), SimTime(0)).body.len();
-        let video = w.handle(&get("https://streamflix.example/video/seg1"), SimTime(0)).body.len();
+        let page = w
+            .handle(&get("https://cnn.com/page/1"), SimTime(0))
+            .body
+            .len();
+        let asset = w
+            .handle(&get("https://cnn.com/obj/7.png"), SimTime(0))
+            .body
+            .len();
+        let video = w
+            .handle(&get("https://streamflix.example/video/seg1"), SimTime(0))
+            .body
+            .len();
         assert!(video > page && page > asset);
     }
 }

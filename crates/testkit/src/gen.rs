@@ -1,0 +1,468 @@
+//! Input generators with greedy shrinking.
+//!
+//! A [`Gen`] draws values from the deterministic [`SimRng`] stream and
+//! can propose strictly "smaller" candidates for a failing value. The
+//! harness applies candidates greedily: the first one that still fails
+//! becomes the new counterexample, until no candidate fails.
+
+use appvsweb_netsim::SimRng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::RangeInclusive;
+
+/// A deterministic value generator with shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draw one value from the stream.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, most aggressive
+    /// first. An empty list ends shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+/// Uniform `u64` in an inclusive range; shrinks toward the lower bound.
+pub fn u64s(range: RangeInclusive<u64>) -> U64Range {
+    U64Range {
+        lo: *range.start(),
+        hi: *range.end(),
+    }
+}
+
+/// Uniform `usize` in an inclusive range; shrinks toward the lower bound.
+pub fn usizes(range: RangeInclusive<usize>) -> USizeRange {
+    USizeRange(u64s(*range.start() as u64..=*range.end() as u64))
+}
+
+/// Uniform `i64` in an inclusive range; shrinks toward zero (clamped to
+/// the range), matching proptest's convention for signed integers.
+pub fn i64s(range: RangeInclusive<i64>) -> I64Range {
+    I64Range {
+        lo: *range.start(),
+        hi: *range.end(),
+    }
+}
+
+/// Uniform `u8` in an inclusive range; shrinks toward the lower bound.
+pub fn u8s(range: RangeInclusive<u8>) -> U8Range {
+    U8Range(u64s(*range.start() as u64..=*range.end() as u64))
+}
+
+/// Fair coin; `true` shrinks to `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// See [`u64s`].
+#[derive(Clone, Copy, Debug)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+impl Gen for U64Range {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut SimRng) -> u64 {
+        rng.range(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        shrink_ladder(*value, self.lo)
+    }
+}
+
+/// See [`usizes`].
+#[derive(Clone, Copy, Debug)]
+pub struct USizeRange(U64Range);
+
+impl Gen for USizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut SimRng) -> usize {
+        self.0.generate(rng) as usize
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        self.0
+            .shrink(&(*value as u64))
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+/// See [`u8s`].
+#[derive(Clone, Copy, Debug)]
+pub struct U8Range(U64Range);
+
+impl Gen for U8Range {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut SimRng) -> u8 {
+        self.0.generate(rng) as u8
+    }
+
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        self.0
+            .shrink(&(*value as u64))
+            .into_iter()
+            .map(|v| v as u8)
+            .collect()
+    }
+}
+
+/// See [`i64s`].
+#[derive(Clone, Copy, Debug)]
+pub struct I64Range {
+    lo: i64,
+    hi: i64,
+}
+
+impl Gen for I64Range {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut SimRng) -> i64 {
+        let span = self.hi.abs_diff(self.lo);
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        self.lo.wrapping_add(rng.below(span + 1) as i64)
+    }
+
+    fn shrink(&self, value: &i64) -> Vec<i64> {
+        let v = *value;
+        let target = 0i64.clamp(self.lo, self.hi);
+        if v == target {
+            return Vec::new();
+        }
+        // Ladder over the distance to the target, mirrored for values
+        // below it, so signed shrinking also converges like binary search.
+        shrink_ladder(v.abs_diff(target), 0)
+            .into_iter()
+            .map(|d| {
+                if v >= target {
+                    target + d as i64
+                } else {
+                    target - d as i64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Shrink candidates for a value with a target floor: the floor itself,
+/// then a halving ladder closing in on `v` (`v-d, v-d/2, …, v-1`).
+/// Greedy selection over this list behaves like binary search, so
+/// shrinking converges in O(log²) property runs instead of O(v).
+fn shrink_ladder(v: u64, floor: u64) -> Vec<u64> {
+    if v <= floor {
+        return Vec::new();
+    }
+    let mut out = vec![floor];
+    let mut d = (v - floor) / 2;
+    while d > 0 {
+        out.push(v - d);
+        d /= 2;
+    }
+    out.dedup();
+    out
+}
+
+/// See [`bools`].
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+impl Gen for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SimRng) -> bool {
+        rng.chance(0.5)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ------------------------------------------------------------ collections
+
+/// `Vec` of values from `item`, with a length range. Shrinks the length
+/// first (empty, halves, drop-one), then individual elements.
+pub fn vecs_of<G: Gen>(item: G, len: RangeInclusive<usize>) -> VecOf<G> {
+    VecOf {
+        item,
+        lo: *len.start(),
+        hi: *len.end(),
+    }
+}
+
+/// Arbitrary bytes with a length range.
+pub fn bytes(len: RangeInclusive<usize>) -> VecOf<U8Range> {
+    vecs_of(u8s(0..=255), len)
+}
+
+/// `BTreeSet` built from up to `max_draws` draws of `item` (duplicates
+/// collapse, so sets can come out smaller — same as proptest's
+/// `btree_set` with a size range).
+pub fn btree_sets_of<G: Gen>(item: G, max_draws: RangeInclusive<usize>) -> BTreeSetOf<G>
+where
+    G::Value: Ord,
+{
+    BTreeSetOf {
+        inner: vecs_of(item, max_draws),
+    }
+}
+
+/// See [`vecs_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecOf<G> {
+    item: G,
+    lo: usize,
+    hi: usize,
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<G::Value> {
+        let len = rng.range(self.lo as u64, self.hi as u64) as usize;
+        (0..len).map(|_| self.item.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        for len in shrink_ladder(value.len() as u64, self.lo as u64) {
+            out.push(value[..len as usize].to_vec());
+        }
+        // Element-wise: first shrink candidate per position, capped so
+        // huge vectors don't explode the candidate list.
+        for (i, item) in value.iter().enumerate().take(16) {
+            if let Some(simpler) = self.item.shrink(item).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = simpler;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// See [`btree_sets_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct BTreeSetOf<G> {
+    inner: VecOf<G>,
+}
+
+impl<G: Gen> Gen for BTreeSetOf<G>
+where
+    G::Value: Ord,
+{
+    type Value = BTreeSet<G::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> BTreeSet<G::Value> {
+        self.inner.generate(rng).into_iter().collect()
+    }
+
+    fn shrink(&self, value: &BTreeSet<G::Value>) -> Vec<BTreeSet<G::Value>> {
+        let as_vec: Vec<G::Value> = value.iter().cloned().collect();
+        self.inner
+            .shrink(&as_vec)
+            .into_iter()
+            .map(|v| v.into_iter().collect())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+/// Strings of printable characters (ASCII plus a sprinkling of
+/// multi-byte code points — the practical coverage of proptest's
+/// `\PC` regex class). Shrinks length first, then characters to `'a'`.
+pub fn printable_strings(len: RangeInclusive<usize>) -> StringGen {
+    StringGen {
+        chars: CharClass::Printable,
+        lo: *len.start(),
+        hi: *len.end(),
+    }
+}
+
+/// Lowercase ASCII strings, the `[a-z]{lo,hi}` workhorse.
+pub fn lowercase_strings(len: RangeInclusive<usize>) -> StringGen {
+    StringGen {
+        chars: CharClass::Lowercase,
+        lo: *len.start(),
+        hi: *len.end(),
+    }
+}
+
+/// Lowercase alphanumeric strings (`[a-z0-9]{lo,hi}`).
+pub fn alnum_strings(len: RangeInclusive<usize>) -> StringGen {
+    StringGen {
+        chars: CharClass::LowerAlnum,
+        lo: *len.start(),
+        hi: *len.end(),
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum CharClass {
+    Printable,
+    Lowercase,
+    LowerAlnum,
+}
+
+impl CharClass {
+    fn draw(self, rng: &mut SimRng) -> char {
+        match self {
+            CharClass::Lowercase => (b'a' + rng.below(26) as u8) as char,
+            CharClass::LowerAlnum => {
+                let i = rng.below(36) as u8;
+                if i < 26 {
+                    (b'a' + i) as char
+                } else {
+                    (b'0' + i - 26) as char
+                }
+            }
+            CharClass::Printable => {
+                // Mostly printable ASCII, occasionally multi-byte.
+                if rng.chance(0.9) {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                } else {
+                    const EXOTIC: &[char] =
+                        &['é', 'π', '☂', '中', '𝄞', 'Ω', 'ß', '→', '\u{a0}', '￿'];
+                    *rng.choose(EXOTIC).unwrap()
+                }
+            }
+        }
+    }
+}
+
+/// See [`printable_strings`] and friends.
+#[derive(Clone, Copy, Debug)]
+pub struct StringGen {
+    chars: CharClass,
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SimRng) -> String {
+        let len = rng.range(self.lo as u64, self.hi as u64) as usize;
+        (0..len).map(|_| self.chars.draw(rng)).collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        for len in shrink_ladder(chars.len() as u64, self.lo as u64) {
+            out.push(chars[..len as usize].iter().collect());
+        }
+        for (i, &c) in chars.iter().enumerate().take(16) {
+            if c != 'a' {
+                let mut next = chars.clone();
+                next[i] = 'a';
+                out.push(next.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------ combinators
+
+/// A generator from a closure; no shrinking. The escape hatch for
+/// structured inputs (hostnames, paths) where shrinking has little
+/// value.
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut SimRng) -> T,
+{
+    FromFn(f)
+}
+
+/// Pick one of the listed values uniformly; shrinks toward the first.
+pub fn one_of<T: Clone + Debug + PartialEq>(choices: &'static [T]) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of requires at least one choice");
+    OneOf(choices)
+}
+
+/// See [`from_fn`].
+#[derive(Clone, Copy)]
+pub struct FromFn<F>(F);
+
+impl<T, F> Gen for FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut SimRng) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SimRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`one_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OneOf<T: 'static>(&'static [T]);
+
+impl<T: Clone + Debug + PartialEq> Gen for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SimRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        if *value == self.0[0] {
+            Vec::new()
+        } else {
+            vec![self.0[0].clone()]
+        }
+    }
+}
+
+/// Pairs of generators (used directly or via the tuple impls).
+macro_rules! impl_gen_tuple {
+    ($($g:ident/$v:ident/$idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_gen_tuple!(A / a / 0);
+impl_gen_tuple!(A / a / 0, B / b / 1);
+impl_gen_tuple!(A / a / 0, B / b / 1, C / c / 2);
+impl_gen_tuple!(A / a / 0, B / b / 1, C / c / 2, D / d / 3);
+impl_gen_tuple!(A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4);

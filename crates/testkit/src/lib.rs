@@ -1,0 +1,53 @@
+//! Deterministic test and bench harness for the appvsweb workspace.
+//!
+//! Replaces `proptest` and `criterion` with two small, fully offline
+//! subsystems that share the workspace's reproducibility contract:
+//!
+//! * **Property testing** ([`gen`], [`check`], [`prop_test!`]): inputs
+//!   are drawn from the same SplitMix64 [`SimRng`] stream the simulator
+//!   uses, forked per test name from a fixed harness seed — every run,
+//!   on every machine, sees the same cases. Failures are greedily
+//!   shrunk before being reported.
+//! * **Micro-benchmarks** ([`bench`]): a wall-clock runner with warmup
+//!   and auto-batching that reports median/p95 per op and writes
+//!   `BENCH_*.json` artifacts through `appvsweb-json`.
+
+pub mod bench;
+pub mod gen;
+mod prop;
+
+pub use appvsweb_netsim::SimRng;
+pub use bench::{BenchResult, BenchRunner};
+pub use gen::Gen;
+pub use prop::{check, PropConfig};
+
+/// Define property tests over [`gen`] generators.
+///
+/// ```ignore
+/// appvsweb_testkit::prop_test! {
+///     fn addition_commutes(a in gen::u64s(0..=100), b in gen::u64s(0..=100)) {
+///         assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each function becomes a `#[test]` that draws its cases from a stream
+/// forked from the fixed harness seed by test name, runs the body per
+/// case, and on failure greedily shrinks the input before panicking with
+/// the minimal counterexample.
+#[macro_export]
+macro_rules! prop_test {
+    ($( $(#[$attr:meta])* fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let gens = ($($gen,)+);
+                $crate::check(stringify!($name), &gens, |case| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(case);
+                    $body
+                });
+            }
+        )+
+    };
+}

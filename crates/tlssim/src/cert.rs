@@ -4,11 +4,10 @@
 //! authority/subject names, so the same simulated world always produces
 //! the same key material — a requirement for reproducible experiments.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An opaque public-key identifier (stands in for an SPKI hash).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KeyId(pub u64);
 
 impl KeyId {
@@ -38,7 +37,7 @@ impl fmt::Display for KeyId {
 }
 
 /// A simulated X.509 certificate.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Certificate {
     /// Subject common name (a DNS name or CA label).
     pub subject: String,
@@ -88,7 +87,7 @@ fn name_matches(pattern: &str, host: &str) -> bool {
 }
 
 /// A certificate chain ordered leaf-first.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CertificateChain(pub Vec<Certificate>);
 
 impl CertificateChain {
@@ -131,7 +130,7 @@ impl CertificateChain {
 /// A certificate authority that can issue leaf and intermediate
 /// certificates. The MITM proxy owns one of these and forges leaves on
 /// the fly, exactly as mitmproxy does with its installed CA.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CertificateAuthority {
     /// The CA's own (self-signed) certificate.
     pub root: Certificate,
@@ -255,3 +254,8 @@ mod tests {
         assert!(!CertificateChain(vec![]).structurally_valid(0));
     }
 }
+
+appvsweb_json::impl_json!(newtype KeyId(u64));
+appvsweb_json::impl_json!(struct Certificate { subject, san, issuer, key, signed_by, is_ca, not_before, not_after });
+appvsweb_json::impl_json!(newtype CertificateChain(Vec<Certificate>));
+appvsweb_json::impl_json!(struct CertificateAuthority { root });

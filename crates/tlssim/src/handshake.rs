@@ -11,7 +11,6 @@ use crate::cert::CertificateChain;
 use crate::pinning::PinSet;
 use crate::record::{self, FULL_HANDSHAKE_BYTES, RESUMED_HANDSHAKE_BYTES};
 use crate::trust::TrustStore;
-use serde::{Deserialize, Serialize};
 
 /// Client-side handshake parameters.
 #[derive(Clone, Debug)]
@@ -37,7 +36,7 @@ pub struct ServerConfig {
 }
 
 /// Why a handshake failed. Mirrors the TLS alerts relevant to the study.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HandshakeError {
     /// Chain failed structural/validity/name/anchor verification
     /// (alert: `bad_certificate` / `unknown_ca`).
@@ -59,7 +58,7 @@ impl std::fmt::Display for HandshakeError {
 impl std::error::Error for HandshakeError {}
 
 /// An established TLS session.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TlsSession {
     /// SNI value the session was established for.
     pub server_name: String,
@@ -87,8 +86,15 @@ pub type HandshakeOutcome = Result<TlsSession, HandshakeError>;
 /// the server supports resumption (certificate checks still apply —
 /// clients re-validate on resumption in this model, which is the
 /// conservative behaviour).
-pub fn handshake(client: &ClientConfig<'_>, server: &ServerConfig, resume: bool) -> HandshakeOutcome {
-    if !client.trust.verify(&server.chain, &client.server_name, client.now) {
+pub fn handshake(
+    client: &ClientConfig<'_>,
+    server: &ServerConfig,
+    resume: bool,
+) -> HandshakeOutcome {
+    if !client
+        .trust
+        .verify(&server.chain, &client.server_name, client.now)
+    {
         return Err(HandshakeError::UntrustedCertificate);
     }
     if !client.pins.accepts(&server.chain) {
@@ -97,7 +103,11 @@ pub fn handshake(client: &ClientConfig<'_>, server: &ServerConfig, resume: bool)
     let resumed = resume && server.supports_resumption;
     Ok(TlsSession {
         server_name: client.server_name.clone(),
-        handshake_bytes: if resumed { RESUMED_HANDSHAKE_BYTES } else { FULL_HANDSHAKE_BYTES },
+        handshake_bytes: if resumed {
+            RESUMED_HANDSHAKE_BYTES
+        } else {
+            FULL_HANDSHAKE_BYTES
+        },
         resumed,
     })
 }
@@ -118,8 +128,16 @@ mod tests {
     fn successful_full_and_resumed_handshake() {
         let (ca, trust) = world();
         let pins = PinSet::none();
-        let server = ServerConfig { chain: ca.chain_for("api.bbc.co.uk"), supports_resumption: true };
-        let client = ClientConfig { trust: &trust, pins: &pins, server_name: "api.bbc.co.uk".into(), now: 0 };
+        let server = ServerConfig {
+            chain: ca.chain_for("api.bbc.co.uk"),
+            supports_resumption: true,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "api.bbc.co.uk".into(),
+            now: 0,
+        };
         let full = handshake(&client, &server, false).unwrap();
         assert!(!full.resumed);
         assert_eq!(full.handshake_bytes, FULL_HANDSHAKE_BYTES);
@@ -132,8 +150,16 @@ mod tests {
     fn resumption_requires_server_support() {
         let (ca, trust) = world();
         let pins = PinSet::none();
-        let server = ServerConfig { chain: ca.chain_for("x.com"), supports_resumption: false };
-        let client = ClientConfig { trust: &trust, pins: &pins, server_name: "x.com".into(), now: 0 };
+        let server = ServerConfig {
+            chain: ca.chain_for("x.com"),
+            supports_resumption: false,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "x.com".into(),
+            now: 0,
+        };
         assert!(!handshake(&client, &server, true).unwrap().resumed);
     }
 
@@ -142,9 +168,20 @@ mod tests {
         let (_ca, trust) = world();
         let rogue = CertificateAuthority::new("Rogue");
         let pins = PinSet::none();
-        let server = ServerConfig { chain: rogue.chain_for("x.com"), supports_resumption: false };
-        let client = ClientConfig { trust: &trust, pins: &pins, server_name: "x.com".into(), now: 0 };
-        assert_eq!(handshake(&client, &server, false), Err(HandshakeError::UntrustedCertificate));
+        let server = ServerConfig {
+            chain: rogue.chain_for("x.com"),
+            supports_resumption: false,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "x.com".into(),
+            now: 0,
+        };
+        assert_eq!(
+            handshake(&client, &server, false),
+            Err(HandshakeError::UntrustedCertificate)
+        );
     }
 
     #[test]
@@ -156,11 +193,25 @@ mod tests {
         trust.add_root(&proxy.root);
         let real_chain = real_ca.chain_for("facebook.com");
         let pins = PinSet::of([real_chain.leaf().unwrap().key]);
-        let forged = ServerConfig { chain: proxy.chain_for("facebook.com"), supports_resumption: true };
-        let client = ClientConfig { trust: &trust, pins: &pins, server_name: "facebook.com".into(), now: 0 };
-        assert_eq!(handshake(&client, &forged, false), Err(HandshakeError::PinViolation));
+        let forged = ServerConfig {
+            chain: proxy.chain_for("facebook.com"),
+            supports_resumption: true,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "facebook.com".into(),
+            now: 0,
+        };
+        assert_eq!(
+            handshake(&client, &forged, false),
+            Err(HandshakeError::PinViolation)
+        );
         // Direct connection to the real origin still succeeds.
-        let direct = ServerConfig { chain: real_chain, supports_resumption: true };
+        let direct = ServerConfig {
+            chain: real_chain,
+            supports_resumption: true,
+        };
         assert!(handshake(&client, &direct, false).is_ok());
     }
 
@@ -168,8 +219,27 @@ mod tests {
     fn sni_mismatch_fails() {
         let (ca, trust) = world();
         let pins = PinSet::none();
-        let server = ServerConfig { chain: ca.chain_for("a.com"), supports_resumption: false };
-        let client = ClientConfig { trust: &trust, pins: &pins, server_name: "b.com".into(), now: 0 };
-        assert_eq!(handshake(&client, &server, false), Err(HandshakeError::UntrustedCertificate));
+        let server = ServerConfig {
+            chain: ca.chain_for("a.com"),
+            supports_resumption: false,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "b.com".into(),
+            now: 0,
+        };
+        assert_eq!(
+            handshake(&client, &server, false),
+            Err(HandshakeError::UntrustedCertificate)
+        );
     }
 }
+
+appvsweb_json::impl_json!(
+    enum HandshakeError {
+        UntrustedCertificate,
+        PinViolation,
+    }
+);
+appvsweb_json::impl_json!(struct TlsSession { server_name, handshake_bytes, resumed });

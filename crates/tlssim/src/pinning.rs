@@ -6,7 +6,6 @@
 //! were excluded by selection criterion (4) in §3.1 of the paper.
 
 use crate::cert::{CertificateChain, KeyId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A set of pinned public keys for a specific service.
@@ -14,7 +13,7 @@ use std::collections::BTreeSet;
 /// Matching follows HPKP-style semantics: the chain is accepted if *any*
 /// certificate in it carries a pinned key. An empty pin set means "no
 /// pinning" and accepts everything.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PinSet {
     pins: BTreeSet<KeyId>,
 }
@@ -27,7 +26,9 @@ impl PinSet {
 
     /// Pin the given keys.
     pub fn of(keys: impl IntoIterator<Item = KeyId>) -> Self {
-        PinSet { pins: keys.into_iter().collect() }
+        PinSet {
+            pins: keys.into_iter().collect(),
+        }
     }
 
     /// Whether this set actually pins anything.
@@ -76,3 +77,5 @@ mod tests {
         assert!(pins.accepts(&ca.chain_for("b.twitter.com")));
     }
 }
+
+appvsweb_json::impl_json!(struct PinSet { pins });

@@ -6,11 +6,10 @@
 //! [`TrustStore::add_root`] with the proxy CA's root certificate.
 
 use crate::cert::{Certificate, CertificateChain, KeyId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A set of trusted root keys.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrustStore {
     roots: BTreeSet<KeyId>,
 }
@@ -24,7 +23,9 @@ impl TrustStore {
     /// The stock mobile trust store: a handful of public roots that sign
     /// every legitimate server certificate in the simulated world.
     pub fn system_default(public_roots: impl IntoIterator<Item = KeyId>) -> Self {
-        TrustStore { roots: public_roots.into_iter().collect() }
+        TrustStore {
+            roots: public_roots.into_iter().collect(),
+        }
     }
 
     /// Trust a new root (e.g. installing the interception proxy's CA).
@@ -48,7 +49,9 @@ impl TrustStore {
         if !chain.structurally_valid(now) {
             return false;
         }
-        let Some(leaf) = chain.leaf() else { return false };
+        let Some(leaf) = chain.leaf() else {
+            return false;
+        };
         if !leaf.matches_host(host) {
             return false;
         }
@@ -110,3 +113,5 @@ mod tests {
         assert!(!device.verify(&proxy.chain_for("bank.com"), "bank.com", 0));
     }
 }
+
+appvsweb_json::impl_json!(struct TrustStore { roots });

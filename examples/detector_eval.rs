@@ -35,7 +35,10 @@ fn main() {
     let combined = CombinedDetector::new(&truth, None);
 
     for (name, eval) in [
-        ("ground-truth matcher", evaluate(&corpus, |t| matcher.types_in(t))),
+        (
+            "ground-truth matcher",
+            evaluate(&corpus, |t| matcher.types_in(t)),
+        ),
         (
             "combined detector",
             evaluate(&corpus, |t| combined.scan("sink.example", t).types()),
@@ -67,14 +70,16 @@ fn main() {
         let mut rows: Vec<_> = eval
             .per_encoding
             .iter()
-            .filter(|(label, c)| {
-                *label != "none" && c.true_positives + c.false_negatives > 0
-            })
+            .filter(|(label, c)| *label != "none" && c.true_positives + c.false_negatives > 0)
             .collect();
         rows.sort_by(|a, b| a.1.recall().partial_cmp(&b.1.recall()).unwrap());
         for (label, c) in rows.iter().take(12) {
-            println!("  {:<24} R {:.2}  ({} planted)", label, c.recall(),
-                c.true_positives + c.false_negatives);
+            println!(
+                "  {:<24} R {:.2}  ({} planted)",
+                label,
+                c.recall(),
+                c.true_positives + c.false_negatives
+            );
         }
         println!();
     }

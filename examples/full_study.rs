@@ -19,11 +19,24 @@ fn main() {
     eprintln!("running the full study (this takes a few seconds in release mode)...");
     let t0 = std::time::Instant::now();
     let study = run_study(&cfg);
-    eprintln!("done in {:.2?}: {} cells\n", t0.elapsed(), study.cells.len());
+    eprintln!(
+        "done in {:.2?}: {} cells\n",
+        t0.elapsed(),
+        study.cells.len()
+    );
 
-    println!("== Table 1 ==\n{}", render::render_table1(&tables::table1(&study)));
-    println!("== Table 2 ==\n{}", render::render_table2(&tables::table2(&study, 20)));
-    println!("== Table 3 ==\n{}", render::render_table3(&tables::table3(&study)));
+    println!(
+        "== Table 1 ==\n{}",
+        render::render_table1(&tables::table1(&study))
+    );
+    println!(
+        "== Table 2 ==\n{}",
+        render::render_table2(&tables::table2(&study, 20))
+    );
+    println!(
+        "== Table 3 ==\n{}",
+        render::render_table3(&tables::table3(&study))
+    );
 
     println!("== Headline comparisons ==");
     for os in [Os::Android, Os::Ios] {

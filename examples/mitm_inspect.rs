@@ -19,7 +19,10 @@ struct DemoOrigin {
 
 impl OriginServer for DemoOrigin {
     fn tls_config(&self, host: &str) -> ServerConfig {
-        ServerConfig { chain: self.ca.chain_for(host), supports_resumption: true }
+        ServerConfig {
+            chain: self.ca.chain_for(host),
+            supports_resumption: true,
+        }
     }
     fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
         if req.url.path.contains("login") {
@@ -33,7 +36,9 @@ impl OriginServer for DemoOrigin {
 fn main() {
     // Build the world: a public CA every server chains to…
     let public_ca = CertificateAuthority::new("PublicRoot");
-    let mut origin = DemoOrigin { ca: public_ca.clone() };
+    let mut origin = DemoOrigin {
+        ca: public_ca.clone(),
+    };
     let mut upstream = TrustStore::new();
     upstream.add_root(&public_ca.root);
 
@@ -42,7 +47,10 @@ fn main() {
     let mut device_trust = TrustStore::new();
     device_trust.add_root(&public_ca.root);
     device_trust.add_root(&meddle.ca().root);
-    println!("installed proxy CA {} on the device\n", meddle.ca().root.subject);
+    println!(
+        "installed proxy CA {} on the device\n",
+        meddle.ca().root.subject
+    );
 
     // 1. An HTTPS login: decrypted in flight.
     let login = Request::post(
@@ -50,28 +58,59 @@ fn main() {
         Body::form(&[("email", "jane@testmail.example"), ("password", "hunter2!")]),
     );
     meddle
-        .exchange(&device_trust, &PinSet::none(), &mut origin, login, SimTime(0), ReusePolicy::app())
+        .exchange(
+            &device_trust,
+            &PinSet::none(),
+            &mut origin,
+            login,
+            SimTime(0),
+            ReusePolicy::app(),
+        )
         .expect("interception succeeds");
 
     // 2. A plaintext beacon: visible without any interception at all.
-    let beacon =
-        Request::get(Url::parse("http://tracker.demo.example/pixel?gaid=aaaa-bbbb&lat=42.36").unwrap());
+    let beacon = Request::get(
+        Url::parse("http://tracker.demo.example/pixel?gaid=aaaa-bbbb&lat=42.36").unwrap(),
+    );
     meddle
-        .exchange(&device_trust, &PinSet::none(), &mut origin, beacon, SimTime(50), ReusePolicy::one_shot())
+        .exchange(
+            &device_trust,
+            &PinSet::none(),
+            &mut origin,
+            beacon,
+            SimTime(50),
+            ReusePolicy::one_shot(),
+        )
         .expect("plaintext always flows");
 
     // 3. A pinned client (the Facebook/Twitter case): interception fails.
-    let pinned_leaf = origin.tls_config("pinned.demo.example").chain.leaf().unwrap().key;
+    let pinned_leaf = origin
+        .tls_config("pinned.demo.example")
+        .chain
+        .leaf()
+        .unwrap()
+        .key;
     let pins = PinSet::of([pinned_leaf]);
     let pinned_req = Request::get(Url::parse("https://pinned.demo.example/feed").unwrap());
     let err = meddle
-        .exchange(&device_trust, &pins, &mut origin, pinned_req, SimTime(90), ReusePolicy::app())
+        .exchange(
+            &device_trust,
+            &pins,
+            &mut origin,
+            pinned_req,
+            SimTime(90),
+            ReusePolicy::app(),
+        )
         .expect_err("pinning must defeat the forged chain");
     println!("pinned client rejected the proxy: {err}\n");
 
     // Inspect the capture, mitmproxy-style.
     let trace = meddle.finish_session(SimTime(100));
-    println!("captured {} connections, {} decrypted transactions:\n", trace.connections.len(), trace.transactions.len());
+    println!(
+        "captured {} connections, {} decrypted transactions:\n",
+        trace.connections.len(),
+        trace.transactions.len()
+    );
     for conn in &trace.connections {
         println!(
             "  conn #{:<2} {:<28} tls={:<5} decrypted={:<5} {:>6} bytes  {:?}",

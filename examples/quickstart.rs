@@ -24,7 +24,10 @@ fn describe(cell: &CellAnalysis) {
     println!("--- {medium} ---");
     println!("  A&A domains contacted: {}", cell.aa_domains.len());
     println!("  flows to A&A domains:  {}", cell.aa_flows);
-    println!("  bytes to A&A domains:  {:.2} MB", cell.aa_bytes as f64 / 1e6);
+    println!(
+        "  bytes to A&A domains:  {:.2} MB",
+        cell.aa_bytes as f64 / 1e6
+    );
     println!("  domains receiving PII: {}", cell.leak_domains.len());
     if cell.leaked_types.is_empty() {
         println!("  leaked PII types:      (none)");
@@ -43,7 +46,9 @@ fn describe(cell: &CellAnalysis) {
 }
 
 fn main() {
-    let service_id = std::env::args().nth(1).unwrap_or_else(|| "weather-channel".into());
+    let service_id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "weather-channel".into());
     let catalog = Catalog::paper();
     let Some(spec) = catalog.get(&service_id) else {
         eprintln!("unknown service '{service_id}'. Available:");

@@ -81,9 +81,14 @@ fn main() {
                 appvsweb::recommend::Verdict::Either => "~",
             })
             .collect();
-        println!("{:<18} {:>8}  {:>8}  {:>8}  {:>6}  {:>8}", service,
-            cells[0], cells[1], cells[2], cells[3], cells[4]);
+        println!(
+            "{:<18} {:>8}  {:>8}  {:>8}  {:>6}  {:>8}",
+            service, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
     }
-    println!("({} more services; run full_study for the dataset)", matrix.rows.len().saturating_sub(15));
+    println!(
+        "({} more services; run full_study for the dataset)",
+        matrix.rows.len().saturating_sub(15)
+    );
     println!("\nAs the paper found: there is no single answer — it depends on your priorities.");
 }

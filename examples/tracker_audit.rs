@@ -37,7 +37,11 @@ fn main() {
             Medium::App => "APP",
             Medium::Web => "WEB",
         };
-        println!("--- {label}: {} connections, {} transactions ---", trace.connections.len(), trace.transactions.len());
+        println!(
+            "--- {label}: {} connections, {} transactions ---",
+            trace.connections.len(),
+            trace.transactions.len()
+        );
 
         // Per-domain rollup: flows, bytes, category, findings w/ encodings.
         #[derive(Default)]
@@ -54,7 +58,8 @@ fn main() {
             let e = domains.entry(d).or_default();
             e.flows += 1;
             e.bytes += conn.stats.total_bytes();
-            e.category.get_or_insert_with(|| categorizer.categorize_host(&conn.host));
+            e.category
+                .get_or_insert_with(|| categorizer.categorize_host(&conn.host));
             e.plaintext |= !conn.tls;
         }
         for txn in &trace.transactions {
@@ -91,7 +96,11 @@ fn main() {
                 stat.flows,
                 stat.bytes,
                 if stat.plaintext { "  PLAINTEXT" } else { "" },
-                if findings.is_empty() { "-".to_string() } else { findings.join(", ") }
+                if findings.is_empty() {
+                    "-".to_string()
+                } else {
+                    findings.join(", ")
+                }
             );
         }
         println!();

@@ -20,6 +20,8 @@
 //! * [`analysis`] — leak rules, Tables 1–3, Figures 1a–1f, reports
 //! * [`recommend`] — the preference-based app-vs-web recommender
 //! * [`core`] — the full study driver and dataset export
+//! * [`json`] — zero-dependency JSON value type, parser, serializer,
+//!   and the `impl_json!` derive-style macro
 //!
 //! Start with `examples/quickstart.rs`, or run the whole campaign:
 //!
@@ -30,6 +32,7 @@ pub use appvsweb_adblock as adblock;
 pub use appvsweb_analysis as analysis;
 pub use appvsweb_core as core;
 pub use appvsweb_httpsim as httpsim;
+pub use appvsweb_json as json;
 pub use appvsweb_mitm as mitm;
 pub use appvsweb_netsim as netsim;
 pub use appvsweb_pii as pii;

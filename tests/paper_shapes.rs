@@ -71,7 +71,10 @@ fn fig1b_web_opens_hundreds_more_flows() {
     // sometimes thousands" of extra TCP connections on the Web.
     for os in [Os::Android, Os::Ios] {
         let cdf = figures::cdf(study(), FigureId::AaFlows, os);
-        assert!(cdf.fraction_negative() >= 0.70, "{os}: flows bias must favour web");
+        assert!(
+            cdf.fraction_negative() >= 0.70,
+            "{os}: flows bias must favour web"
+        );
         // The heavy tail reaches several-hundred extra connections.
         assert!(
             cdf.quantile(0.0) <= -500.0,
@@ -95,11 +98,17 @@ fn fig1b_web_opens_hundreds_more_flows() {
 fn fig1c_web_consumes_more_aa_bytes() {
     for os in [Os::Android, Os::Ios] {
         let cdf = figures::cdf(study(), FigureId::AaBytes, os);
-        assert!(cdf.fraction_negative() >= 0.70, "{os}: bytes bias must favour web");
+        assert!(
+            cdf.fraction_negative() >= 0.70,
+            "{os}: bytes bias must favour web"
+        );
         // Paper x-range: several MB of extra web traffic, and a positive
         // tail (some apps out-consume their site).
         assert!(cdf.quantile(0.0) <= -1.0, "{os}: biggest web excess ≥ 1 MB");
-        assert!(cdf.quantile(1.0) >= 0.5, "{os}: some app exceeds its site by ≥ 0.5 MB");
+        assert!(
+            cdf.quantile(1.0) >= 0.5,
+            "{os}: some app exceeds its site by ≥ 0.5 MB"
+        );
     }
 }
 
@@ -167,8 +176,14 @@ fn table1_leak_rates() {
     // Paper: 92% of apps leak vs 78% of Web versions (14% gap).
     let app = table1_pct("All", Medium::App);
     let web = table1_pct("All", Medium::Web);
-    assert!((0.85..=0.98).contains(&app), "app leak rate {app:.2} (paper 0.92)");
-    assert!((0.65..=0.85).contains(&web), "web leak rate {web:.2} (paper 0.78)");
+    assert!(
+        (0.85..=0.98).contains(&app),
+        "app leak rate {app:.2} (paper 0.92)"
+    );
+    assert!(
+        (0.65..=0.85).contains(&web),
+        "web leak rate {web:.2} (paper 0.78)"
+    );
     assert!(app > web, "apps must leak more often than web");
 
     // Paper: 24% fewer Web sites leak on Chrome/Android vs Safari/iOS
@@ -192,13 +207,25 @@ fn table1_identifier_matrix() {
     };
     // Apps leak UID and device info; Web never does (the paper's
     // platform-structural finding).
-    assert!(row("All", Medium::App).leaked_types.contains(&PiiType::UniqueId));
-    assert!(row("All", Medium::App).leaked_types.contains(&PiiType::DeviceInfo));
-    assert!(!row("All", Medium::Web).leaked_types.contains(&PiiType::UniqueId));
-    assert!(!row("All", Medium::Web).leaked_types.contains(&PiiType::DeviceInfo));
+    assert!(row("All", Medium::App)
+        .leaked_types
+        .contains(&PiiType::UniqueId));
+    assert!(row("All", Medium::App)
+        .leaked_types
+        .contains(&PiiType::DeviceInfo));
+    assert!(!row("All", Medium::Web)
+        .leaked_types
+        .contains(&PiiType::UniqueId));
+    assert!(!row("All", Medium::Web)
+        .leaked_types
+        .contains(&PiiType::DeviceInfo));
     // Almost all groups leak location via some service.
-    assert!(row("Weather", Medium::App).leaked_types.contains(&PiiType::Location));
-    assert!(row("Weather", Medium::Web).leaked_types.contains(&PiiType::Location));
+    assert!(row("Weather", Medium::App)
+        .leaked_types
+        .contains(&PiiType::Location));
+    assert!(row("Weather", Medium::Web)
+        .leaked_types
+        .contains(&PiiType::Location));
     // Travel leaks the widest variety (paper: Shopping and Travel).
     assert!(row("Travel", Medium::App).leaked_types.len() >= 6);
 }
@@ -235,7 +262,10 @@ fn table2_anchor_rows() {
     let amobee = get("amobee").expect("amobee in top-20");
     assert_eq!(amobee.services_app, 1);
     assert_eq!(amobee.services_web, 1);
-    assert_eq!(rows[0].organization, "amobee", "amobee tops the total-leak ordering");
+    assert_eq!(
+        rows[0].organization, "amobee",
+        "amobee tops the total-leak ordering"
+    );
     assert!(amobee.avg_leaks_app > 100.0 && amobee.avg_leaks_web > 10.0);
 
     // vrvm: 2 services, app-only.
@@ -256,7 +286,11 @@ fn table2_anchor_rows() {
     let ga = get("google-analytics").expect("GA in top-20");
     assert!(ga.services_app >= 30 && ga.services_web >= 40);
     // GA receives only ~2 leaks per service (init-only SDK).
-    assert!(ga.avg_leaks_app <= 6.0, "GA app leaks {:.1} (paper 1.8)", ga.avg_leaks_app);
+    assert!(
+        ga.avg_leaks_app <= 6.0,
+        "GA app leaks {:.1} (paper 1.8)",
+        ga.avg_leaks_app
+    );
 }
 
 #[test]
@@ -281,7 +315,10 @@ fn table2_platform_specific_collectors() {
         }
     }
     assert!(yieldmo_app > 0 && yieldmo_web == 0, "yieldmo is app-only");
-    assert!(cloudinary_web > 0 && cloudinary_app == 0, "cloudinary is web-only");
+    assert!(
+        cloudinary_web > 0 && cloudinary_app == 0,
+        "cloudinary is web-only"
+    );
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -292,7 +329,11 @@ fn table3_marginals() {
 
     // UID: ~40 apps, zero web (paper: 40 / 0 / 0).
     let uid = get(PiiType::UniqueId);
-    assert!((36..=44).contains(&uid.services_app), "UID apps {}", uid.services_app);
+    assert!(
+        (36..=44).contains(&uid.services_app),
+        "UID apps {}",
+        uid.services_app
+    );
     assert_eq!(uid.services_web, 0);
     assert_eq!(uid.services_both, 0);
 
@@ -303,8 +344,16 @@ fn table3_marginals() {
 
     // Location: most-leaked on both media (paper 30 / 21 / 26).
     let loc = get(PiiType::Location);
-    assert!((25..=35).contains(&loc.services_app), "Location apps {}", loc.services_app);
-    assert!((18..=30).contains(&loc.services_web), "Location webs {}", loc.services_web);
+    assert!(
+        (25..=35).contains(&loc.services_app),
+        "Location apps {}",
+        loc.services_app
+    );
+    assert!(
+        (18..=30).contains(&loc.services_web),
+        "Location webs {}",
+        loc.services_web
+    );
     assert!(loc.services_both >= 15);
 
     // Name leaks more often from web than app (paper 9 / 8 / 16).
@@ -313,7 +362,10 @@ fn table3_marginals() {
 
     // Password: the §4.2 case studies (paper 4 / 2 / 3).
     let pw = get(PiiType::Password);
-    assert_eq!((pw.services_app, pw.services_both, pw.services_web), (4, 2, 3));
+    assert_eq!(
+        (pw.services_app, pw.services_both, pw.services_web),
+        (4, 2, 3)
+    );
 
     // Birthday: Priceline's web-side-only leak (paper 1 / 0 / 1).
     let b = get(PiiType::Birthday);

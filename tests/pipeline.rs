@@ -43,12 +43,16 @@ fn selection_criteria_exclusions_are_enforced_by_the_pipeline() {
 
     let detector = CombinedDetector::new(&tb.truth, None);
     let categorizer = Categorizer::bundled(fb.first_party);
-    let cell = analyze_trace(&trace, fb, Os::Android, Medium::App, &detector, &categorizer);
+    let cell = analyze_trace(
+        &trace,
+        fb,
+        Os::Android,
+        Medium::App,
+        &detector,
+        &categorizer,
+    );
     assert!(
-        !cell
-            .leak_domains
-            .iter()
-            .any(|d| d.contains("facebook.com")),
+        !cell.leak_domains.iter().any(|d| d.contains("facebook.com")),
         "no PII can be observed on pinned first-party flows"
     );
 }
@@ -69,7 +73,10 @@ fn credentials_to_first_party_are_not_leaks() {
         t.host.contains("yelp.com")
             && String::from_utf8_lossy(&t.request_bytes()).contains(&wire_pw)
     });
-    assert!(has_pw_on_wire, "login credentials do travel to the first party");
+    assert!(
+        has_pw_on_wire,
+        "login credentials do travel to the first party"
+    );
 
     // …yet the leak classifier must not count them.
     let detector = CombinedDetector::new(&tb.truth, None);
@@ -100,7 +107,10 @@ fn plaintext_transmissions_always_count() {
         .leaks
         .iter()
         .any(|l| l.pii_type == PiiType::Location && l.plaintext);
-    assert!(plaintext_location, "plaintext first-party location must be a leak");
+    assert!(
+        plaintext_location,
+        "plaintext first-party location must be a leak"
+    );
 }
 
 #[test]
@@ -112,7 +122,9 @@ fn background_os_traffic_never_reaches_analysis() {
         // No Google Play Services / iCloud domains anywhere in results.
         for domain in cell.aa_domains.iter().chain(cell.leak_domains.iter()) {
             assert!(
-                !domain.contains("googleapis") && !domain.contains("icloud") && !domain.contains("apple.com"),
+                !domain.contains("googleapis")
+                    && !domain.contains("icloud")
+                    && !domain.contains("apple.com"),
                 "{os}: background host {domain} leaked into analysis"
             );
         }
@@ -137,7 +149,10 @@ fn different_seeds_produce_different_accounts_same_shapes() {
     let catalog = Catalog::paper();
     let spec = catalog.get("chatterbox").unwrap();
     let cfg_a = quick();
-    let cfg_b = StudyConfig { seed: 777, ..quick() };
+    let cfg_b = StudyConfig {
+        seed: 777,
+        ..quick()
+    };
     let a = run_cell(spec, Os::Ios, Medium::App, &cfg_a, None);
     let b = run_cell(spec, Os::Ios, Medium::App, &cfg_b, None);
     // Structural outcome is seed-independent…
@@ -154,7 +169,10 @@ fn recon_improves_or_matches_matcher_only() {
     // The combined pipeline can only add verified detections on top of
     // the matcher; it must never lose any.
     let catalog = Catalog::paper();
-    let cfg_with = StudyConfig { use_recon: true, ..quick() };
+    let cfg_with = StudyConfig {
+        use_recon: true,
+        ..quick()
+    };
     let recon = appvsweb::core::study::train_recon(&catalog, &cfg_with);
     let spec = catalog.get("weather-channel").unwrap();
     let base = run_cell(spec, Os::Android, Medium::App, &quick(), None);
@@ -182,7 +200,13 @@ fn web_never_accesses_device_identifiers() {
     // The paper's structural invariant, end to end: across every web
     // session of several services, no UID or device model ever leaks.
     let catalog = Catalog::paper();
-    for id in ["weather-channel", "bbc-news", "priceline", "chatterbox", "study-pal"] {
+    for id in [
+        "weather-channel",
+        "bbc-news",
+        "priceline",
+        "chatterbox",
+        "study-pal",
+    ] {
         let spec = catalog.get(id).unwrap();
         for os in [Os::Android, Os::Ios] {
             let cell = run_cell(spec, os, Medium::Web, &quick(), None);
@@ -221,9 +245,18 @@ fn gzipped_sdk_uploads_are_inflated_before_detection() {
         .expect("flurry uploads must be gzip-encoded");
 
     // Raw bytes are opaque…
-    let ad_id = &tb.truth.device_ids.iter().find(|(k, _)| k == "ad_id").unwrap().1;
+    let ad_id = &tb
+        .truth
+        .device_ids
+        .iter()
+        .find(|(k, _)| k == "ad_id")
+        .unwrap()
+        .1;
     let raw = String::from_utf8_lossy(&gzipped.request_bytes()).into_owned();
-    assert!(!raw.contains(ad_id.as_str()), "identifier must not be visible compressed");
+    assert!(
+        !raw.contains(ad_id.as_str()),
+        "identifier must not be visible compressed"
+    );
 
     // …while the inflating scanner sees the identifier.
     let text = appvsweb::analysis::leaks::scan_text_of(&gzipped.request);

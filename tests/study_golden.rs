@@ -1,0 +1,87 @@
+//! Determinism regression and golden-snapshot tests for the canonical
+//! seed-2016 study.
+//!
+//! The workspace's reproducibility contract is end-to-end: the full
+//! 4-minute, 196-cell campaign must serialize to byte-identical JSON on
+//! every run and on every worker count, and its headline aggregates must
+//! match the numbers recorded in `EXPERIMENTS.md`.
+
+use appvsweb::analysis::{tables, Study};
+use appvsweb::core::{dataset, run_study, StudyConfig};
+use appvsweb::services::Medium;
+use std::sync::OnceLock;
+
+/// The canonical study (seed 2016, 4 simulated minutes, ReCon on),
+/// computed once and shared across the tests in this binary.
+fn canonical() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&StudyConfig::default()))
+}
+
+#[test]
+fn full_study_is_deterministic_across_runs() {
+    let first = dataset::to_json(canonical());
+    let second = dataset::to_json(&run_study(&StudyConfig::default()));
+    assert_eq!(
+        first, second,
+        "two default-config runs must serialize byte-identically"
+    );
+}
+
+#[test]
+fn parallel_and_single_thread_studies_agree() {
+    let single = run_study(&StudyConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    assert_eq!(
+        dataset::to_json(canonical()),
+        dataset::to_json(&single),
+        "worker count must not affect the result"
+    );
+}
+
+#[test]
+fn json_roundtrip_is_a_fixed_point() {
+    let encoded = dataset::to_json(canonical());
+    let reparsed = dataset::from_json(&encoded).expect("study JSON parses back");
+    assert_eq!(
+        dataset::to_json(&reparsed),
+        encoded,
+        "serialize -> parse -> re-serialize must be a fixed point"
+    );
+}
+
+#[test]
+fn golden_headline_aggregates_match_experiments_md() {
+    let study = canonical();
+    assert_eq!(
+        study.cells.len(),
+        196,
+        "48 Android + 50 iOS services x 2 media"
+    );
+
+    // Leak rates from Table 1, rounded to one decimal place, as recorded
+    // in EXPERIMENTS.md.
+    let t1 = tables::table1(study);
+    let pct = |group: &str, medium| {
+        let row = t1
+            .rows
+            .iter()
+            .find(|r| r.group == group && r.medium == medium)
+            .unwrap_or_else(|| panic!("missing Table 1 row {group}"));
+        (row.pct_leaking * 1000.0).round() / 10.0
+    };
+    assert_eq!(
+        pct("All", Medium::App),
+        92.0,
+        "app leak rate (paper: 92.0%)"
+    );
+    assert_eq!(
+        pct("All", Medium::Web),
+        74.0,
+        "web leak rate (paper reports 78.0%)"
+    );
+    assert_eq!(pct("Android", Medium::Web), 53.1, "Android web leak rate");
+    assert_eq!(pct("iOS", Medium::Web), 75.5, "iOS web leak rate");
+}
