@@ -8,8 +8,11 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
-echo "== cargo test -q =="
+echo "== cargo test -q (includes tests/chaos.rs fault-injection suite) =="
 cargo test -q --workspace

@@ -151,6 +151,8 @@ mod tests {
             per_type: BTreeMap::new(),
             per_domain_leaks: BTreeMap::new(),
             per_domain_types: BTreeMap::new(),
+            fault_counts: Default::default(),
+            retries: 0,
         }
     }
 
@@ -162,6 +164,7 @@ mod tests {
                 cell("b", Medium::App, 3, &[PiiType::UniqueId]),
                 cell("b", Medium::Web, 1, &[PiiType::Name]),
             ],
+            health: Default::default(),
         }
     }
 

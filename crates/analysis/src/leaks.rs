@@ -12,7 +12,7 @@
 use appvsweb_adblock::{Categorizer, Category};
 use appvsweb_httpsim::Host;
 use appvsweb_mitm::Trace;
-use appvsweb_netsim::Os;
+use appvsweb_netsim::{FaultCounts, Os};
 use appvsweb_pii::{CombinedDetector, PiiType};
 use appvsweb_services::{Medium, ServiceCategory, ServiceSpec};
 use std::collections::hash_map::DefaultHasher;
@@ -76,6 +76,12 @@ pub struct CellAnalysis {
     pub per_domain_leaks: BTreeMap<String, u64>,
     /// Per-A&A-domain leaked types (Table 2).
     pub per_domain_types: BTreeMap<String, BTreeSet<PiiType>>,
+    /// Injected faults observed during this cell's session (all zero on
+    /// the golden path).
+    pub fault_counts: FaultCounts,
+    /// Client retries the session spent recovering from transient
+    /// failures.
+    pub retries: u64,
 }
 
 impl CellAnalysis {
@@ -119,6 +125,8 @@ pub fn analyze_trace(
         per_type: BTreeMap::new(),
         per_domain_leaks: BTreeMap::new(),
         per_domain_types: BTreeMap::new(),
+        fault_counts: trace.faults.clone(),
+        retries: trace.retries,
     };
 
     // --- Connection-level accounting (works even for opaque flows). ---
@@ -244,11 +252,61 @@ pub fn is_leak(t: PiiType, destination: Category, plaintext: bool) -> bool {
     }
 }
 
+/// Completeness ledger for a study run. A live measurement campaign
+/// never finishes perfectly clean; the ledger says exactly how much of
+/// the work list made it into [`Study::cells`] and what went wrong on
+/// the way, so every table and figure can annotate its own coverage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StudyHealth {
+    /// Cells in the work list (every testable service × OS × medium).
+    pub cells_attempted: u64,
+    /// Cells that produced an analysis (possibly after retries).
+    pub cells_completed: u64,
+    /// Cells that needed more than one attempt.
+    pub cells_retried: u64,
+    /// Cells that exhausted their attempts and are absent from `cells`.
+    pub cells_failed: u64,
+    /// Injected-fault tally across all completed sessions, plus one
+    /// `cell_panics` count per panicked attempt.
+    pub faults: FaultCounts,
+    /// Client retries spent across all completed sessions.
+    pub session_retries: u64,
+    /// Labels (`service/os/medium`) of the failed cells, sorted.
+    pub failed_cells: Vec<String>,
+}
+
+impl StudyHealth {
+    /// Whether every attempted cell produced an analysis.
+    pub fn is_complete(&self) -> bool {
+        self.cells_failed == 0
+    }
+
+    /// Invariant: every attempted cell is either completed or failed.
+    pub fn all_accounted(&self) -> bool {
+        self.cells_completed + self.cells_failed == self.cells_attempted
+    }
+
+    /// One-line human summary for reports and CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} cells completed ({} retried, {} failed); {} faults injected, {} client retries",
+            self.cells_completed,
+            self.cells_attempted,
+            self.cells_retried,
+            self.cells_failed,
+            self.faults.total(),
+            self.session_retries
+        )
+    }
+}
+
 /// All cells of a full study (50 services × 2 OSes × 2 media).
 #[derive(Clone, Debug, Default)]
 pub struct Study {
     /// Every analyzed cell.
     pub cells: Vec<CellAnalysis>,
+    /// How completely the campaign covered its work list.
+    pub health: StudyHealth,
 }
 
 /// App-vs-web comparison for one service on one OS (one point in each
@@ -341,9 +399,14 @@ appvsweb_json::impl_json!(struct LeakEvent { pii_type, domain, category, plainte
 appvsweb_json::impl_json!(struct TypeAggregate { count, domains });
 appvsweb_json::impl_json!(struct CellAnalysis {
     service_id, service_name, category, rank, os, medium, aa_domains, aa_flows, aa_bytes,
-    total_flows, leaks, leak_domains, leaked_types, per_type, per_domain_leaks, per_domain_types
+    total_flows, leaks, leak_domains, leaked_types, per_type, per_domain_leaks, per_domain_types,
+    fault_counts, retries
 });
-appvsweb_json::impl_json!(struct Study { cells });
+appvsweb_json::impl_json!(struct StudyHealth {
+    cells_attempted, cells_completed, cells_retried, cells_failed, faults, session_retries,
+    failed_cells
+});
+appvsweb_json::impl_json!(struct Study { cells, health });
 appvsweb_json::impl_json!(struct ServiceComparison {
     service_id, os, aa_domain_diff, aa_flow_diff, aa_byte_diff, leak_domain_diff,
     leaked_type_diff, jaccard

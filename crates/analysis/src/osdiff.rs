@@ -131,6 +131,8 @@ mod tests {
             per_type: BTreeMap::new(),
             per_domain_leaks: BTreeMap::new(),
             per_domain_types: BTreeMap::new(),
+            fault_counts: Default::default(),
+            retries: 0,
         }
     }
 
@@ -154,6 +156,7 @@ mod tests {
                 // c is iOS-only: must be skipped.
                 cell("c", Os::Ios, Medium::App, &[PiiType::Gender]),
             ],
+            health: Default::default(),
         }
     }
 

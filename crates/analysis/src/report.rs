@@ -25,6 +25,24 @@ pub fn markdown_report(study: &Study) -> String {
         study.cells.len()
     );
 
+    // ---- campaign completeness --------------------------------------
+    // Only worth a section when the ledger says anything happened: the
+    // golden path renders exactly the report it always did.
+    let h = &study.health;
+    if h.cells_attempted > 0 && (!h.is_complete() || h.faults.total() > 0 || h.session_retries > 0)
+    {
+        let _ = writeln!(out, "## Campaign health\n");
+        let _ = writeln!(out, "- {}.", h.summary());
+        if !h.failed_cells.is_empty() {
+            let _ = writeln!(
+                out,
+                "- Failed cells (excluded from every table and figure): {}.",
+                h.failed_cells.join(", ")
+            );
+        }
+        let _ = writeln!(out);
+    }
+
     // ---- headline numbers -------------------------------------------
     let _ = writeln!(out, "## Headlines\n");
     let t1 = tables::table1(study);
@@ -166,6 +184,8 @@ mod tests {
             per_type: BTreeMap::new(),
             per_domain_leaks: BTreeMap::new(),
             per_domain_types: BTreeMap::new(),
+            fault_counts: Default::default(),
+            retries: 0,
         }
     }
 
@@ -178,6 +198,7 @@ mod tests {
                 cell("svc", Os::Ios, Medium::App, &[PiiType::UniqueId]),
                 cell("svc", Os::Ios, Medium::Web, &[PiiType::Location]),
             ],
+            health: Default::default(),
         };
         let report = markdown_report(&study);
         for heading in [
@@ -194,5 +215,28 @@ mod tests {
         }
         // The appendix row shows the service with its abbreviations.
         assert!(report.contains("| svc | UID | L |"));
+        // A clean campaign renders no health section at all.
+        assert!(!report.contains("## Campaign health"));
+    }
+
+    #[test]
+    fn degraded_campaign_is_annotated() {
+        let mut study = Study {
+            cells: vec![
+                cell("svc", Os::Android, Medium::App, &[PiiType::UniqueId]),
+                cell("svc", Os::Android, Medium::Web, &[PiiType::Location]),
+            ],
+            health: Default::default(),
+        };
+        study.health.cells_attempted = 3;
+        study.health.cells_completed = 2;
+        study.health.cells_failed = 1;
+        study.health.failed_cells = vec!["svc/Ios/Web".into()];
+        study.health.faults.connection_resets = 7;
+        study.health.session_retries = 4;
+        let report = markdown_report(&study);
+        assert!(report.contains("## Campaign health"));
+        assert!(report.contains("2/3 cells completed"));
+        assert!(report.contains("svc/Ios/Web"));
     }
 }

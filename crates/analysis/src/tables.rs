@@ -339,6 +339,8 @@ mod tests {
             per_type: BTreeMap::new(),
             per_domain_leaks: BTreeMap::new(),
             per_domain_types: BTreeMap::new(),
+            fault_counts: Default::default(),
+            retries: 0,
         };
         for (t, d) in leaks {
             c.leaks.push(LeakEvent {
@@ -400,6 +402,7 @@ mod tests {
                     &["doubleclick.net", "adnxs.com"],
                 ),
             ],
+            health: Default::default(),
         }
     }
 

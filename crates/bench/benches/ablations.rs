@@ -167,23 +167,26 @@ fn bench_filter_options(runner: &mut BenchRunner) {
 
     runner.bench("adblock_with_options", || {
         urls.iter()
-            .map(|(u, o)| {
+            .filter(|(u, o)| {
                 full.check(&RequestInfo {
                     url: u,
                     origin_host: o,
                     resource_type: None,
                 })
+                .is_blocked()
             })
             .count()
     });
     runner.bench("adblock_without_third_party", || {
         urls.iter()
-            .map(|(u, o)| {
-                no_tp.check(&RequestInfo {
-                    url: u,
-                    origin_host: o,
-                    resource_type: None,
-                })
+            .filter(|(u, o)| {
+                no_tp
+                    .check(&RequestInfo {
+                        url: u,
+                        origin_host: o,
+                        resource_type: None,
+                    })
+                    .is_blocked()
             })
             .count()
     });

@@ -1,0 +1,29 @@
+//! Fault-injection overhead bench: the full 196-cell campaign at 0%,
+//! 1%, and 5% fault rates (1-minute sessions, no ReCon).
+//!
+//! Emits `BENCH_faults.json` at the repo root. The 0% row doubles as a
+//! regression guard on the chaos substrate itself: an unarmed injector
+//! must cost nothing measurable over the pre-chaos pipeline.
+
+use appvsweb_bench::{quick_config, repo_root};
+use appvsweb_core::study::{run_study, StudyConfig};
+use appvsweb_netsim::FaultPlan;
+use appvsweb_testkit::BenchRunner;
+
+fn main() {
+    let mut runner = BenchRunner::new("faults").with_samples(1, 5);
+    for (label, plan) in [
+        ("campaign_1min_faults_0pct", FaultPlan::none()),
+        ("campaign_1min_faults_1pct", FaultPlan::light()),
+        ("campaign_1min_faults_5pct", FaultPlan::moderate()),
+    ] {
+        let cfg = StudyConfig {
+            faults: plan,
+            ..quick_config()
+        };
+        runner.bench(label, || run_study(&cfg));
+    }
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
+}

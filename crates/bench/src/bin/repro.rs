@@ -8,6 +8,7 @@
 //! repro --headlines           # the paper's headline statistics
 //! repro --json study.json     # export the dataset (the paper publishes its data too)
 //! repro --seed 7 --minutes 4  # alternate experiment parameters
+//! repro --faults moderate     # fault-sweep: run the campaign degraded
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -17,7 +18,7 @@ use appvsweb_analysis::Study;
 use appvsweb_core::dataset;
 use appvsweb_core::duration::{default_duration_services, duration_experiment};
 use appvsweb_core::study::{run_study, StudyConfig};
-use appvsweb_netsim::{Os, SimDuration};
+use appvsweb_netsim::{FaultPlan, Os, SimDuration};
 
 struct Args {
     table: Option<u8>,
@@ -29,6 +30,7 @@ struct Args {
     report: Option<String>,
     seed: u64,
     minutes: u64,
+    faults: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +44,7 @@ fn parse_args() -> Args {
         report: None,
         seed: 2016,
         minutes: 4,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -55,10 +58,12 @@ fn parse_args() -> Args {
             "--report" => args.report = it.next(),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(2016),
             "--minutes" => args.minutes = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--faults" => args.faults = it.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N] [--figure 1a..1f] [--duration] \
-                     [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N]"
+                     [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N] \
+                     [--faults none|light|moderate|heavy]"
                 );
                 std::process::exit(0);
             }
@@ -145,9 +150,17 @@ fn print_headlines(study: &Study) {
 
 fn main() {
     let args = parse_args();
+    let faults = match args.faults.as_deref() {
+        None => FaultPlan::none(),
+        Some(name) => FaultPlan::preset(name).unwrap_or_else(|| {
+            eprintln!("unknown fault preset: {name} (use none|light|moderate|heavy)");
+            std::process::exit(2);
+        }),
+    };
     let cfg = StudyConfig {
         seed: args.seed,
         duration: SimDuration::from_mins(args.minutes),
+        faults,
         ..StudyConfig::default()
     };
     eprintln!(
@@ -161,6 +174,14 @@ fn main() {
         t0.elapsed(),
         study.cells.len()
     );
+    if !cfg.faults.is_none() || !study.health.is_complete() {
+        println!("== Campaign health ==");
+        println!("{}", study.health.summary());
+        if !study.health.failed_cells.is_empty() {
+            println!("failed cells: {}", study.health.failed_cells.join(", "));
+        }
+        println!();
+    }
 
     if args.all || args.headlines {
         print_headlines(&study);

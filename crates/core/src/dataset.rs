@@ -39,7 +39,10 @@ mod tests {
             &cfg,
             None,
         );
-        let study = Study { cells: vec![cell] };
+        let study = Study {
+            cells: vec![cell],
+            health: Default::default(),
+        };
         let json = to_json(&study);
         let parsed = from_json(&json).unwrap();
         assert_eq!(parsed.cells.len(), 1);

@@ -15,13 +15,14 @@
 
 use crate::testbed::Testbed;
 use appvsweb_adblock::Categorizer;
-use appvsweb_analysis::{analyze_trace, CellAnalysis, Study};
+use appvsweb_analysis::{analyze_trace, CellAnalysis, Study, StudyHealth};
 use appvsweb_httpsim::Host;
-use appvsweb_netsim::{Os, SimDuration};
+use appvsweb_netsim::{FaultKind, FaultPlan, Os, SimDuration, SimRng};
 use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
 use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
 use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
 /// Study parameters.
@@ -36,6 +37,12 @@ pub struct StudyConfig {
     /// Train and use the ReCon classifier (disable for the
     /// matcher-only ablation).
     pub use_recon: bool,
+    /// Fault plan applied to every measurement cell. The default
+    /// ([`FaultPlan::none`]) reproduces the golden dataset byte for
+    /// byte; classifier training always runs fault-free.
+    pub faults: FaultPlan,
+    /// Attempts per cell before recording it failed (1 = no retry).
+    pub cell_attempts: u32,
 }
 
 impl Default for StudyConfig {
@@ -45,6 +52,8 @@ impl Default for StudyConfig {
             duration: SimDuration::from_mins(4),
             workers: available_workers(),
             use_recon: true,
+            faults: FaultPlan::none(),
+            cell_attempts: 2,
         }
     }
 }
@@ -64,10 +73,12 @@ const TRAINING_SERVICES: &[&str] = &["weather-channel", "shopmart", "study-pal",
 /// Train the ReCon ensemble from matcher-labelled training flows.
 pub fn train_recon(catalog: &Catalog, cfg: &StudyConfig) -> ReconClassifier {
     let mut trainer = ReconTrainer::new();
+    // Training always runs fault-free: the classifier must learn from
+    // clean labelled flows regardless of the measurement plan.
     let session_cfg = SessionConfig {
         duration: cfg.duration,
         seed: cfg.seed ^ 0x7261_696e, // distinct stream from measurement
-        strip_background: true,
+        ..SessionConfig::default()
     };
     for id in TRAINING_SERVICES {
         let Some(spec) = catalog.get(id) else {
@@ -101,16 +112,90 @@ pub fn run_cell(
     cfg: &StudyConfig,
     recon: Option<&ReconClassifier>,
 ) -> CellAnalysis {
+    run_cell_attempt(spec, os, medium, cfg, recon, 0)
+}
+
+/// One attempt at a cell. The attempt number salts the injected-panic
+/// roll, so a cell that crashed once can succeed on retry (unless the
+/// plan pins `cell_panic` at 1.0).
+fn run_cell_attempt(
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    cfg: &StudyConfig,
+    recon: Option<&ReconClassifier>,
+    attempt: u32,
+) -> CellAnalysis {
+    if cfg.faults.cell_panic > 0.0 {
+        let mut rng = SimRng::new(cfg.seed).fork(&format!(
+            "cell-panic:{}:{:?}:{:?}:{attempt}",
+            spec.id, os, medium
+        ));
+        if rng.chance(cfg.faults.cell_panic) {
+            panic!(
+                "injected {:?}: cell {}/{:?}/{:?} attempt {attempt}",
+                FaultKind::CellPanic,
+                spec.id,
+                os,
+                medium
+            );
+        }
+    }
     let session_cfg = SessionConfig {
         duration: cfg.duration,
         seed: cfg.seed,
-        strip_background: true,
+        faults: cfg.faults.clone(),
+        ..SessionConfig::default()
     };
     let mut tb = Testbed::for_cell(spec, os, cfg.seed);
     let trace = tb.run_session(spec, os, medium, &session_cfg);
     let detector = CombinedDetector::new(&tb.truth, recon.cloned());
     let categorizer = Categorizer::bundled(spec.first_party);
     analyze_trace(&trace, spec, os, medium, &detector, &categorizer)
+}
+
+/// Outcome of one cell, including the attempts its isolation loop spent.
+struct CellOutcome {
+    label: String,
+    cell: Option<CellAnalysis>,
+    attempts: u32,
+    panics: u64,
+}
+
+/// Run a cell inside a panic boundary with bounded retry. A cell that
+/// keeps crashing is recorded as failed instead of taking the whole
+/// campaign down.
+fn run_cell_guarded(
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    cfg: &StudyConfig,
+    recon: Option<&ReconClassifier>,
+) -> CellOutcome {
+    let label = format!("{}/{:?}/{:?}", spec.id, os, medium);
+    let allowed = cfg.cell_attempts.max(1);
+    let mut panics = 0u64;
+    for attempt in 0..allowed {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_cell_attempt(spec, os, medium, cfg, recon, attempt)
+        })) {
+            Ok(cell) => {
+                return CellOutcome {
+                    label,
+                    cell: Some(cell),
+                    attempts: attempt + 1,
+                    panics,
+                }
+            }
+            Err(_) => panics += 1,
+        }
+    }
+    CellOutcome {
+        label,
+        cell: None,
+        attempts: allowed,
+        panics,
+    }
 }
 
 /// Run the full study over the paper catalog.
@@ -134,12 +219,12 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
     }
 
     let workers = cfg.workers.max(1);
-    let mut cells: Vec<CellAnalysis> = if workers == 1 {
+    let outcomes: Vec<CellOutcome> = if workers == 1 {
         work.iter()
-            .map(|(spec, os, medium)| run_cell(spec, *os, *medium, cfg, recon.as_ref()))
+            .map(|(spec, os, medium)| run_cell_guarded(spec, *os, *medium, cfg, recon.as_ref()))
             .collect()
     } else {
-        let (tx, rx) = mpsc::channel::<CellAnalysis>();
+        let (tx, rx) = mpsc::channel::<CellOutcome>();
         let chunk = work.len().div_ceil(workers);
         std::thread::scope(|scope| {
             for slice in work.chunks(chunk) {
@@ -148,9 +233,9 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
                 let recon = recon.clone();
                 scope.spawn(move || {
                     for (spec, os, medium) in slice {
-                        let cell = run_cell(spec, *os, *medium, &cfg, recon.as_ref());
+                        let outcome = run_cell_guarded(spec, *os, *medium, &cfg, recon.as_ref());
                         // Receiver outlives all senders in this scope.
-                        let _ = tx.send(cell);
+                        let _ = tx.send(outcome);
                     }
                 });
             }
@@ -159,11 +244,39 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
         })
     };
 
+    // Fold the outcomes into the dataset + ledger. Every aggregate here
+    // is order-independent (sums and a sorted list), so the result is
+    // identical no matter how workers interleaved.
+    let mut health = StudyHealth {
+        cells_attempted: work.len() as u64,
+        ..StudyHealth::default()
+    };
+    let mut cells: Vec<CellAnalysis> = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        health.faults.cell_panics += outcome.panics;
+        match outcome.cell {
+            Some(cell) => {
+                health.cells_completed += 1;
+                if outcome.attempts > 1 {
+                    health.cells_retried += 1;
+                }
+                health.faults.merge(&cell.fault_counts);
+                health.session_retries += cell.retries;
+                cells.push(cell);
+            }
+            None => {
+                health.cells_failed += 1;
+                health.failed_cells.push(outcome.label);
+            }
+        }
+    }
+    health.failed_cells.sort();
+
     // Deterministic output order regardless of worker scheduling.
     cells.sort_by(|a, b| {
         (a.service_id.clone(), a.os, a.medium).cmp(&(b.service_id.clone(), b.os, b.medium))
     });
-    Study { cells }
+    Study { cells, health }
 }
 
 #[cfg(test)]
@@ -178,6 +291,7 @@ mod tests {
             duration: SimDuration::from_mins(1),
             workers: available_workers(),
             use_recon: false,
+            ..StudyConfig::default()
         }
     }
 
@@ -188,6 +302,12 @@ mod tests {
         let android = study.cells.iter().filter(|c| c.os == Os::Android).count();
         let ios = study.cells.iter().filter(|c| c.os == Os::Ios).count();
         assert_eq!(android + ios, 196);
+        // Golden path: a clean ledger with zero faults.
+        assert!(study.health.is_complete());
+        assert!(study.health.all_accounted());
+        assert_eq!(study.health.cells_attempted, 196);
+        assert_eq!(study.health.faults.total(), 0);
+        assert_eq!(study.health.session_retries, 0);
         let apps = study
             .cells
             .iter()
@@ -213,6 +333,20 @@ mod tests {
             assert_eq!(a.leaked_types, b.leaked_types);
             assert_eq!(a.leak_count(), b.leak_count());
         }
+    }
+
+    #[test]
+    fn chaotic_study_accounts_for_every_cell() {
+        let study = run_study(&StudyConfig {
+            faults: FaultPlan::moderate(),
+            ..quick_cfg()
+        });
+        let h = &study.health;
+        assert!(h.all_accounted(), "completed + failed must equal attempted");
+        assert_eq!(h.cells_attempted, 196);
+        assert_eq!(study.cells.len() as u64, h.cells_completed);
+        assert!(h.faults.total() > 0, "a 5% plan must inject faults");
+        assert!(h.session_retries > 0, "clients must have retried");
     }
 
     #[test]

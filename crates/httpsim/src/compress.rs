@@ -474,9 +474,10 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     let flags = data[3];
     let mut offset = 10;
     if flags & 0x04 != 0 {
-        // FEXTRA
-        let xlen = u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
-        offset += 2 + xlen;
+        // FEXTRA: two length bytes, then that many payload bytes.
+        let lo = *data.get(offset).ok_or(InflateError::Truncated)?;
+        let hi = *data.get(offset + 1).ok_or(InflateError::Truncated)?;
+        offset += 2 + u16::from_le_bytes([lo, hi]) as usize;
     }
     if flags & 0x08 != 0 {
         // FNAME: zero-terminated.
@@ -514,6 +515,33 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gzip_short_inputs_error_not_panic() {
+        // Anything below the minimal gzip frame (10-byte header + 8-byte
+        // trailer) must come back as a decode error, never a slice panic
+        // — truncated bodies are a first-class fault in the chaos layer.
+        let valid = gzip_compress(b"short-input probe payload");
+        for len in 0..18usize {
+            assert!(gzip_decompress(&vec![0u8; len]).is_err(), "zeros len {len}");
+            assert!(gzip_decompress(&valid[..len]).is_err(), "prefix len {len}");
+            // Magic + method intact but frame still too short.
+            let mut magic = vec![0x1f, 0x8b, 8];
+            magic.resize(len.max(3), 0);
+            assert!(gzip_decompress(&magic[..len.min(magic.len())]).is_err());
+        }
+        // Header claims FEXTRA/FNAME/FCOMMENT data that runs off the end.
+        for flags in [0x04u8, 0x08, 0x10, 0x1c] {
+            let mut hdr = vec![0x1f, 0x8b, 8, flags, 0, 0, 0, 0, 0, 255];
+            hdr.extend_from_slice(&[0xff; 8]); // exactly 18 bytes, no room
+            assert_eq!(gzip_decompress(&hdr), Err(InflateError::Truncated));
+        }
+        // And an untouched full member still decodes.
+        assert_eq!(
+            gzip_decompress(&valid).unwrap(),
+            b"short-input probe payload"
+        );
+    }
 
     #[test]
     fn deflate_inflate_roundtrip_text() {

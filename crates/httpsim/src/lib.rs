@@ -24,6 +24,10 @@
 //!   helpers
 //! * HTTP/1.1 wire (de)serialization including chunked transfer encoding
 //!   ([`wire`])
+//! * deterministic response corruption for the fault-injection layer
+//!   ([`degrade`]): 5xx substitution, truncated bodies, malformed
+//!   chunked framing, and the [`degrade::is_partial`] detector the
+//!   proxy uses to flag damaged-but-kept flows
 //!
 //! Everything is deterministic and allocation-friendly; there is no I/O in
 //! this crate. Higher layers (`netsim`, `mitm`) move these messages across
@@ -36,6 +40,7 @@ pub mod cache;
 pub mod codec;
 pub mod compress;
 pub mod cookie;
+pub mod degrade;
 pub mod headers;
 pub mod message;
 pub mod url;

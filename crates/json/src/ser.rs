@@ -84,13 +84,13 @@ fn write_seq<T>(
         }
         if let Some(width) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(width * (level + 1)));
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
         }
         write_item(out, item, level + 1);
     }
     if let Some(width) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(width * level));
+        out.extend(std::iter::repeat_n(' ', width * level));
     }
     out.push(brackets.1);
 }

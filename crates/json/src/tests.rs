@@ -1,4 +1,4 @@
-use crate::{decode, encode, encode_pretty, parse, FromJson, Json, JsonKey, ToJson};
+use crate::{decode, encode, encode_pretty, parse, FromJson, Json, JsonKey};
 use std::collections::{BTreeMap, BTreeSet};
 
 #[derive(Clone, Debug, PartialEq)]

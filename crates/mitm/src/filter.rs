@@ -56,6 +56,7 @@ mod tests {
             stats: ConnectionStats::default(),
             busy_ms: 0,
             transactions: 1,
+            error: None,
         }
     }
 
@@ -67,6 +68,7 @@ mod tests {
             at: SimTime(0),
             request: Request::get(Url::parse(&format!("https://{host}/")).unwrap()),
             response: Response::ok(Body::text("x")),
+            partial: false,
         }
     }
 

@@ -7,7 +7,7 @@
 //! transactions.
 
 use appvsweb_httpsim::{Request, Response};
-use appvsweb_netsim::{ConnectionStats, SimTime};
+use appvsweb_netsim::{ConnectionStats, FaultCounts, SimTime};
 
 /// Why a connection's payload was not readable, when it wasn't.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,6 +17,33 @@ pub enum OpaqueReason {
     PinViolation,
     /// The proxy could not verify the upstream origin.
     UpstreamUntrusted,
+    /// The handshake died for a network-level reason (fault injection),
+    /// not a trust decision.
+    HandshakeAborted,
+}
+
+/// How an aborted flow died. Live captures are full of connections that
+/// carried no completed exchange; recording the cause (instead of
+/// dropping the flow) is what lets the health ledger and HAR export
+/// account for every connection the tunnel saw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// Packets lost until the client gave up.
+    Timeout,
+    /// TCP reset mid-exchange.
+    Reset,
+    /// TLS handshake aborted (beyond certificate/pin failures).
+    TlsAborted,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Timeout => f.write_str("connection timed out"),
+            FlowError::Reset => f.write_str("connection reset"),
+            FlowError::TlsAborted => f.write_str("tls handshake aborted"),
+        }
+    }
 }
 
 /// One TCP connection as seen by the tunnel.
@@ -46,6 +73,8 @@ pub struct ConnectionRecord {
     pub busy_ms: u64,
     /// Number of HTTP transactions carried (0 for opaque connections).
     pub transactions: u32,
+    /// How the flow died, when a fault killed it (`None` = clean close).
+    pub error: Option<FlowError>,
 }
 
 /// One decrypted HTTP request/response exchange.
@@ -63,6 +92,11 @@ pub struct HttpTransaction {
     pub request: Request,
     /// The origin's response.
     pub response: Response,
+    /// Whether the response arrived damaged (body short of its declared
+    /// `Content-Length`, or broken chunked framing). Partial exchanges
+    /// are kept — a truncated capture still carries leaks — but flagged
+    /// so analysis can weigh them.
+    pub partial: bool,
 }
 
 impl HttpTransaction {
@@ -79,6 +113,11 @@ pub struct Trace {
     pub connections: Vec<ConnectionRecord>,
     /// All decrypted transactions, in time order.
     pub transactions: Vec<HttpTransaction>,
+    /// Ledger of injected faults observed during the session (tunnel
+    /// and origin side combined).
+    pub faults: FaultCounts,
+    /// Client retries spent recovering from transient failures.
+    pub retries: u64,
 }
 
 impl Trace {
@@ -115,6 +154,21 @@ impl Trace {
         self.transactions.extend(other.transactions);
         self.connections.sort_by_key(|c| (c.opened_at, c.id));
         self.transactions.sort_by_key(|t| (t.at, t.connection_id));
+        self.faults.merge(&other.faults);
+        self.retries += other.retries;
+    }
+
+    /// Connections that died to an injected fault.
+    pub fn aborted_connections(&self) -> usize {
+        self.connections
+            .iter()
+            .filter(|c| c.error.is_some())
+            .count()
+    }
+
+    /// Transactions whose response arrived damaged.
+    pub fn partial_transactions(&self) -> usize {
+        self.transactions.iter().filter(|t| t.partial).count()
     }
 }
 
@@ -136,6 +190,7 @@ mod tests {
             stats: ConnectionStats::default(),
             busy_ms: 0,
             transactions: 0,
+            error: None,
         }
     }
 
@@ -164,11 +219,19 @@ appvsweb_json::impl_json!(
     enum OpaqueReason {
         PinViolation,
         UpstreamUntrusted,
+        HandshakeAborted,
+    }
+);
+appvsweb_json::impl_json!(
+    enum FlowError {
+        Timeout,
+        Reset,
+        TlsAborted,
     }
 );
 appvsweb_json::impl_json!(struct ConnectionRecord {
     id, host, port, tls, decrypted, opaque_reason, opened_at, closed_at, stats, busy_ms,
-    transactions
+    transactions, error
 });
-appvsweb_json::impl_json!(struct HttpTransaction { connection_id, host, plaintext, at, request, response });
-appvsweb_json::impl_json!(struct Trace { connections, transactions });
+appvsweb_json::impl_json!(struct HttpTransaction { connection_id, host, plaintext, at, request, response, partial });
+appvsweb_json::impl_json!(struct Trace { connections, transactions, faults, retries });

@@ -54,6 +54,10 @@ pub struct HarEntry {
     pub connection_id: String,
     /// Whether the transaction was plaintext HTTP (custom field).
     pub plaintext: bool,
+    /// Why the exchange failed or arrived damaged (custom field, the
+    /// `_error` convention browsers use for aborted requests). `None`
+    /// for clean exchanges.
+    pub error: Option<String>,
 }
 
 /// HAR request object.
@@ -165,9 +169,49 @@ fn iso_time(millis: u64) -> String {
     )
 }
 
-/// Convert a trace to a HAR document.
+/// An error-status entry for a connection that died to an injected
+/// fault before completing any exchange. HAR has no first-class abort
+/// record, so this follows the browser devtools convention: status 0,
+/// body sizes -1, and the cause in a custom `_error` field.
+fn aborted_entry(conn: &crate::flow::ConnectionRecord) -> HarEntry {
+    let scheme = if conn.tls { "https" } else { "http" };
+    HarEntry {
+        started_date_time: iso_time(conn.opened_at.as_millis()),
+        time: conn.busy_ms as f64,
+        request: HarRequest {
+            method: "GET".into(),
+            url: format!("{scheme}://{}:{}/", conn.host, conn.port),
+            http_version: "".into(),
+            headers: Vec::new(),
+            query_string: Vec::new(),
+            post_data: None,
+            body_size: -1,
+        },
+        response: HarResponse {
+            status: 0,
+            status_text: "".into(),
+            http_version: "".into(),
+            headers: Vec::new(),
+            content: HarContent {
+                size: -1,
+                mime_type: "x-unknown".into(),
+                text: None,
+                encoding: None,
+            },
+            body_size: -1,
+        },
+        connection_id: conn.id.to_string(),
+        plaintext: !conn.tls,
+        error: conn.error.map(|e| e.to_string()),
+    }
+}
+
+/// Convert a trace to a HAR document. Completed transactions become
+/// ordinary entries (flagged with `_error: "partial response"` when the
+/// body arrived damaged); connections that died to a fault become
+/// error-status entries instead of vanishing from the export.
 pub fn to_har(trace: &Trace) -> Har {
-    let entries = trace
+    let mut keyed: Vec<(u64, u64, HarEntry)> = trace
         .transactions
         .iter()
         .map(|txn| {
@@ -188,7 +232,7 @@ pub fn to_har(trace: &Trace) -> Har {
                 })
             };
             let (text, encoding) = body_text(&resp.body.bytes);
-            HarEntry {
+            let entry = HarEntry {
                 started_date_time: iso_time(txn.at.as_millis()),
                 time: 1.0,
                 request: HarRequest {
@@ -224,9 +268,16 @@ pub fn to_har(trace: &Trace) -> Har {
                 },
                 connection_id: txn.connection_id.to_string(),
                 plaintext: txn.plaintext,
-            }
+                error: txn.partial.then(|| "partial response".to_string()),
+            };
+            (txn.at.as_millis(), txn.connection_id, entry)
         })
         .collect();
+    for conn in trace.connections.iter().filter(|c| c.error.is_some()) {
+        keyed.push((conn.opened_at.as_millis(), conn.id, aborted_entry(conn)));
+    }
+    keyed.sort_by_key(|&(at, id, _)| (at, id));
+    let entries = keyed.into_iter().map(|(_, _, e)| e).collect();
 
     Har {
         log: HarLog {
@@ -258,6 +309,7 @@ mod tests {
             at: SimTime(65_250),
             request: Request::post(url, Body::form(&[("email", "a@b.com")])),
             response: Response::ok(Body::json(r#"{"ok":1}"#)),
+            partial: false,
         });
         t
     }
@@ -301,6 +353,39 @@ mod tests {
     }
 
     #[test]
+    fn aborted_and_partial_flows_become_error_entries() {
+        use crate::flow::{ConnectionRecord, FlowError};
+        use appvsweb_netsim::ConnectionStats;
+        let mut t = trace_with_one_txn();
+        t.transactions[0].partial = true;
+        t.connections.push(ConnectionRecord {
+            id: 3,
+            host: "dead.example.net".into(),
+            port: 443,
+            tls: true,
+            decrypted: false,
+            opaque_reason: None,
+            opened_at: SimTime(1_000),
+            closed_at: Some(SimTime(1_500)),
+            stats: ConnectionStats::default(),
+            busy_ms: 500,
+            transactions: 0,
+            error: Some(FlowError::Reset),
+        });
+        let har = to_har(&t);
+        assert_eq!(har.log.entries.len(), 2);
+        // Entries sort chronologically: the abort (t=1s) leads the
+        // transaction (t=65s).
+        let aborted = &har.log.entries[0];
+        assert_eq!(aborted.response.status, 0);
+        assert_eq!(aborted.error.as_deref(), Some("connection reset"));
+        assert!(aborted.request.url.contains("dead.example.net"));
+        let partial = &har.log.entries[1];
+        assert_eq!(partial.response.status, 200);
+        assert_eq!(partial.error.as_deref(), Some("partial response"));
+    }
+
+    #[test]
     fn iso_time_rollover() {
         assert_eq!(iso_time(0), "2016-03-23T00:00:00.000Z");
         assert_eq!(iso_time(3_600_000 + 61_001), "2016-03-23T01:01:01.001Z");
@@ -312,7 +397,7 @@ appvsweb_json::impl_json!(struct HarLog { version, creator, entries });
 appvsweb_json::impl_json!(struct HarCreator { name, version });
 appvsweb_json::impl_json!(struct HarEntry {
     started_date_time as "startedDateTime", time, request, response,
-    connection_id as "_connectionId", plaintext as "_plaintext"
+    connection_id as "_connectionId", plaintext as "_plaintext", error as "_error"
 });
 appvsweb_json::impl_json!(struct HarRequest {
     method, url, http_version as "httpVersion", headers, query_string as "queryString",

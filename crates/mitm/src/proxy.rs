@@ -6,13 +6,17 @@
 //! [`Meddle::finish_session`] closes any live connections and yields the
 //! captured [`Trace`].
 
-use crate::flow::{ConnectionRecord, HttpTransaction, OpaqueReason, Trace};
-use appvsweb_httpsim::{wire, Request, Response};
-use appvsweb_netsim::dns::NxDomain;
-use appvsweb_netsim::{Connection, DnsResolver, Endpoint, Link, SimRng, SimTime};
+use crate::flow::{ConnectionRecord, FlowError, HttpTransaction, OpaqueReason, Trace};
+use appvsweb_httpsim::{degrade, wire, Request, Response};
+use appvsweb_netsim::dns::{CacheState, DnsError, DnsErrorKind};
+use appvsweb_netsim::faults::{ConnFault, DnsFault};
+use appvsweb_netsim::{
+    Connection, DnsResolver, Endpoint, FaultCounts, FaultInjector, FaultPlan, Link, SimRng, SimTime,
+};
 use appvsweb_tlssim::{
-    handshake::handshake, CertificateAuthority, ClientConfig, HandshakeError, PinSet, ServerConfig,
-    TlsSession, TrustStore,
+    handshake::{handshake, handshake_with_fault},
+    CertificateAuthority, ClientConfig, HandshakeError, PinSet, ServerConfig, TlsSession,
+    TrustStore,
 };
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -78,8 +82,39 @@ pub enum ExchangeError {
     PinViolation,
     /// Proxy could not verify the origin's chain.
     UpstreamUntrusted,
-    /// DNS failure.
-    Dns(NxDomain),
+    /// DNS failure (NXDOMAIN, or injected SERVFAIL/timeout).
+    Dns(DnsError),
+    /// The access link was down (flap window): nothing left the device.
+    LinkDown,
+    /// The exchange's packets were lost until the client timed out.
+    Timeout,
+    /// The connection was reset mid-exchange.
+    Reset,
+    /// The TLS handshake aborted for a network-level reason (beyond
+    /// certificate and pin failures).
+    TlsAbort,
+    /// Internal proxy bookkeeping failure. Never expected; surfaced as
+    /// an error so a capture degrades instead of panicking.
+    Internal(&'static str),
+}
+
+impl ExchangeError {
+    /// Whether a client retry can plausibly succeed. Trust decisions
+    /// (pins, untrusted chains) and NXDOMAIN are deterministic — they
+    /// fail identically on every attempt — while network weather is
+    /// transient.
+    pub fn retriable(&self) -> bool {
+        match self {
+            ExchangeError::PinViolation
+            | ExchangeError::UpstreamUntrusted
+            | ExchangeError::Internal(_) => false,
+            ExchangeError::Dns(e) => e.kind.is_transient(),
+            ExchangeError::LinkDown
+            | ExchangeError::Timeout
+            | ExchangeError::Reset
+            | ExchangeError::TlsAbort => true,
+        }
+    }
 }
 
 impl std::fmt::Display for ExchangeError {
@@ -88,6 +123,11 @@ impl std::fmt::Display for ExchangeError {
             ExchangeError::PinViolation => f.write_str("client pin violation"),
             ExchangeError::UpstreamUntrusted => f.write_str("upstream certificate untrusted"),
             ExchangeError::Dns(e) => write!(f, "dns: {e}"),
+            ExchangeError::LinkDown => f.write_str("access link down"),
+            ExchangeError::Timeout => f.write_str("exchange timed out"),
+            ExchangeError::Reset => f.write_str("connection reset"),
+            ExchangeError::TlsAbort => f.write_str("tls handshake aborted"),
+            ExchangeError::Internal(what) => write!(f, "internal proxy error: {what}"),
         }
     }
 }
@@ -143,6 +183,8 @@ pub struct Meddle {
     tls_session_cache: std::collections::BTreeSet<String>,
     next_conn_id: u64,
     client_addr: Ipv4Addr,
+    /// Tunnel-side chaos dice (disabled by default: never draws).
+    faults: FaultInjector,
 }
 
 impl Meddle {
@@ -161,7 +203,20 @@ impl Meddle {
             tls_session_cache: std::collections::BTreeSet::new(),
             next_conn_id: 1,
             client_addr: Ipv4Addr::new(192, 168, 42, 2),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Arm the tunnel-side fault injector. The injector draws from its
+    /// own labelled fork of `rng`, so arming it with [`FaultPlan::none`]
+    /// (or never calling this) leaves every other stream untouched.
+    pub fn set_faults(&mut self, plan: FaultPlan, rng: &SimRng) {
+        self.faults = FaultInjector::new(plan, rng.fork("meddle-chaos"));
+    }
+
+    /// Ledger of tunnel-side faults injected so far this session.
+    pub fn fault_counts(&self) -> &FaultCounts {
+        self.faults.counts()
     }
 
     /// The proxy CA — its root must be installed on the device for
@@ -198,89 +253,142 @@ impl Meddle {
         let port = req.url.effective_port();
         let tls = !req.url.is_plaintext();
 
+        // Link flap: the access link is down, nothing leaves the device
+        // (so there is no connection record — the radio never keyed up).
+        if self.faults.link_down(now.as_millis()) {
+            return Err(ExchangeError::LinkDown);
+        }
+
         // DNS through the tunnel. Unknown hosts are registered on first
         // use: the simulated world's zone is defined by who gets talked to.
         if !self.dns.knows(&host) {
             self.dns.register_auto(&host);
         }
+        // Injected DNS faults hit only queries that would reach the
+        // network; answers from either cache (positive or negative)
+        // resolve locally and roll nothing.
+        if self.dns.cache_state(&host, now) == CacheState::Miss {
+            if let Some(fault) = self.faults.dns_fault() {
+                let kind = match fault {
+                    DnsFault::ServFail => DnsErrorKind::ServFail,
+                    DnsFault::Timeout => DnsErrorKind::Timeout,
+                };
+                return Err(ExchangeError::Dns(self.dns.fail(&host, kind, now)));
+            }
+        }
         let answer = self.dns.resolve(&host, now).map_err(ExchangeError::Dns)?;
 
         // Find or open a connection.
         let key = (host.clone(), port);
-        let entry = match self.pool.get(&key) {
-            Some(e)
-                if reuse.reuse
-                    && e.uses < reuse.max_per_conn
-                    && self.connections[e.conn_index].is_open() =>
-            {
-                self.pool.get_mut(&key).unwrap()
+        let reusable = matches!(
+            self.pool.get(&key),
+            Some(e) if reuse.reuse
+                && e.uses < reuse.max_per_conn
+                && self.connections[e.conn_index].is_open()
+        );
+        if !reusable {
+            // Retire any stale pool entry and open a new connection.
+            if let Some(old) = self.pool.remove(&key) {
+                self.close_conn(old.conn_index, now);
             }
-            _ => {
-                // Retire any stale pool entry and open a new connection.
-                if let Some(old) = self.pool.remove(&key) {
-                    self.close_conn(old.conn_index, now);
-                }
-                let conn_index = self.open_conn(&host, port, answer.addr, tls, now);
+            let conn_index = self.open_conn(&host, port, answer.addr, tls, now);
 
-                // TLS setup happens once per connection.
-                let tls_session = if tls {
-                    match self.establish_tls(client_trust, client_pins, origin, &host, now) {
-                        Ok(sess) => {
-                            // Handshake bytes: client sends ~1/4, server ~3/4
-                            // (certificates dominate the server flight).
-                            let hs = sess.handshake_bytes;
-                            let conn = &mut self.connections[conn_index];
-                            conn.send(hs / 4);
-                            conn.receive(hs - hs / 4);
-                            self.records[conn_index].decrypted = self.config.intercept_tls;
-                            // Two round trips for the TLS handshake plus
-                            // serialization of its flights.
-                            self.records[conn_index].busy_ms += self
-                                .config
-                                .link
-                                .exchange_time(hs / 4, hs - hs / 4)
-                                .as_millis()
-                                + self.config.link.round_trip().as_millis();
-                            Some(sess)
-                        }
-                        Err(err) => {
-                            // The aborted handshake still moved packets.
-                            let conn = &mut self.connections[conn_index];
-                            conn.send(512);
-                            conn.receive(2048);
-                            let reason = match err {
-                                ExchangeError::PinViolation => OpaqueReason::PinViolation,
-                                _ => OpaqueReason::UpstreamUntrusted,
-                            };
-                            self.records[conn_index].decrypted = false;
-                            self.records[conn_index].opaque_reason = Some(reason);
-                            self.close_conn(conn_index, now);
-                            return Err(err);
-                        }
+            // TLS setup happens once per connection.
+            let tls_session = if tls {
+                let abort = self.faults.tls_abort();
+                match self.establish_tls(client_trust, client_pins, origin, &host, now, abort) {
+                    Ok(sess) => {
+                        // Handshake bytes: client sends ~1/4, server ~3/4
+                        // (certificates dominate the server flight).
+                        let hs = sess.handshake_bytes;
+                        let conn = &mut self.connections[conn_index];
+                        conn.send(hs / 4);
+                        conn.receive(hs - hs / 4);
+                        self.records[conn_index].decrypted = self.config.intercept_tls;
+                        // Two round trips for the TLS handshake plus
+                        // serialization of its flights.
+                        self.records[conn_index].busy_ms += self
+                            .config
+                            .link
+                            .exchange_time(hs / 4, hs - hs / 4)
+                            .as_millis()
+                            + self.config.link.round_trip().as_millis();
+                        Some(sess)
                     }
-                } else {
-                    None
-                };
-                self.pool.insert(
-                    key.clone(),
-                    PoolEntry {
-                        conn_index,
-                        uses: 0,
-                        tls_session,
-                    },
-                );
-                self.pool.get_mut(&key).unwrap()
-            }
+                    Err(err) => {
+                        // The aborted handshake still moved packets.
+                        let conn = &mut self.connections[conn_index];
+                        conn.send(512);
+                        conn.receive(2048);
+                        let reason = match &err {
+                            ExchangeError::PinViolation => OpaqueReason::PinViolation,
+                            ExchangeError::TlsAbort => OpaqueReason::HandshakeAborted,
+                            _ => OpaqueReason::UpstreamUntrusted,
+                        };
+                        self.records[conn_index].decrypted = false;
+                        self.records[conn_index].opaque_reason = Some(reason);
+                        if err == ExchangeError::TlsAbort {
+                            self.records[conn_index].error = Some(FlowError::TlsAborted);
+                        }
+                        self.close_conn(conn_index, now);
+                        return Err(err);
+                    }
+                }
+            } else {
+                None
+            };
+            self.pool.insert(
+                key.clone(),
+                PoolEntry {
+                    conn_index,
+                    uses: 0,
+                    tls_session,
+                },
+            );
+        }
+        // A miss here would mean the bookkeeping above went wrong; the
+        // exchange is dropped rather than panicking the capture.
+        let Some(entry) = self.pool.get_mut(&key) else {
+            return Err(ExchangeError::Internal("connection pool lost an entry"));
         };
-
         entry.uses += 1;
+        let uses = entry.uses;
         let conn_index = entry.conn_index;
+        let tls_session = entry.tls_session.clone();
+
+        let req_bytes = wire::serialize_request(&req).len();
+
+        // Connection-level fault: the request dies before a response. A
+        // timeout means the full request went up and nothing came back; a
+        // reset kills the connection almost immediately.
+        if let Some(fault) = self.faults.conn_fault() {
+            let up_full = match &tls_session {
+                Some(sess) => sess.wire_bytes(req_bytes),
+                None => req_bytes,
+            };
+            let (err, flow_err, up_sent) = match fault {
+                ConnFault::Timeout => (ExchangeError::Timeout, FlowError::Timeout, up_full),
+                ConnFault::Reset => (ExchangeError::Reset, FlowError::Reset, up_full.min(256)),
+            };
+            self.connections[conn_index].send(up_sent);
+            self.records[conn_index].stats = self.connections[conn_index].stats;
+            self.records[conn_index].busy_ms +=
+                self.config.link.exchange_time(up_sent, 0).as_millis();
+            self.records[conn_index].error = Some(flow_err);
+            self.pool.remove(&key);
+            self.close_conn(conn_index, now);
+            return Err(err);
+        }
+
+        // Latency spike: the exchange completes, but the link stalled.
+        if let Some(extra) = self.faults.latency_spike() {
+            self.records[conn_index].busy_ms += extra.as_millis();
+        }
 
         // Move the request to the origin and the response back.
-        let req_bytes = wire::serialize_request(&req).len();
         let response = origin.handle(&req, now);
         let resp_bytes = wire::serialize_response(&response).len();
-        let (up, down) = match &entry.tls_session {
+        let (up, down) = match &tls_session {
             Some(sess) => (sess.wire_bytes(req_bytes), sess.wire_bytes(resp_bytes)),
             None => (req_bytes, resp_bytes),
         };
@@ -301,13 +409,15 @@ impl Meddle {
                 plaintext: !tls,
                 at: now,
                 request: req,
+                partial: degrade::is_partial(&response),
                 response: response.clone(),
             });
         }
 
-        if !reuse.reuse || self.pool[&key].uses >= reuse.max_per_conn {
-            let idx = self.pool.remove(&key).unwrap().conn_index;
-            self.close_conn(idx, now);
+        if !reuse.reuse || uses >= reuse.max_per_conn {
+            if let Some(old) = self.pool.remove(&key) {
+                self.close_conn(old.conn_index, now);
+            }
         }
 
         Ok(response)
@@ -339,6 +449,7 @@ impl Meddle {
             // The TCP handshake costs one round trip before data moves.
             busy_ms: self.config.link.round_trip().as_millis(),
             transactions: 0,
+            error: None,
         });
         self.connections.push(conn);
         self.connections.len() - 1
@@ -351,6 +462,9 @@ impl Meddle {
     }
 
     /// Device-side (forged or passthrough) and upstream handshakes.
+    /// `abort` is the fault-injection input: the device-side handshake
+    /// dies with [`HandshakeError::Aborted`] after trust and pin checks,
+    /// so an injected abort can never mask a deterministic failure.
     fn establish_tls(
         &mut self,
         client_trust: &TrustStore,
@@ -358,9 +472,15 @@ impl Meddle {
         origin: &dyn OriginServer,
         host: &str,
         now: SimTime,
+        abort: bool,
     ) -> Result<TlsSession, ExchangeError> {
         let origin_config = origin.tls_config(host);
         let resume = self.tls_session_cache.contains(host);
+        let map_err = |e: HandshakeError| match e {
+            HandshakeError::PinViolation => ExchangeError::PinViolation,
+            HandshakeError::UntrustedCertificate => ExchangeError::UpstreamUntrusted,
+            HandshakeError::Aborted => ExchangeError::TlsAbort,
+        };
 
         let result = if self.config.intercept_tls {
             // Proxy first verifies the real origin…
@@ -384,10 +504,7 @@ impl Meddle {
                 server_name: host.to_string(),
                 now: now.as_secs(),
             };
-            handshake(&device_client, &forged, resume).map_err(|e| match e {
-                HandshakeError::PinViolation => ExchangeError::PinViolation,
-                HandshakeError::UntrustedCertificate => ExchangeError::UpstreamUntrusted,
-            })
+            handshake_with_fault(&device_client, &forged, resume, abort).map_err(map_err)
         } else {
             // Passthrough: the device talks TLS straight to the origin.
             let device_client = ClientConfig {
@@ -396,10 +513,7 @@ impl Meddle {
                 server_name: host.to_string(),
                 now: now.as_secs(),
             };
-            handshake(&device_client, &origin_config, resume).map_err(|e| match e {
-                HandshakeError::PinViolation => ExchangeError::PinViolation,
-                HandshakeError::UntrustedCertificate => ExchangeError::UpstreamUntrusted,
-            })
+            handshake_with_fault(&device_client, &origin_config, resume, abort).map_err(map_err)
         };
         if result.is_ok() {
             self.tls_session_cache.insert(host.to_string());
@@ -427,6 +541,8 @@ impl Meddle {
         Trace {
             connections: std::mem::take(&mut self.records),
             transactions: std::mem::take(&mut self.transactions),
+            faults: self.faults.take_counts(),
+            retries: 0,
         }
     }
 }
@@ -678,6 +794,136 @@ mod tests {
         assert!(!trace.connections[0].decrypted);
         assert!(trace.transactions.is_empty());
         assert!(trace.connections[0].stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn armed_none_plan_is_byte_identical_to_unarmed() {
+        let run = |arm: bool| {
+            let (mut meddle, trust, mut origin) = world();
+            if arm {
+                meddle.set_faults(FaultPlan::none(), &SimRng::new(99));
+            }
+            for i in 0..5 {
+                meddle
+                    .exchange(
+                        &trust,
+                        &PinSet::none(),
+                        &mut origin,
+                        get(&format!("https://api.example.com/item/{i}")),
+                        SimTime(i * 100),
+                        ReusePolicy::browser(),
+                    )
+                    .unwrap();
+            }
+            meddle.finish_session(SimTime(1_000))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn injected_tls_abort_is_recorded_and_retriable() {
+        let (mut meddle, trust, mut origin) = world();
+        let mut plan = FaultPlan::none();
+        plan.tls_abort = 1.0;
+        meddle.set_faults(plan, &SimRng::new(5));
+        let err = meddle
+            .exchange(
+                &trust,
+                &PinSet::none(),
+                &mut origin,
+                get("https://api.example.com/"),
+                SimTime(0),
+                ReusePolicy::app(),
+            )
+            .unwrap_err();
+        assert_eq!(err, ExchangeError::TlsAbort);
+        assert!(err.retriable());
+        let trace = meddle.finish_session(SimTime(1));
+        assert_eq!(trace.connections.len(), 1, "the dead flow is kept");
+        assert_eq!(trace.connections[0].error, Some(FlowError::TlsAborted));
+        assert_eq!(
+            trace.connections[0].opaque_reason,
+            Some(OpaqueReason::HandshakeAborted)
+        );
+        assert_eq!(trace.faults.tls_aborts, 1);
+        assert_eq!(trace.aborted_connections(), 1);
+    }
+
+    #[test]
+    fn injected_reset_kills_the_exchange_but_not_the_capture() {
+        let (mut meddle, trust, mut origin) = world();
+        let mut plan = FaultPlan::none();
+        plan.connection_reset = 1.0;
+        meddle.set_faults(plan, &SimRng::new(5));
+        let err = meddle
+            .exchange(
+                &trust,
+                &PinSet::none(),
+                &mut origin,
+                get("https://api.example.com/"),
+                SimTime(0),
+                ReusePolicy::app(),
+            )
+            .unwrap_err();
+        assert_eq!(err, ExchangeError::Reset);
+        let trace = meddle.finish_session(SimTime(1));
+        assert_eq!(trace.connections[0].error, Some(FlowError::Reset));
+        assert!(trace.transactions.is_empty());
+        assert_eq!(trace.faults.connection_resets, 1);
+    }
+
+    #[test]
+    fn injected_dns_failure_is_negatively_cached() {
+        let (mut meddle, trust, mut origin) = world();
+        let mut plan = FaultPlan::none();
+        plan.dns_servfail = 1.0;
+        meddle.set_faults(plan, &SimRng::new(5));
+        for _ in 0..3 {
+            let err = meddle
+                .exchange(
+                    &trust,
+                    &PinSet::none(),
+                    &mut origin,
+                    get("https://api.example.com/"),
+                    SimTime(0),
+                    ReusePolicy::app(),
+                )
+                .unwrap_err();
+            assert!(matches!(&err, ExchangeError::Dns(e) if e.kind == DnsErrorKind::ServFail));
+            assert!(err.retriable());
+        }
+        let trace = meddle.finish_session(SimTime(1));
+        assert_eq!(
+            trace.faults.dns_servfail, 1,
+            "retries re-fail from the negative cache, not fresh faults"
+        );
+        assert!(trace.connections.is_empty(), "nothing ever connected");
+    }
+
+    #[test]
+    fn link_flap_window_blocks_exchanges() {
+        let (mut meddle, trust, mut origin) = world();
+        let mut plan = FaultPlan::none();
+        plan.link_flap = 1.0;
+        plan.link_flap_ms = 2_000;
+        meddle.set_faults(plan, &SimRng::new(5));
+        for t in [0u64, 500, 1_999] {
+            assert_eq!(
+                meddle
+                    .exchange(
+                        &trust,
+                        &PinSet::none(),
+                        &mut origin,
+                        get("https://api.example.com/"),
+                        SimTime(t),
+                        ReusePolicy::app(),
+                    )
+                    .unwrap_err(),
+                ExchangeError::LinkDown
+            );
+        }
+        let trace = meddle.finish_session(SimTime(3_000));
+        assert_eq!(trace.faults.link_flaps, 1, "one window swallowed all three");
     }
 
     #[test]

@@ -16,6 +16,12 @@ use std::net::Ipv4Addr;
 /// session, so each domain is resolved once per session).
 pub const DEFAULT_TTL: SimDuration = SimDuration(300_000);
 
+/// TTL for *negative* answers (NXDOMAIN/SERVFAIL/timeout). Real stub
+/// resolvers cache failures briefly (RFC 2308); without this, a client
+/// retry policy turns every injected DNS fault into a retry storm of
+/// identical network queries.
+pub const NEGATIVE_TTL: SimDuration = SimDuration(30_000);
+
 /// A DNS answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DnsAnswer {
@@ -34,8 +40,10 @@ pub struct DnsStats {
     pub network_queries: u64,
     /// Queries served from cache.
     pub cache_hits: u64,
-    /// Names with no zone entry.
+    /// Names with no zone entry, plus injected SERVFAIL/timeouts.
     pub failures: u64,
+    /// Failures served from the negative cache (no network round trip).
+    pub negative_hits: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -44,23 +52,78 @@ struct CacheEntry {
     expires: SimTime,
 }
 
-/// Error for unresolvable names.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct NxDomain(pub String);
+#[derive(Clone, Debug)]
+struct NegativeEntry {
+    kind: DnsErrorKind,
+    expires: SimTime,
+}
 
-impl fmt::Display for NxDomain {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NXDOMAIN: {}", self.0)
+/// What went wrong with a lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DnsErrorKind {
+    /// The name has no zone entry.
+    NxDomain,
+    /// The upstream resolver answered SERVFAIL.
+    ServFail,
+    /// The query timed out.
+    Timeout,
+}
+
+impl DnsErrorKind {
+    /// Whether a client may reasonably retry this failure soon.
+    pub fn is_transient(self) -> bool {
+        !matches!(self, DnsErrorKind::NxDomain)
     }
 }
 
-impl std::error::Error for NxDomain {}
+/// A failed lookup: the kind of failure plus the queried name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsError {
+    /// Failure class.
+    pub kind: DnsErrorKind,
+    /// The name that failed to resolve.
+    pub host: String,
+}
+
+impl DnsError {
+    /// Build an error for `host`.
+    pub fn new(kind: DnsErrorKind, host: impl Into<String>) -> Self {
+        DnsError {
+            kind,
+            host: host.into(),
+        }
+    }
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DnsErrorKind::NxDomain => write!(f, "NXDOMAIN: {}", self.host),
+            DnsErrorKind::ServFail => write!(f, "SERVFAIL: {}", self.host),
+            DnsErrorKind::Timeout => write!(f, "DNS timeout: {}", self.host),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// State of the resolver's caches for one name at one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheState {
+    /// A positive answer is fresh; resolution is local.
+    Fresh,
+    /// A negative answer is fresh; resolution fails locally.
+    Negative,
+    /// Nothing cached (or everything expired): a network query happens.
+    Miss,
+}
 
 /// A caching stub resolver over a static zone map.
 #[derive(Debug)]
 pub struct DnsResolver {
     zones: BTreeMap<String, Ipv4Addr>,
     cache: BTreeMap<String, CacheEntry>,
+    negative: BTreeMap<String, NegativeEntry>,
     stats: DnsStats,
     rng: SimRng,
     /// Mean network lookup latency in ms.
@@ -73,6 +136,7 @@ impl DnsResolver {
         DnsResolver {
             zones: BTreeMap::new(),
             cache: BTreeMap::new(),
+            negative: BTreeMap::new(),
             stats: DnsStats::default(),
             rng,
             mean_latency_ms: 35.0,
@@ -95,7 +159,13 @@ impl DnsResolver {
     }
 
     /// Resolve `host` at time `now`.
-    pub fn resolve(&mut self, host: &str, now: SimTime) -> Result<DnsAnswer, NxDomain> {
+    ///
+    /// Failures (NXDOMAIN, or injected SERVFAIL/timeouts via
+    /// [`DnsResolver::fail`]) are negatively cached for [`NEGATIVE_TTL`],
+    /// so a retrying client re-fails locally instead of re-querying the
+    /// network — the behaviour that keeps injected DNS faults from
+    /// turning into retry storms.
+    pub fn resolve(&mut self, host: &str, now: SimTime) -> Result<DnsAnswer, DnsError> {
         let host = host.to_ascii_lowercase();
         if let Some(entry) = self.cache.get(&host) {
             if entry.expires > now {
@@ -107,15 +177,29 @@ impl DnsResolver {
                 });
             }
         }
+        if let Some(entry) = self.negative.get(&host) {
+            if entry.expires > now {
+                self.stats.negative_hits += 1;
+                return Err(DnsError::new(entry.kind, host));
+            }
+        }
         let Some(&addr) = self.zones.get(&host) else {
             self.stats.failures += 1;
-            return Err(NxDomain(host));
+            self.negative.insert(
+                host.clone(),
+                NegativeEntry {
+                    kind: DnsErrorKind::NxDomain,
+                    expires: now + NEGATIVE_TTL,
+                },
+            );
+            return Err(DnsError::new(DnsErrorKind::NxDomain, host));
         };
         self.stats.network_queries += 1;
         let jitter = self
             .rng
             .approx_normal(self.mean_latency_ms, 8.0)
             .clamp(2.0, 300.0);
+        self.negative.remove(&host);
         self.cache.insert(
             host,
             CacheEntry {
@@ -130,9 +214,49 @@ impl DnsResolver {
         })
     }
 
+    /// Record a failed network query for `host` (the fault-injection
+    /// hook): counts it, caches the failure for [`NEGATIVE_TTL`], and
+    /// returns the error a client would see.
+    pub fn fail(&mut self, host: &str, kind: DnsErrorKind, now: SimTime) -> DnsError {
+        let host = host.to_ascii_lowercase();
+        self.stats.network_queries += 1;
+        self.stats.failures += 1;
+        self.negative.insert(
+            host.clone(),
+            NegativeEntry {
+                kind,
+                expires: now + NEGATIVE_TTL,
+            },
+        );
+        DnsError::new(kind, host)
+    }
+
+    /// What the caches say about `host` at `now` (drives whether a fault
+    /// injector even gets the chance to break a lookup: cached answers —
+    /// positive or negative — never touch the network).
+    pub fn cache_state(&self, host: &str, now: SimTime) -> CacheState {
+        let host = host.to_ascii_lowercase();
+        if self
+            .cache
+            .get(&host)
+            .is_some_and(|entry| entry.expires > now)
+        {
+            return CacheState::Fresh;
+        }
+        if self
+            .negative
+            .get(&host)
+            .is_some_and(|entry| entry.expires > now)
+        {
+            return CacheState::Negative;
+        }
+        CacheState::Miss
+    }
+
     /// Drop all cached entries (a new private-mode session).
     pub fn flush_cache(&mut self) {
         self.cache.clear();
+        self.negative.clear();
     }
 
     /// Accumulated statistics.
@@ -181,8 +305,70 @@ mod tests {
     #[test]
     fn nxdomain_for_unknown() {
         let mut r = resolver();
-        assert!(r.resolve("nope.example", SimTime(0)).is_err());
+        let err = r.resolve("nope.example", SimTime(0)).unwrap_err();
+        assert_eq!(err.kind, DnsErrorKind::NxDomain);
         assert_eq!(r.stats().failures, 1);
+    }
+
+    #[test]
+    fn failures_are_negatively_cached_with_their_own_ttl() {
+        let mut r = resolver();
+        // First miss hits the (absent) network; repeats are local.
+        assert!(r.resolve("nope.example", SimTime(0)).is_err());
+        for t in 1..10 {
+            assert!(r.resolve("nope.example", SimTime(t)).is_err());
+        }
+        assert_eq!(r.stats().failures, 1, "one authoritative failure");
+        assert_eq!(r.stats().negative_hits, 9, "repeats served locally");
+
+        // The negative TTL is its own knob: shorter than the positive TTL.
+        let after_neg = SimTime(NEGATIVE_TTL.as_millis() + 1);
+        assert!(after_neg.0 < DEFAULT_TTL.as_millis());
+        assert!(r.resolve("nope.example", after_neg).is_err());
+        assert_eq!(r.stats().failures, 2, "negative entry expired, re-query");
+    }
+
+    #[test]
+    fn injected_servfail_is_negatively_cached_and_recovers() {
+        let mut r = resolver();
+        r.register_auto("api.example.com");
+        let err = r.fail("api.example.com", DnsErrorKind::ServFail, SimTime(0));
+        assert_eq!(err.kind, DnsErrorKind::ServFail);
+        assert!(err.kind.is_transient());
+        assert_eq!(
+            r.cache_state("api.example.com", SimTime(1)),
+            CacheState::Negative
+        );
+
+        // A retry inside the negative TTL fails locally — no retry storm.
+        let queries_before = r.stats().network_queries;
+        let again = r.resolve("api.example.com", SimTime(5_000)).unwrap_err();
+        assert_eq!(again.kind, DnsErrorKind::ServFail);
+        assert_eq!(r.stats().network_queries, queries_before);
+        assert_eq!(r.stats().negative_hits, 1);
+
+        // After the negative TTL the zone answers again, and success
+        // clears the negative entry.
+        let later = SimTime(NEGATIVE_TTL.as_millis() + 1);
+        let ans = r.resolve("api.example.com", later).unwrap();
+        assert!(!ans.cached);
+        assert_eq!(r.cache_state("api.example.com", later), CacheState::Fresh);
+    }
+
+    #[test]
+    fn cache_state_tracks_both_caches() {
+        let mut r = resolver();
+        r.register_auto("x.com");
+        assert_eq!(r.cache_state("x.com", SimTime(0)), CacheState::Miss);
+        r.resolve("x.com", SimTime(0)).unwrap();
+        assert_eq!(r.cache_state("X.COM", SimTime(1)), CacheState::Fresh);
+        let expired = SimTime(DEFAULT_TTL.as_millis() + 1);
+        assert_eq!(r.cache_state("x.com", expired), CacheState::Miss);
+        r.flush_cache();
+        r.fail("x.com", DnsErrorKind::Timeout, SimTime(0));
+        assert_eq!(r.cache_state("x.com", SimTime(1)), CacheState::Negative);
+        r.flush_cache();
+        assert_eq!(r.cache_state("x.com", SimTime(1)), CacheState::Miss);
     }
 
     #[test]
@@ -228,4 +414,11 @@ mod tests {
 }
 
 appvsweb_json::impl_json!(struct DnsAnswer { addr, cached, latency });
-appvsweb_json::impl_json!(struct DnsStats { network_queries, cache_hits, failures });
+appvsweb_json::impl_json!(struct DnsStats { network_queries, cache_hits, failures, negative_hits });
+appvsweb_json::impl_json!(
+    enum DnsErrorKind {
+        NxDomain,
+        ServFail,
+        Timeout,
+    }
+);

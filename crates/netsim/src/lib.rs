@@ -17,7 +17,11 @@
 //!   independent subsystems draw from independent streams
 //! * [`event`] — a deterministic event queue (ties broken by insertion
 //!   order, never by hash order)
-//! * [`dns`] — a resolver with zones, caching, and query accounting
+//! * [`dns`] — a resolver with zones, positive *and negative* caching,
+//!   and query accounting
+//! * [`faults`] — the deterministic chaos layer: [`FaultPlan`] presets
+//!   and the [`FaultInjector`] that rolls packet loss, latency spikes,
+//!   resets, link flaps, and DNS failures from a labelled RNG fork
 //! * [`link`] — latency/bandwidth modelling for transfer-time estimates
 //! * [`tcp`] — connection-level TCP accounting: handshakes, MSS
 //!   segmentation, per-connection byte/packet counters (feeds the paper's
@@ -32,6 +36,7 @@ pub mod clock;
 pub mod device;
 pub mod dns;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod rng;
 pub mod tcp;
@@ -40,6 +45,7 @@ pub use clock::{SimClock, SimDuration, SimTime};
 pub use device::{Device, DeviceIds, Os, Permission};
 pub use dns::DnsResolver;
 pub use event::EventQueue;
+pub use faults::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
 pub use link::Link;
 pub use rng::SimRng;
 pub use tcp::{Connection, ConnectionStats, Endpoint};

@@ -337,6 +337,8 @@ mod tests {
             per_type,
             per_domain_leaks: BTreeMap::new(),
             per_domain_types: BTreeMap::new(),
+            fault_counts: Default::default(),
+            retries: 0,
         }
     }
 
@@ -351,6 +353,7 @@ mod tests {
                 cell(Medium::App, &[(PiiType::UniqueId, 50)], 3, false),
                 cell(Medium::Web, &[(PiiType::Location, 5)], 20, false),
             ],
+            health: Default::default(),
         };
         let recs = recommend(&study, &Preferences::device_sensitive());
         assert_eq!(recs.len(), 1);
@@ -365,6 +368,7 @@ mod tests {
                 cell(Medium::App, &[(PiiType::UniqueId, 5)], 2, false),
                 cell(Medium::Web, &[(PiiType::Location, 5)], 25, false),
             ],
+            health: Default::default(),
         };
         let recs = recommend(&study, &Preferences::tracking_averse());
         assert_eq!(recs[0].verdict, Verdict::UseApp);
@@ -378,6 +382,7 @@ mod tests {
                 cell(Medium::App, &[(PiiType::Location, 5)], 5, false),
                 cell(Medium::Web, &[(PiiType::Location, 5)], 5, false),
             ],
+            health: Default::default(),
         };
         let recs = recommend(&study, &Preferences::balanced());
         assert_eq!(recs[0].verdict, Verdict::Either);
@@ -398,6 +403,7 @@ mod tests {
                 cell(Medium::App, &[(PiiType::UniqueId, 50)], 3, false),
                 cell(Medium::Web, &[(PiiType::Location, 5)], 20, false),
             ],
+            health: Default::default(),
         };
         let recs = recommend(&study, &Preferences::device_sensitive());
         let s = summarize(&recs);
@@ -412,6 +418,7 @@ mod tests {
                 cell(Medium::App, &[(PiiType::UniqueId, 50)], 2, false),
                 cell(Medium::Web, &[(PiiType::Location, 5)], 25, false),
             ],
+            health: Default::default(),
         };
         let m = what_if_matrix(&study);
         assert_eq!(m.profiles.len(), 5);

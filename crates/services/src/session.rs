@@ -19,9 +19,9 @@ use appvsweb_httpsim::cache::{BrowserCache, CacheAdvice};
 use appvsweb_httpsim::codec::base64_encode;
 use appvsweb_httpsim::compress::gzip_compress;
 use appvsweb_httpsim::url::Scheme;
-use appvsweb_httpsim::{Body, CookieJar, Request, Url};
-use appvsweb_mitm::{Meddle, OriginServer, ReusePolicy, Trace};
-use appvsweb_netsim::{EventQueue, Os, SimDuration, SimRng, SimTime};
+use appvsweb_httpsim::{Body, CookieJar, Request, Response, Url};
+use appvsweb_mitm::{ExchangeError, Meddle, OriginServer, ReusePolicy, Trace};
+use appvsweb_netsim::{EventQueue, FaultPlan, Os, SimDuration, SimRng, SimTime};
 use appvsweb_pii::{GroundTruth, PiiType};
 use appvsweb_tlssim::{PinSet, TrustStore};
 
@@ -35,6 +35,12 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Apply the §3.2 background-traffic filter before returning.
     pub strip_background: bool,
+    /// Fault plan for the session's network and origins. The default
+    /// ([`FaultPlan::none`]) never draws from any RNG stream, so the
+    /// golden-path trace is byte-identical to a build without chaos.
+    pub faults: FaultPlan,
+    /// How the simulated client retries transient network failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SessionConfig {
@@ -43,9 +49,74 @@ impl Default for SessionConfig {
             duration: SimDuration::from_mins(4),
             seed: 2016,
             strip_background: true,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::standard(),
         }
     }
 }
+
+/// Client-side retry behaviour: capped exponential backoff with jitter,
+/// bounded per attempt and per session. Mirrors what mobile HTTP stacks
+/// of the era (OkHttp, NSURLSession) did for idempotent requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single backoff delay.
+    pub max_delay_ms: u64,
+    /// Fraction of the delay added as seeded random jitter (0.0 = none).
+    pub jitter: f64,
+    /// Retry budget for the whole session; once spent, failures are
+    /// surfaced immediately. Prevents retry storms under heavy plans.
+    pub session_budget: u32,
+}
+
+impl RetryPolicy {
+    /// The default client: 3 attempts, 250 ms base doubling to 4 s, 20%
+    /// jitter, at most 64 retries per session.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 250,
+            max_delay_ms: 4_000,
+            jitter: 0.2,
+            session_budget: 64,
+        }
+    }
+
+    /// Never retry: every transient failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter: 0.0,
+            session_budget: 0,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based). Draws from `rng`
+    /// only when jitter applies — the golden path, which never retries,
+    /// never touches the stream.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut SimRng) -> u64 {
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        let span = (base as f64 * self.jitter) as u64;
+        if span == 0 {
+            base
+        } else {
+            base + rng.below(span + 1)
+        }
+    }
+}
+
+appvsweb_json::impl_json!(struct RetryPolicy {
+    max_attempts, base_delay_ms, max_delay_ms, jitter, session_budget
+});
 
 /// One test cell: a service exercised via one medium on one OS.
 pub struct SessionRunner<'a> {
@@ -66,6 +137,80 @@ enum Action {
     Beacon(usize, u32),
     PageView(u32),
     Background(u32),
+}
+
+/// The session's network stack: the tunnel, the origin world, and the
+/// client retry loop wrapped behind one `exchange` call. Transient
+/// failures (timeouts, resets, aborted handshakes, SERVFAIL) are retried
+/// with backoff; hard failures (pin violations, untrusted chains,
+/// NXDOMAIN) surface immediately.
+struct NetCtx<'a> {
+    meddle: &'a mut Meddle,
+    world: &'a mut OriginWorld,
+    trust: &'a TrustStore,
+    pins: PinSet,
+    retry: RetryPolicy,
+    /// Jitter stream; drawn from only when a retry actually happens, so
+    /// the golden path never consumes it.
+    rng: SimRng,
+    retries_spent: u32,
+}
+
+impl NetCtx<'_> {
+    /// Exchange with the session's pin set (the service's own pins).
+    fn exchange(
+        &mut self,
+        req: Request,
+        now: SimTime,
+        reuse: ReusePolicy,
+    ) -> Result<Response, ExchangeError> {
+        self.exchange_impl(req, now, reuse, false)
+    }
+
+    /// Exchange with no pins (OS background services pin nothing).
+    fn exchange_unpinned(
+        &mut self,
+        req: Request,
+        now: SimTime,
+        reuse: ReusePolicy,
+    ) -> Result<Response, ExchangeError> {
+        self.exchange_impl(req, now, reuse, true)
+    }
+
+    fn exchange_impl(
+        &mut self,
+        req: Request,
+        now: SimTime,
+        reuse: ReusePolicy,
+        unpinned: bool,
+    ) -> Result<Response, ExchangeError> {
+        let pins = if unpinned {
+            PinSet::none()
+        } else {
+            self.pins.clone()
+        };
+        let mut at = now;
+        let mut attempt = 0u32;
+        loop {
+            match self
+                .meddle
+                .exchange(self.trust, &pins, self.world, req.clone(), at, reuse)
+            {
+                Ok(resp) => return Ok(resp),
+                Err(err) => {
+                    attempt += 1;
+                    if !err.retriable()
+                        || attempt >= self.retry.max_attempts
+                        || self.retries_spent >= self.retry.session_budget
+                    {
+                        return Err(err);
+                    }
+                    self.retries_spent += 1;
+                    at += SimDuration(self.retry.backoff_ms(attempt - 1, &mut self.rng));
+                }
+            }
+        }
+    }
 }
 
 impl SessionRunner<'_> {
@@ -94,6 +239,20 @@ impl SessionRunner<'_> {
             PinSet::of([leaf])
         } else {
             PinSet::none()
+        };
+
+        // Arm the chaos dice. With the default none-plan these injectors
+        // never draw, and the trace is identical to a fault-free build.
+        meddle.set_faults(cfg.faults.clone(), &rng);
+        world.set_faults(cfg.faults.clone(), &rng);
+        let mut net = NetCtx {
+            meddle: &mut *meddle,
+            world: &mut *world,
+            trust: device_trust,
+            pins,
+            retry: cfg.retry.clone(),
+            rng: rng.fork("retry"),
+            retries_spent: 0,
         };
 
         // ---- Schedule the interaction -------------------------------
@@ -126,14 +285,10 @@ impl SessionRunner<'_> {
                 break;
             }
             match action {
-                Action::Login => {
-                    self.do_login(meddle, world, device_trust, &pins, truth, &mut jar, now)
-                }
-                Action::ProfileSync => {
-                    self.do_profile_sync(meddle, world, device_trust, &pins, truth, &mut jar, now)
-                }
+                Action::Login => self.do_login(&mut net, truth, &mut jar, now),
+                Action::ProfileSync => self.do_profile_sync(&mut net, truth, &mut jar, now),
                 Action::ApiCall(n) => {
-                    self.do_api_call(meddle, world, device_trust, &pins, truth, n, now);
+                    self.do_api_call(&mut net, truth, n, now);
                     queue.schedule(
                         now + SimDuration(self.spec.app.api_period_ms.max(1_000)),
                         Action::ApiCall(n + 1),
@@ -141,7 +296,7 @@ impl SessionRunner<'_> {
                 }
                 Action::SdkInit(i) => {
                     let tracker = trackers::by_id(self.spec.app.trackers[i]);
-                    self.do_beacon(meddle, world, device_trust, &pins, truth, tracker, 0, now);
+                    self.do_beacon(&mut net, truth, tracker, 0, now);
                     if tracker.beacon_period_ms > 0 {
                         queue.schedule(
                             now + SimDuration(tracker.beacon_period_ms),
@@ -151,25 +306,14 @@ impl SessionRunner<'_> {
                 }
                 Action::Beacon(i, n) => {
                     let tracker = trackers::by_id(self.spec.app.trackers[i]);
-                    self.do_beacon(meddle, world, device_trust, &pins, truth, tracker, n, now);
+                    self.do_beacon(&mut net, truth, tracker, n, now);
                     queue.schedule(
                         now + SimDuration(tracker.beacon_period_ms.max(250)),
                         Action::Beacon(i, n + 1),
                     );
                 }
                 Action::PageView(n) => {
-                    self.do_page_view(
-                        meddle,
-                        world,
-                        device_trust,
-                        &pins,
-                        truth,
-                        &mut jar,
-                        &mut cache,
-                        &mut rng,
-                        n,
-                        now,
-                    );
+                    self.do_page_view(&mut net, truth, &mut jar, &mut cache, &mut rng, n, now);
                     queue.schedule(
                         now + SimDuration(self.spec.web.page_period_ms.max(4_000)),
                         Action::PageView(n + 1),
@@ -180,20 +324,16 @@ impl SessionRunner<'_> {
                     let host = hosts[(n as usize) % hosts.len()];
                     let url = Url::new(Scheme::Https, host, "/sync");
                     let req = Request::get(url).with_user_agent(self.user_agent());
-                    let _ = meddle.exchange(
-                        device_trust,
-                        &PinSet::none(),
-                        world,
-                        req,
-                        now,
-                        ReusePolicy::app(),
-                    );
+                    let _ = net.exchange_unpinned(req, now, ReusePolicy::app());
                     queue.schedule(now + SimDuration(35_000), Action::Background(n + 1));
                 }
             }
         }
 
+        let retries = net.retries_spent;
         let mut trace = meddle.finish_session(end);
+        trace.faults.merge(&world.take_fault_counts());
+        trace.retries = retries as u64;
         if cfg.strip_background {
             appvsweb_mitm::filter::strip_background(&mut trace, self.os, &[]);
         }
@@ -238,22 +378,12 @@ impl SessionRunner<'_> {
         v
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn do_login(
-        &self,
-        meddle: &mut Meddle,
-        world: &mut OriginWorld,
-        trust: &TrustStore,
-        pins: &PinSet,
-        truth: &GroundTruth,
-        jar: &mut CookieJar,
-        now: SimTime,
-    ) {
+    fn do_login(&self, net: &mut NetCtx, truth: &GroundTruth, jar: &mut CookieJar, now: SimTime) {
         // Credentials to the first party over HTTPS: NOT a leak by rule.
         let url = Url::new(Scheme::Https, self.www_host(), "/account/login");
         let body = Body::form(&[("email", &truth.email), ("password", &truth.password)]);
         let req = Request::post(url, body).with_user_agent(self.user_agent());
-        if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, self.reuse_policy()) {
+        if let Ok(resp) = net.exchange(req, now, self.reuse_policy()) {
             for sc in resp.set_cookies() {
                 jar.store(&self.www_host(), sc);
             }
@@ -274,17 +404,13 @@ impl SessionRunner<'_> {
                 ("svc", self.spec.id),
             ]);
             let req = Request::post(url, body).with_user_agent(self.user_agent());
-            let _ = meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot());
+            let _ = net.exchange(req, now, ReusePolicy::one_shot());
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn do_profile_sync(
         &self,
-        meddle: &mut Meddle,
-        world: &mut OriginWorld,
-        trust: &TrustStore,
-        pins: &PinSet,
+        net: &mut NetCtx,
         truth: &GroundTruth,
         jar: &mut CookieJar,
         now: SimTime,
@@ -313,20 +439,10 @@ impl SessionRunner<'_> {
         if let Some(cookie) = jar.cookie_header(&host, "/account/profile", true) {
             req.headers.set("Cookie", cookie);
         }
-        let _ = meddle.exchange(trust, pins, world, req, now, self.reuse_policy());
+        let _ = net.exchange(req, now, self.reuse_policy());
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn do_api_call(
-        &self,
-        meddle: &mut Meddle,
-        world: &mut OriginWorld,
-        trust: &TrustStore,
-        pins: &PinSet,
-        truth: &GroundTruth,
-        n: u32,
-        now: SimTime,
-    ) {
+    fn do_api_call(&self, net: &mut NetCtx, truth: &GroundTruth, n: u32, now: SimTime) {
         // Every fourth call on a sloppy API goes over plaintext HTTP —
         // that is how "encrypted-looking" apps still leak to eavesdroppers.
         let plaintext = self.spec.app.plaintext_api && n % 4 == 3;
@@ -358,16 +474,12 @@ impl SessionRunner<'_> {
             }
         }
         let req = Request::get(url).with_user_agent(self.user_agent());
-        let _ = meddle.exchange(trust, pins, world, req, now, self.reuse_policy());
+        let _ = net.exchange(req, now, self.reuse_policy());
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn do_beacon(
         &self,
-        meddle: &mut Meddle,
-        world: &mut OriginWorld,
-        trust: &TrustStore,
-        pins: &PinSet,
+        net: &mut NetCtx,
         truth: &GroundTruth,
         tracker: &TrackerSpec,
         beacon_index: u32,
@@ -406,13 +518,13 @@ impl SessionRunner<'_> {
             Scheme::Https
         };
         let req = build_payload(scheme, host, tracker.style, &params, &self.user_agent());
-        let _ = meddle.exchange(trust, pins, world, req, now, ReusePolicy::app());
+        let _ = net.exchange(req, now, ReusePolicy::app());
         // Ad-serving SDKs pull a creative with each refresh — the bulk of
         // app-side A&A bytes (Fig. 1c's positive tail).
         if tracker.creative_bytes > 0 {
             let url = Url::new(scheme, host, format!("/creative/{beacon_index}"));
             let req = Request::get(url).with_user_agent(self.user_agent());
-            let _ = meddle.exchange(trust, pins, world, req, now, ReusePolicy::app());
+            let _ = net.exchange(req, now, ReusePolicy::app());
         }
     }
 
@@ -431,10 +543,7 @@ impl SessionRunner<'_> {
     #[allow(clippy::too_many_arguments)]
     fn do_page_view(
         &self,
-        meddle: &mut Meddle,
-        world: &mut OriginWorld,
-        trust: &TrustStore,
-        pins: &PinSet,
+        net: &mut NetCtx,
         truth: &GroundTruth,
         jar: &mut CookieJar,
         cache: &mut BrowserCache,
@@ -462,7 +571,7 @@ impl SessionRunner<'_> {
         if let Some(cookie) = jar.cookie_header(&www, "/", scheme == Scheme::Https) {
             req.headers.set("Cookie", cookie);
         }
-        if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, ReusePolicy::browser()) {
+        if let Ok(resp) = net.exchange(req, now, ReusePolicy::browser()) {
             for sc in resp.set_cookies() {
                 jar.store(&www, sc);
             }
@@ -483,8 +592,7 @@ impl SessionRunner<'_> {
                 .with_user_agent(self.user_agent())
                 .with_referer(format!("https://{www}/page/{n}"));
             cache.apply(&mut req, &advice);
-            if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, ReusePolicy::browser())
-            {
+            if let Ok(resp) = net.exchange(req, now, ReusePolicy::browser()) {
                 cache.store(&url_str, &resp, now.as_millis());
             }
         }
@@ -511,9 +619,7 @@ impl SessionRunner<'_> {
                         .with_user_agent(self.user_agent())
                         .with_referer(format!("https://{www}/page/{n}"));
                     cache.apply(&mut req, &advice);
-                    if let Ok(resp) =
-                        meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot())
-                    {
+                    if let Ok(resp) = net.exchange(req, now, ReusePolicy::one_shot()) {
                         cache.store(&url_str, &resp, now.as_millis());
                     }
                 }
@@ -547,8 +653,7 @@ impl SessionRunner<'_> {
             if let Some(cookie) = jar.cookie_header(host, "/", scheme == Scheme::Https) {
                 req.headers.set("Cookie", cookie);
             }
-            if let Ok(resp) = meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot())
-            {
+            if let Ok(resp) = net.exchange(req, now, ReusePolicy::one_shot()) {
                 for sc in resp.set_cookies() {
                     jar.store(host, sc);
                 }
@@ -582,9 +687,7 @@ impl SessionRunner<'_> {
                     let req = Request::get(next.clone())
                         .with_user_agent(self.user_agent())
                         .with_referer(format!("https://{www}/page/{n}"));
-                    let Ok(resp) =
-                        meddle.exchange(trust, pins, world, req, now, ReusePolicy::one_shot())
-                    else {
+                    let Ok(resp) = net.exchange(req, now, ReusePolicy::one_shot()) else {
                         break;
                     };
                     for sc in resp.set_cookies() {
@@ -907,6 +1010,62 @@ mod tests {
         };
         assert!(!has_name(&android, &truth_a));
         assert!(has_name(&ios, &truth_i));
+    }
+
+    fn run_with_plan(id: &str, os: Os, medium: Medium, plan: FaultPlan) -> Trace {
+        let catalog = Catalog::paper();
+        let spec = catalog.get(id).unwrap();
+        let (mut meddle, mut world, trust) = testbed();
+        let runner = SessionRunner { spec, os, medium };
+        let cfg = SessionConfig {
+            faults: plan,
+            ..Default::default()
+        };
+        runner.run(&mut meddle, &mut world, &trust, &truth_for(os), &cfg)
+    }
+
+    #[test]
+    fn none_plan_session_records_no_faults_or_retries() {
+        let trace = run_with_plan("yelp", Os::Android, Medium::App, FaultPlan::none());
+        assert_eq!(trace.faults.total(), 0);
+        assert_eq!(trace.retries, 0);
+        // Byte-identical to the default-config path (same armed none-plan).
+        let baseline = run("yelp", Os::Android, Medium::App);
+        assert_eq!(trace, baseline);
+    }
+
+    #[test]
+    fn moderate_chaos_session_completes_and_records_faults() {
+        let trace = run_with_plan("bbc-news", Os::Ios, Medium::Web, FaultPlan::moderate());
+        assert!(
+            !trace.transactions.is_empty(),
+            "a degraded session still captures traffic"
+        );
+        assert!(trace.faults.total() > 0, "5% fault rates must fire");
+        assert!(trace.retries > 0, "the client must have retried something");
+        // Every fault either got retried away, killed a recorded flow, or
+        // damaged a recorded response — nothing silently vanished.
+        assert!(
+            trace.aborted_connections() > 0 || trace.partial_transactions() > 0,
+            "injected faults must leave visible scars in the trace"
+        );
+    }
+
+    #[test]
+    fn chaos_sessions_are_deterministic() {
+        let a = run_with_plan(
+            "accuweather",
+            Os::Android,
+            Medium::Web,
+            FaultPlan::moderate(),
+        );
+        let b = run_with_plan(
+            "accuweather",
+            Os::Android,
+            Medium::Web,
+            FaultPlan::moderate(),
+        );
+        assert_eq!(a, b, "same (seed, plan) must reproduce the exact trace");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use appvsweb_httpsim::cookie::SetCookie;
 use appvsweb_httpsim::url::Scheme;
-use appvsweb_httpsim::{Body, Request, Response, StatusCode, Url};
+use appvsweb_httpsim::{degrade, Body, Request, Response, StatusCode, Url};
 use appvsweb_mitm::OriginServer;
-use appvsweb_netsim::{SimRng, SimTime};
+use appvsweb_netsim::faults::ResponseFault;
+use appvsweb_netsim::{FaultCounts, FaultInjector, FaultPlan, SimRng, SimTime};
 use appvsweb_tlssim::{CertificateAuthority, ServerConfig, TrustStore};
 
 /// RTB exchange hosts that participate in redirect chains.
@@ -31,6 +32,11 @@ const RTB_EXCHANGES: &[&str] = &[
 pub struct OriginWorld {
     ca: CertificateAuthority,
     rng: SimRng,
+    /// Origin-side chaos dice (disabled by default: never draws). Fires
+    /// *after* the intact response is built, corrupting it the way flaky
+    /// 2016 origins and middleboxes did: 5xx substitution, truncation,
+    /// broken chunked framing.
+    faults: FaultInjector,
 }
 
 impl OriginWorld {
@@ -40,7 +46,21 @@ impl OriginWorld {
         OriginWorld {
             ca: CertificateAuthority::new(ca_label),
             rng,
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Arm the origin-side fault injector with its own labelled fork of
+    /// `rng`. A plan of [`FaultPlan::none`] never draws, leaving every
+    /// other stream untouched.
+    pub fn set_faults(&mut self, plan: FaultPlan, rng: &SimRng) {
+        self.faults = FaultInjector::new(plan, rng.fork("world-chaos"));
+    }
+
+    /// Take the ledger of origin-side faults injected so far, resetting
+    /// it (the session runner merges this into the trace).
+    pub fn take_fault_counts(&mut self) -> FaultCounts {
+        self.faults.take_counts()
     }
 
     /// The public root CA. Devices and the Meddle proxy must trust this.
@@ -82,7 +102,23 @@ impl OriginServer for OriginWorld {
         }
     }
 
-    fn handle(&mut self, req: &Request, _now: SimTime) -> Response {
+    fn handle(&mut self, req: &Request, now: SimTime) -> Response {
+        let mut resp = self.respond(req, now);
+        if let Some(fault) = self.faults.response_fault() {
+            match fault {
+                ResponseFault::ServerError => resp = degrade::server_error(503),
+                ResponseFault::Truncated => degrade::truncate(&mut resp),
+                ResponseFault::MalformedChunked => degrade::malform_chunked(&mut resp),
+            }
+        }
+        resp
+    }
+}
+
+impl OriginWorld {
+    /// Build the intact response for `req` (fault injection, when armed,
+    /// happens in [`OriginServer::handle`] on top of this).
+    fn respond(&mut self, req: &Request, _now: SimTime) -> Response {
         let host = req.url.host.as_str().to_string();
         let path = req.url.path.clone();
 

@@ -19,7 +19,7 @@ mod prop;
 pub use appvsweb_netsim::SimRng;
 pub use bench::{BenchResult, BenchRunner};
 pub use gen::Gen;
-pub use prop::{check, PropConfig};
+pub use prop::{check, check_with, PropConfig};
 
 /// Define property tests over [`gen`] generators.
 ///

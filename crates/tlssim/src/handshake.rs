@@ -44,6 +44,20 @@ pub enum HandshakeError {
     /// Chain verified but violated the client's pin set. This is the
     /// failure that forced Facebook/Twitter out of the original study.
     PinViolation,
+    /// The handshake aborted for a network-level reason unrelated to
+    /// certificates or pins (lost flight, mid-handshake reset, peer
+    /// `internal_error` alert). This is the fault-injection hook: live
+    /// 2016 captures were full of handshakes that simply died, and the
+    /// chaos layer reproduces them through this variant.
+    Aborted,
+}
+
+impl HandshakeError {
+    /// Whether a client may reasonably retry the connection (certificate
+    /// and pin failures are deterministic; aborts are weather).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HandshakeError::Aborted)
+    }
 }
 
 impl std::fmt::Display for HandshakeError {
@@ -51,6 +65,7 @@ impl std::fmt::Display for HandshakeError {
         match self {
             HandshakeError::UntrustedCertificate => f.write_str("untrusted certificate chain"),
             HandshakeError::PinViolation => f.write_str("certificate pin violation"),
+            HandshakeError::Aborted => f.write_str("handshake aborted (network fault)"),
         }
     }
 }
@@ -91,6 +106,21 @@ pub fn handshake(
     server: &ServerConfig,
     resume: bool,
 ) -> HandshakeOutcome {
+    handshake_with_fault(client, server, resume, false)
+}
+
+/// [`handshake`] with a fault-injection input: when `abort` is true the
+/// handshake dies with [`HandshakeError::Aborted`] *after* certificate
+/// and pin evaluation, so an injected abort can never mask — or be
+/// masked by — a deterministic trust failure. The proxy rolls `abort`
+/// from its fault injector; a plan of zero never reaches here with
+/// `true`.
+pub fn handshake_with_fault(
+    client: &ClientConfig<'_>,
+    server: &ServerConfig,
+    resume: bool,
+    abort: bool,
+) -> HandshakeOutcome {
     if !client
         .trust
         .verify(&server.chain, &client.server_name, client.now)
@@ -99,6 +129,9 @@ pub fn handshake(
     }
     if !client.pins.accepts(&server.chain) {
         return Err(HandshakeError::PinViolation);
+    }
+    if abort {
+        return Err(HandshakeError::Aborted);
     }
     let resumed = resume && server.supports_resumption;
     Ok(TlsSession {
@@ -216,6 +249,40 @@ mod tests {
     }
 
     #[test]
+    fn injected_abort_fires_only_after_trust_checks() {
+        let (ca, trust) = world();
+        let pins = PinSet::none();
+        let server = ServerConfig {
+            chain: ca.chain_for("api.x.com"),
+            supports_resumption: true,
+        };
+        let client = ClientConfig {
+            trust: &trust,
+            pins: &pins,
+            server_name: "api.x.com".into(),
+            now: 0,
+        };
+        let err = handshake_with_fault(&client, &server, false, true).unwrap_err();
+        assert_eq!(err, HandshakeError::Aborted);
+        assert!(err.is_transient());
+        assert!(!HandshakeError::PinViolation.is_transient());
+
+        // A trust failure wins over an injected abort: the abort must
+        // never hide the deterministic outcome.
+        let rogue = CertificateAuthority::new("Rogue");
+        let bad = ServerConfig {
+            chain: rogue.chain_for("api.x.com"),
+            supports_resumption: true,
+        };
+        assert_eq!(
+            handshake_with_fault(&client, &bad, false, true),
+            Err(HandshakeError::UntrustedCertificate)
+        );
+        // And without the fault the handshake still succeeds.
+        assert!(handshake_with_fault(&client, &server, false, false).is_ok());
+    }
+
+    #[test]
     fn sni_mismatch_fails() {
         let (ca, trust) = world();
         let pins = PinSet::none();
@@ -240,6 +307,7 @@ appvsweb_json::impl_json!(
     enum HandshakeError {
         UntrustedCertificate,
         PinViolation,
+        Aborted,
     }
 );
 appvsweb_json::impl_json!(struct TlsSession { server_name, handshake_bytes, resumed });

@@ -1,0 +1,168 @@
+//! Chaos suite: the robustness contract of the pipeline under seeded
+//! fault injection.
+//!
+//! Three guarantees, checked end to end:
+//!
+//! 1. no fault plan (panics excluded) can crash a cell — sessions
+//!    complete and the analysis invariants hold under arbitrary rates,
+//! 2. the study runner isolates deliberately panicking cells: they are
+//!    recorded as failed in the health ledger, every other cell
+//!    survives, and completed + failed always equals attempted,
+//! 3. the same `(seed, FaultPlan)` produces a byte-identical dataset
+//!    regardless of worker count.
+
+use appvsweb::core::dataset;
+use appvsweb::core::study::{run_cell, run_study, StudyConfig};
+use appvsweb::netsim::{FaultPlan, Os, SimDuration};
+use appvsweb::services::{Catalog, Medium};
+use appvsweb_testkit::{check_with, gen, prop_test, Gen, PropConfig, SimRng};
+
+fn quick_cfg(faults: FaultPlan) -> StudyConfig {
+    StudyConfig {
+        duration: SimDuration::from_mins(1),
+        use_recon: false,
+        faults,
+        ..StudyConfig::default()
+    }
+}
+
+fn prob(rng: &mut SimRng, scale: f64) -> f64 {
+    (rng.below(1_001) as f64) / 1_000.0 * scale
+}
+
+/// Arbitrary network/origin fault plan with every rate in `[0, 0.25]`
+/// and sane spike/flap windows. `cell_panic` stays 0 here — panic
+/// isolation is a study-runner property, tested separately below.
+fn plans() -> impl Gen<Value = FaultPlan> {
+    gen::from_fn(|rng: &mut SimRng| FaultPlan {
+        packet_loss: prob(rng, 0.25),
+        latency_spike: prob(rng, 0.25),
+        latency_spike_ms: rng.below(5_000),
+        connection_reset: prob(rng, 0.25),
+        link_flap: prob(rng, 0.1),
+        link_flap_ms: rng.below(10_000),
+        dns_servfail: prob(rng, 0.25),
+        dns_timeout: prob(rng, 0.25),
+        tls_abort: prob(rng, 0.25),
+        truncated_body: prob(rng, 0.25),
+        malformed_chunked: prob(rng, 0.25),
+        server_error: prob(rng, 0.25),
+        cell_panic: 0.0,
+    })
+}
+
+/// Run the closure with the default panic hook silenced, restoring it
+/// after. The injected-panic tests crash cells on purpose; their
+/// backtraces are noise, not signal.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn single_cells_never_panic_under_arbitrary_plans() {
+    let catalog = Catalog::paper();
+    let mut cells: Vec<(&str, Os, Medium)> = Vec::new();
+    for os in [Os::Android, Os::Ios] {
+        for spec in catalog.testable_on(os) {
+            for medium in Medium::BOTH {
+                cells.push((spec.id, os, medium));
+            }
+        }
+    }
+    // Each case is a full 1-minute session; 24 cases keep the suite
+    // inside tier-1 time while still sweeping the plan space.
+    check_with(
+        &PropConfig {
+            cases: 24,
+            ..PropConfig::default()
+        },
+        "single_cells_never_panic",
+        &(plans(), gen::u64s(0..=1_000_000)),
+        |case| {
+            let (plan, pick) = case.clone();
+            let (id, os, medium) = cells[pick as usize % cells.len()];
+            let spec = catalog.get(id).unwrap();
+            let cell = run_cell(spec, os, medium, &quick_cfg(plan), None);
+            assert!(cell.aa_flows <= cell.total_flows);
+            assert_eq!(cell.service_id, id);
+            // Leak accounting stays internally consistent even when the
+            // session was degraded mid-flight.
+            assert!(cell.leak_domains.len() <= cell.leaks.len().max(1));
+        },
+    );
+}
+
+prop_test! {
+    fn uniform_plans_are_well_formed(milli in gen::u64s(0..=2_000)) {
+        let plan = FaultPlan::uniform(milli as f64 / 1_000.0);
+        assert_eq!(plan.cell_panic, 0.0, "no shipping preset panics cells");
+        assert!(plan.packet_loss <= 1.0, "rates must clamp to [0, 1]");
+        assert_eq!(plan.is_none(), milli == 0);
+    }
+}
+
+#[test]
+fn panicking_cells_are_isolated_and_ledgered() {
+    let mut plan = FaultPlan::moderate();
+    plan.cell_panic = 0.3; // ~9% of cells fail even after one retry
+    let study = with_quiet_panics(|| run_study(&quick_cfg(plan)));
+    let h = &study.health;
+
+    assert_eq!(h.cells_attempted, 196);
+    assert!(
+        h.all_accounted(),
+        "completed ({}) + failed ({}) must equal attempted ({})",
+        h.cells_completed,
+        h.cells_failed,
+        h.cells_attempted
+    );
+    assert_eq!(study.cells.len() as u64, h.cells_completed);
+    assert!(h.cells_failed > 0, "P(double panic) = 9% per cell");
+    assert!(h.cells_retried > 0, "some cells must recover on retry");
+    assert_eq!(h.failed_cells.len() as u64, h.cells_failed);
+    assert!(h.faults.cell_panics > 0);
+
+    // A failed cell is genuinely absent from the dataset — and only
+    // failed cells are.
+    for label in &h.failed_cells {
+        let mut parts = label.split('/');
+        let (id, os, medium) = (
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+        );
+        assert!(
+            !study.cells.iter().any(|c| c.service_id == id
+                && format!("{:?}", c.os) == os
+                && format!("{:?}", c.medium) == medium),
+            "failed cell {label} must not appear in the dataset"
+        );
+    }
+}
+
+#[test]
+fn chaotic_study_is_identical_across_worker_counts() {
+    let mut plan = FaultPlan::moderate();
+    plan.cell_panic = 0.2;
+    let (a, b) = with_quiet_panics(|| {
+        let a = run_study(&StudyConfig {
+            workers: 1,
+            ..quick_cfg(plan.clone())
+        });
+        let b = run_study(&StudyConfig {
+            workers: 5,
+            ..quick_cfg(plan)
+        });
+        (a, b)
+    });
+    assert_eq!(
+        dataset::to_json(&a),
+        dataset::to_json(&b),
+        "same (seed, plan) must serialize byte-identically at any worker count"
+    );
+    assert!(a.health.faults.total() > 0);
+}

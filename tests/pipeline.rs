@@ -188,7 +188,10 @@ fn dataset_export_roundtrips_a_real_cell() {
     let catalog = Catalog::paper();
     let spec = catalog.get("priceline").unwrap();
     let cell = run_cell(spec, Os::Ios, Medium::Web, &quick(), None);
-    let study = appvsweb::analysis::Study { cells: vec![cell] };
+    let study = appvsweb::analysis::Study {
+        cells: vec![cell],
+        health: Default::default(),
+    };
     let json = appvsweb::core::dataset::to_json(&study);
     let parsed = appvsweb::core::dataset::from_json(&json).unwrap();
     assert_eq!(parsed.cells[0].leaks, study.cells[0].leaks);

@@ -338,6 +338,7 @@ prop_test! {
             stats: ConnectionStats::default(),
             busy_ms: 0,
             transactions: 1,
+            error: None,
         });
         trace.transactions.push(HttpTransaction {
             connection_id: 1,
@@ -346,6 +347,7 @@ prop_test! {
             at: SimTime(0),
             request: req,
             response: appvsweb::httpsim::Response::ok(Body::text("ok")),
+            partial: false,
         });
 
         let catalog = Catalog::paper();
