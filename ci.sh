@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== appvsweb-lint --check (determinism & robustness vs lint.baseline.json) =="
+cargo run -q --release -p appvsweb-lint -- --check
+
+echo "== lint bench (emits BENCH_lint.json: scan size, tokens/sec, findings by rule) =="
+cargo bench -q -p appvsweb-bench --bench lint
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

@@ -229,16 +229,12 @@ fn match_from(pattern: &str, text: &str, must_end: bool) -> bool {
                 // Wildcard: try consuming 0..=all of t.
                 (0..=t.len()).any(|k| rec(&p[1..], &t[k..], must_end))
             }
-            Some(b'^') => {
-                if t.is_empty() {
-                    // `^` may match end-of-URL.
-                    rec(&p[1..], t, must_end)
-                } else if is_separator(t[0]) {
-                    rec(&p[1..], &t[1..], must_end)
-                } else {
-                    false
-                }
-            }
+            Some(b'^') => match t.first() {
+                // `^` may match end-of-URL.
+                None => rec(&p[1..], t, must_end),
+                Some(&tc) if is_separator(tc) => rec(&p[1..], &t[1..], must_end),
+                Some(_) => false,
+            },
             Some(&c) => match t.first() {
                 Some(&tc) if tc == c => rec(&p[1..], &t[1..], must_end),
                 _ => false,

@@ -2,6 +2,15 @@
 
 use std::collections::BTreeSet;
 
+/// Sort floats in a total, NaN-safe order (IEEE 754 totalOrder).
+///
+/// `f64::total_cmp` never panics, unlike `partial_cmp(..).unwrap()`,
+/// and gives NaNs a defined position (negative NaN first, positive NaN
+/// last) so a stray NaN degrades output instead of crashing a run.
+pub fn sort_floats(samples: &mut [f64]) {
+    samples.sort_by(f64::total_cmp);
+}
+
 /// An empirical CDF over integer or real values.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cdf {
@@ -11,7 +20,7 @@ pub struct Cdf {
 impl Cdf {
     /// Build from samples (order irrelevant).
     pub fn new(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF samples"));
+        sort_floats(&mut samples);
         Cdf { values: samples }
     }
 
@@ -94,7 +103,7 @@ impl Pdf {
     pub fn mode(&self) -> Option<i64> {
         self.bins
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(v, _)| *v)
     }
 
@@ -168,7 +177,7 @@ pub fn bootstrap_mean_ci(
         }
         means.push(total / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sort_floats(&mut means);
     let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
     let lo_idx = ((rounds as f64 - 1.0) * alpha).round() as usize;
     let hi_idx = ((rounds as f64 - 1.0) * (1.0 - alpha)).round() as usize;

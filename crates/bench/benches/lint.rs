@@ -1,0 +1,57 @@
+//! Benchmarks the `appvsweb-lint` analyzer over the real workspace:
+//! lexing alone, then the full pipeline (annotations, test regions,
+//! every rule, cross-file D3). The artifact's `meta` block records scan
+//! size, derived throughput, and the finding counts per rule, so the
+//! lint's cost and the workspace's debt are both tracked per PR.
+
+use appvsweb_bench::repo_root;
+use appvsweb_json::Json;
+use appvsweb_lint::{analyze_files, collect_workspace, lex};
+use appvsweb_testkit::BenchRunner;
+
+fn main() {
+    let root = repo_root();
+    let files = collect_workspace(&root).expect("workspace readable");
+    let report = analyze_files(&files);
+    println!(
+        "lint: {} files, {} tokens, {} findings, {} labels",
+        report.files,
+        report.tokens,
+        report.findings.len(),
+        report.labels.len()
+    );
+
+    let mut runner = BenchRunner::new("lint").with_samples(2, 10);
+    runner.bench("lex_workspace", || {
+        files.iter().map(|f| lex(&f.text).len()).sum::<usize>()
+    });
+    runner.bench("analyze_workspace", || analyze_files(&files));
+
+    runner.meta("files_scanned", report.files);
+    runner.meta("tokens", report.tokens);
+    runner.meta("labels", report.labels.len() as u64);
+    let analyze_ns = runner
+        .results()
+        .iter()
+        .find(|r| r.name == "analyze_workspace")
+        .map(|r| r.median_ns)
+        .unwrap_or(f64::NAN);
+    runner.meta(
+        "tokens_per_sec",
+        (report.tokens as f64 / (analyze_ns / 1e9)).round(),
+    );
+    runner.meta(
+        "findings_by_rule",
+        Json::Obj(
+            report
+                .counts_by_rule()
+                .into_iter()
+                .map(|(rule, n)| (rule, Json::Uint(n)))
+                .collect(),
+        ),
+    );
+
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
+}

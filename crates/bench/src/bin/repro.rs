@@ -9,6 +9,7 @@
 //! repro --json study.json     # export the dataset (the paper publishes its data too)
 //! repro --seed 7 --minutes 4  # alternate experiment parameters
 //! repro --faults moderate     # fault-sweep: run the campaign degraded
+//! repro lint --check          # determinism/robustness lint vs the baseline
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -63,7 +64,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: repro [--all] [--table N] [--figure 1a..1f] [--duration] \
                      [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N] \
-                     [--faults none|light|moderate|heavy]"
+                     [--faults none|light|moderate|heavy]\n       repro lint [--check] \
+                     [--json] [--fix-baseline] [--labels]"
                 );
                 std::process::exit(0);
             }
@@ -149,6 +151,12 @@ fn print_headlines(study: &Study) {
 }
 
 fn main() {
+    // `repro lint [...]` delegates to the workspace analyzer; everything
+    // after the subcommand is passed through (`--check`, `--json`, …).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        std::process::exit(appvsweb_lint::cli::run(&argv[1..]));
+    }
     let args = parse_args();
     let faults = match args.faults.as_deref() {
         None => FaultPlan::none(),

@@ -17,7 +17,7 @@ use crate::testbed::Testbed;
 use appvsweb_adblock::Categorizer;
 use appvsweb_analysis::{analyze_trace, CellAnalysis, Study, StudyHealth};
 use appvsweb_httpsim::Host;
-use appvsweb_netsim::{FaultKind, FaultPlan, Os, SimDuration, SimRng};
+use appvsweb_netsim::{rng_labels, FaultKind, FaultPlan, Os, SimDuration, SimRng};
 use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
 use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
 use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
@@ -127,11 +127,10 @@ fn run_cell_attempt(
     attempt: u32,
 ) -> CellAnalysis {
     if cfg.faults.cell_panic > 0.0 {
-        let mut rng = SimRng::new(cfg.seed).fork(&format!(
-            "cell-panic:{}:{:?}:{:?}:{attempt}",
-            spec.id, os, medium
-        ));
+        let mut rng =
+            SimRng::new(cfg.seed).fork(&rng_labels::cell_panic(spec.id, os, medium, attempt));
         if rng.chance(cfg.faults.cell_panic) {
+            // lint:allow(R1) deliberate fault injection; run_study_resilient catches it
             panic!(
                 "injected {:?}: cell {}/{:?}/{:?} attempt {attempt}",
                 FaultKind::CellPanic,

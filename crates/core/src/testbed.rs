@@ -6,7 +6,7 @@
 //! assembles exactly that, deterministically from the experiment seed.
 
 use appvsweb_mitm::{Meddle, MeddleConfig};
-use appvsweb_netsim::{Device, Os, Permission, SimRng};
+use appvsweb_netsim::{rng_labels, Device, Os, Permission, SimRng};
 use appvsweb_pii::GroundTruth;
 use appvsweb_services::{Medium, OriginWorld, ServiceSpec, SessionConfig, SessionRunner};
 use appvsweb_tlssim::TrustStore;
@@ -32,7 +32,7 @@ impl Testbed {
     /// are stable per OS for a given seed.
     pub fn for_cell(spec: &ServiceSpec, os: Os, seed: u64) -> Self {
         let rng = SimRng::new(seed);
-        let world = OriginWorld::new("PublicRoot", rng.fork("world"));
+        let world = OriginWorld::new("PublicRoot", rng.fork(rng_labels::WORLD));
         let meddle = Meddle::new(MeddleConfig::default(), world.public_trust(), &rng);
 
         // Install the proxy CA on the device (the methodology step that
@@ -40,7 +40,7 @@ impl Testbed {
         let mut device_trust = world.public_trust();
         device_trust.add_root(&meddle.ca().root);
 
-        let mut device_rng = rng.fork("device");
+        let mut device_rng = rng.fork(rng_labels::DEVICE);
         let mut device = Device::factory_reset(os, &mut device_rng);
         // The testers "approved any system permission requests when
         // prompted" — grant what this service's app will ask for.

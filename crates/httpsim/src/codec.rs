@@ -153,7 +153,7 @@ pub fn base64url_encode(data: &[u8]) -> String {
 fn base64_encode_with(data: &[u8], alphabet: &[u8; 64], pad: bool) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b0 = chunk[0] as u32;
+        let b0 = chunk.first().copied().unwrap_or(0) as u32;
         let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
         let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
         let n = (b0 << 16) | (b1 << 8) | b2;
@@ -230,8 +230,9 @@ pub fn hex_decode(input: &str) -> Option<Vec<u8>> {
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);
     for pair in bytes.chunks(2) {
-        let hi = from_hex_digit(pair[0])?;
-        let lo = from_hex_digit(pair[1])?;
+        let &[hi, lo] = pair else { return None };
+        let hi = from_hex_digit(hi)?;
+        let lo = from_hex_digit(lo)?;
         out.push((hi << 4) | lo);
     }
     Some(out)

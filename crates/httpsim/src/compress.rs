@@ -97,7 +97,9 @@ impl BitWriter {
                 self.out.push(0);
             }
             let b = (value >> i) & 1;
-            *self.out.last_mut().unwrap() |= (b as u8) << self.bit;
+            if let Some(last) = self.out.last_mut() {
+                *last |= (b as u8) << self.bit;
+            }
             self.bit = (self.bit + 1) % 8;
         }
     }
@@ -129,6 +131,7 @@ impl Huffman {
         for &l in lengths {
             counts[l as usize] += 1;
         }
+        // lint:allow(R1) counts is a fixed [u16; 16]; index 0 is always in bounds
         counts[0] = 0;
         // Over-subscribed check (loop index is the code length itself).
         let mut left = 1i32;
@@ -380,10 +383,12 @@ pub fn deflate(data: &[u8]) -> Vec<u8> {
 
         if best_len >= MIN_MATCH {
             // Length code.
+            // LENGTH_BASE[0] is MIN_MATCH, so the search can't come up
+            // empty; 0 is the right code for that degenerate case anyway.
             let idx = LENGTH_BASE
                 .iter()
                 .rposition(|&b| b as usize <= best_len)
-                .unwrap();
+                .unwrap_or(0);
             let (code, bits_n) = fixed_code(257 + idx as u16);
             w.put_huffman(code, bits_n);
             w.put_bits(
@@ -394,7 +399,7 @@ pub fn deflate(data: &[u8]) -> Vec<u8> {
             let didx = DIST_BASE
                 .iter()
                 .rposition(|&b| b as usize <= best_dist)
-                .unwrap();
+                .unwrap_or(0);
             w.put_huffman(didx as u32, 5);
             w.put_bits(
                 (best_dist - DIST_BASE[didx] as usize) as u32,
@@ -465,13 +470,15 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     if data.len() < 18 {
         return Err(InflateError::BadGzip("too short"));
     }
-    if data[0] != 0x1f || data[1] != 0x8b {
+    let &[magic0, magic1, method, flags, ..] = data else {
+        return Err(InflateError::BadGzip("too short"));
+    };
+    if magic0 != 0x1f || magic1 != 0x8b {
         return Err(InflateError::BadGzip("bad magic"));
     }
-    if data[2] != 8 {
+    if method != 8 {
         return Err(InflateError::BadGzip("unknown method"));
     }
-    let flags = data[3];
     let mut offset = 10;
     if flags & 0x04 != 0 {
         // FEXTRA: two length bytes, then that many payload bytes.
@@ -501,8 +508,14 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     }
     let body = &data[offset..data.len() - 8];
     let out = inflate(body)?;
-    let expected_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
-    let expected_size = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let trailer = |range: std::ops::Range<usize>| -> Result<u32, InflateError> {
+        let bytes = data.get(range).ok_or(InflateError::Truncated)?;
+        Ok(u32::from_le_bytes(
+            bytes.try_into().map_err(|_| InflateError::Truncated)?,
+        ))
+    };
+    let expected_crc = trailer(data.len() - 8..data.len() - 4)?;
+    let expected_size = trailer(data.len() - 4..data.len())?;
     if crc32(&out) != expected_crc {
         return Err(InflateError::BadGzip("crc mismatch"));
     }

@@ -254,13 +254,13 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let items = value.items()?;
-        if items.len() != 2 {
+        let [a, b] = items else {
             return Err(JsonError::schema(format!(
                 "expected 2-element array, got {} elements",
                 items.len()
             )));
-        }
-        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+        };
+        Ok((A::from_json(a)?, B::from_json(b)?))
     }
 }
 
@@ -273,17 +273,13 @@ impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
 impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let items = value.items()?;
-        if items.len() != 3 {
+        let [a, b, c] = items else {
             return Err(JsonError::schema(format!(
                 "expected 3-element array, got {} elements",
                 items.len()
             )));
-        }
-        Ok((
-            A::from_json(&items[0])?,
-            B::from_json(&items[1])?,
-            C::from_json(&items[2])?,
-        ))
+        };
+        Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?))
     }
 }
 

@@ -155,8 +155,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.pos > start {
-                // Input is a &str, so any byte run is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                // Input is a &str and the run stops on ASCII bytes, so the
+                // slice sits on char boundaries and stays valid UTF-8; the
+                // fallback is unreachable.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or(""));
             }
             match self.peek() {
                 Some(b'"') => {
@@ -283,7 +285,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Number bytes are all ASCII (digits, signs, '.', 'e'); the empty
+        // fallback is unreachable and would parse as a malformed number.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
         if integral {
             if negative {
                 if let Ok(v) = text.parse::<i64>() {

@@ -1,0 +1,103 @@
+//! Baseline bookkeeping: CI fails on *new* findings while a committed
+//! `lint.baseline.json` lets the existing debt burn down in reviewable
+//! steps instead of one giant cleanup.
+//!
+//! Entries match findings by fingerprint (rule + path + a token window
+//! at the site), not by line number, so unrelated edits above a
+//! baselined site don't churn the file. Matching is multiset-aware:
+//! two identical sites need two entries.
+
+use crate::engine::{Finding, Report};
+use appvsweb_json::{encode_pretty, impl_json, parse, FromJson, JsonError};
+use std::collections::BTreeMap;
+
+/// One accepted (baselined) finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Fingerprint copied from the accepted finding.
+    pub fingerprint: String,
+    /// The finding message at the time it was accepted (informational).
+    pub message: String,
+}
+
+impl_json!(struct BaselineEntry { rule, path, fingerprint, message });
+
+/// The committed baseline document.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Schema version.
+    pub version: u64,
+    /// Accepted findings.
+    pub findings: Vec<BaselineEntry>,
+}
+
+impl_json!(struct Baseline { version, findings });
+
+/// Result of diffing a report against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline — these fail CI.
+    pub new: Vec<Finding>,
+    /// Baseline entries that no longer match any finding — stale debt
+    /// that `--fix-baseline` will drop.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Build a baseline that accepts every finding of `report`.
+    pub fn from_report(report: &Report) -> Baseline {
+        Baseline {
+            version: 1,
+            findings: report
+                .findings
+                .iter()
+                .map(|f| BaselineEntry {
+                    rule: f.rule.clone(),
+                    path: f.path.clone(),
+                    fingerprint: f.fingerprint.clone(),
+                    message: f.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse a baseline document.
+    pub fn from_json_text(text: &str) -> Result<Baseline, JsonError> {
+        Baseline::from_json(&parse(text)?)
+    }
+
+    /// Serialize for committing.
+    pub fn to_json_text(&self) -> String {
+        encode_pretty(self) + "\n"
+    }
+
+    /// Multiset-diff `report` against this baseline.
+    pub fn diff(&self, report: &Report) -> BaselineDiff {
+        let mut budget: BTreeMap<&str, u64> = BTreeMap::new();
+        for entry in &self.findings {
+            *budget.entry(entry.fingerprint.as_str()).or_insert(0) += 1;
+        }
+        let mut diff = BaselineDiff::default();
+        for finding in &report.findings {
+            match budget.get_mut(finding.fingerprint.as_str()) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => diff.new.push(finding.clone()),
+            }
+        }
+        // Whatever budget is left over no longer matches anything.
+        let mut remaining = budget;
+        for entry in &self.findings {
+            if let Some(n) = remaining.get_mut(entry.fingerprint.as_str()) {
+                if *n > 0 {
+                    *n -= 1;
+                    diff.stale.push(entry.clone());
+                }
+            }
+        }
+        diff
+    }
+}

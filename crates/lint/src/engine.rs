@@ -1,0 +1,452 @@
+//! The analysis engine: file classification, `#[cfg(test)]` region
+//! detection, `lint:allow` annotations, and the per-file rule driver.
+//!
+//! The engine works on the lossless token stream from [`crate::lexer`].
+//! Comments and whitespace are stripped into a *significant* token view
+//! for rule matching, but comments are first mined for `lint:allow`
+//! annotations, which is how reviewed violations are suppressed inline:
+//!
+//! ```text
+//! // lint:allow(R1) slice is exactly 4 bytes by construction
+//! ```
+//!
+//! An annotation covers findings on its own line and the line directly
+//! below it, must name known rules, and must carry a non-empty reason —
+//! a reason-less or unknown-rule annotation is itself a finding (rule
+//! `LINT`).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules;
+use appvsweb_json::impl_json;
+use std::collections::BTreeMap;
+
+/// One source file handed to the analyzer. `path` is workspace-relative
+/// with `/` separators; classification keys off it.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// How a file participates in the rule matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: every rule applies.
+    Lib,
+    /// Benches, example binaries, and the bench/CLI crate: wall-clock
+    /// timing and startup panics are part of the job, so `D1`/`R1` are
+    /// waived while the determinism rules still apply.
+    Tool,
+    /// Test code: exempt (tests may reuse fork labels, unwrap freely,
+    /// and construct adversarial inputs).
+    Test,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    if path.starts_with("tests/") || path.contains("/tests/") || path.ends_with("/tests.rs") {
+        FileClass::Test
+    } else if path.starts_with("examples/")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+        || path.contains("/src/bin/")
+        || path.starts_with("crates/bench/")
+    {
+        FileClass::Tool
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// The rules a file class is subject to.
+pub fn rule_applies(rule: &str, class: FileClass) -> bool {
+    match class {
+        FileClass::Test => false,
+        FileClass::Tool => matches!(rule, "D2" | "D3" | "R2" | "S1"),
+        FileClass::Lib => true,
+    }
+}
+
+/// One violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D1`…`S1`, or `LINT` for malformed annotations).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the match.
+    pub line: u64,
+    /// Human-readable description.
+    pub message: String,
+    /// Line-independent identity used for baseline matching: the rule,
+    /// the path, and a short window of tokens at the match site.
+    pub fingerprint: String,
+}
+
+impl_json!(struct Finding { rule, path, line, message, fingerprint });
+
+/// One entry of the D3 fork-label table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelSite {
+    /// The label string.
+    pub label: String,
+    /// File the label is defined or used in.
+    pub path: String,
+    /// 1-based line.
+    pub line: u64,
+}
+
+impl_json!(struct LabelSite { label, path, line });
+
+/// The full analysis result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Files analyzed.
+    pub files: u64,
+    /// Total tokens lexed (including whitespace and comments).
+    pub tokens: u64,
+    /// Valid `lint:allow` annotations seen.
+    pub allows: u64,
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// The workspace fork-label table (D3), sorted by label.
+    pub labels: Vec<LabelSite>,
+}
+
+impl_json!(struct Report { files, tokens, allows, findings, labels });
+
+impl Report {
+    /// Finding counts per rule, sorted by rule id.
+    pub fn counts_by_rule(&self) -> Vec<(String, u64)> {
+        let mut map: BTreeMap<&str, u64> = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(&f.rule).or_insert(0) += 1;
+        }
+        map.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+}
+
+/// A significant (non-trivia) token plus its source line.
+pub(crate) struct Sig {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Indexed view over significant tokens with total accessors, so rule
+/// code can look ahead/behind without bounds anxiety.
+pub(crate) struct SigView {
+    pub toks: Vec<Sig>,
+}
+
+impl SigView {
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Token text at `i`, or `""` out of bounds.
+    pub fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    /// Token kind at `i`, or `Whitespace` out of bounds.
+    pub fn kind(&self, i: usize) -> TokKind {
+        self.toks.get(i).map_or(TokKind::Whitespace, |t| t.kind)
+    }
+
+    /// Line of token `i`, or 0 out of bounds.
+    pub fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// `text(i - back)` when it exists (saturating, no underflow).
+    pub fn before(&self, i: usize, back: usize) -> &str {
+        if back > i {
+            ""
+        } else {
+            self.text(i - back)
+        }
+    }
+
+    /// Token window for baseline fingerprints: up to `back` tokens
+    /// behind and `fwd` ahead of `i`, clipped to the match line, so
+    /// edits on other lines never churn a baselined site's identity.
+    pub fn snippet_on_line(&self, i: usize, back: usize, fwd: usize) -> String {
+        let line = self.line(i);
+        let mut start = i;
+        for _ in 0..back {
+            if start > 0 && self.line(start - 1) == line {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let mut parts = Vec::new();
+        let mut j = start;
+        while j < self.len() && j <= i + fwd && self.line(j) == line {
+            parts.push(self.text(j).to_string());
+            j += 1;
+        }
+        parts.join(" ")
+    }
+}
+
+/// Everything a rule needs about one file.
+pub(crate) struct FileCtx<'a> {
+    pub path: &'a str,
+    pub class: FileClass,
+    pub sig: SigView,
+    /// Lines covered by a `#[cfg(test)]` / `#[test]` item body.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Valid allow annotations: line → suppressed rules.
+    pub allows: BTreeMap<u32, Vec<String>>,
+}
+
+impl FileCtx<'_> {
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Is `rule` suppressed at `line` (annotation on the line itself or
+    /// the line directly above)?
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        })
+    }
+}
+
+/// Rule ids the annotation parser accepts.
+pub const RULES: &[&str] = &["D1", "D2", "D3", "R1", "R2", "S1"];
+
+/// Analyze a set of in-memory files. This is the whole pipeline: lex,
+/// mine annotations, find test regions, run every rule, then resolve
+/// cross-file D3 label uniqueness.
+pub fn analyze_files(files: &[SourceFile]) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut labels: Vec<LabelSite> = Vec::new();
+    let mut tokens = 0u64;
+    let mut allows = 0u64;
+
+    for file in files {
+        let toks = lex(&file.text);
+        tokens += toks.len() as u64;
+        let class = classify(&file.path);
+
+        let (allow_map, valid, mut annotation_findings) = parse_annotations(&file.path, &toks);
+        allows += valid;
+        if class != FileClass::Test {
+            findings.append(&mut annotation_findings);
+        }
+
+        let sig = SigView {
+            toks: toks
+                .into_iter()
+                .filter(|t| {
+                    !matches!(
+                        t.kind,
+                        TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+                    )
+                })
+                .map(|t| Sig {
+                    kind: t.kind,
+                    text: t.text,
+                    line: t.line,
+                })
+                .collect(),
+        };
+        let test_regions = find_test_regions(&sig);
+        let ctx = FileCtx {
+            path: &file.path,
+            class,
+            sig,
+            test_regions,
+            allows: allow_map,
+        };
+        rules::run_file_rules(&ctx, &mut findings, &mut labels);
+    }
+
+    rules::check_label_uniqueness(&labels, &mut findings);
+
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.fingerprint.cmp(&b.fingerprint))
+    });
+    findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    labels.sort_by(|a, b| a.label.cmp(&b.label).then(a.path.cmp(&b.path)));
+
+    Report {
+        files: files.len() as u64,
+        tokens,
+        allows,
+        findings,
+        labels,
+    }
+}
+
+/// Parse inline allow annotations out of comment tokens. Returns
+/// the line → rules map, the count of valid annotations, and findings
+/// for malformed ones.
+fn parse_annotations(path: &str, toks: &[Tok]) -> (BTreeMap<u32, Vec<String>>, u64, Vec<Finding>) {
+    let mut map: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut valid = 0u64;
+    let mut findings = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some(at) = t.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &t.text[at + "lint:allow".len()..];
+        let parsed = rest.strip_prefix('(').and_then(|r| {
+            r.split_once(')').map(|(inside, reason)| {
+                let rules: Vec<String> = inside
+                    .split([',', ' '])
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                (rules, reason.trim_end_matches("*/").trim().to_string())
+            })
+        });
+        match parsed {
+            Some((rules, reason))
+                if !rules.is_empty()
+                    && !reason.is_empty()
+                    && rules.iter().all(|r| RULES.contains(&r.as_str())) =>
+            {
+                valid += 1;
+                map.entry(t.line).or_default().extend(rules);
+            }
+            _ => findings.push(Finding {
+                rule: "LINT".to_string(),
+                path: path.to_string(),
+                line: t.line as u64,
+                message: "malformed lint:allow — expected `lint:allow(RULE[, RULE]) reason` \
+                          with known rules and a non-empty reason"
+                    .to_string(),
+                fingerprint: format!("LINT|{path}|{}", t.text.trim()),
+            }),
+        }
+    }
+    (map, valid, findings)
+}
+
+/// Find line spans of items marked `#[test]` / `#[cfg(test)]` (and any
+/// attribute whose arguments mention `test`, e.g. `#[cfg(all(test, …))]`).
+/// The span runs from the attribute to the item's closing brace; items
+/// that end in `;` before any `{` (uses, consts) produce no span.
+fn find_test_regions(sig: &SigView) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig.text(i) == "#" && sig.text(i + 1) == "[" {
+            let start_line = sig.line(i);
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut is_test = false;
+            let mut negated = false;
+            while j < sig.len() && depth > 0 {
+                match sig.text(j) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "test" => is_test = true,
+                    "not" => negated = true, // #[cfg(not(test))] is live code
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test = is_test && !negated;
+            if is_test {
+                if let Some(end_line) = item_body_end(sig, j) {
+                    regions.push((start_line, end_line));
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// From token index `j` (just past an attribute), find the line of the
+/// closing brace of the next item body; `None` when the item is
+/// declaration-only (hits `;` first) or the file ends.
+fn item_body_end(sig: &SigView, mut j: usize) -> Option<u32> {
+    // Skip stacked attributes.
+    while sig.text(j) == "#" && sig.text(j + 1) == "[" {
+        j += 2;
+        let mut depth = 1usize;
+        while j < sig.len() && depth > 0 {
+            match sig.text(j) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    while j < sig.len() {
+        match sig.text(j) {
+            ";" => return None,
+            "{" => {
+                let mut depth = 0usize;
+                while j < sig.len() {
+                    match sig.text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(sig.line(j));
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Some(sig.line(sig.len().saturating_sub(1)));
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping `target`
+/// and VCS directories. Paths come back workspace-relative, sorted.
+pub fn collect_workspace(root: &std::path::Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = std::fs::read_to_string(&path)?;
+                files.push(SourceFile { path: rel, text });
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}

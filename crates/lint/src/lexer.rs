@@ -1,0 +1,403 @@
+//! A small, lossless Rust lexer.
+//!
+//! The analyzer's rules match token *sequences*, so the lexer's one job
+//! is to split source text into tokens without ever being confused by
+//! literals or comments: an `unwrap()` inside a string, a doc-comment
+//! example, or a raw-string fixture must never fire a rule. Three
+//! properties the rest of the crate (and the property tests) rely on:
+//!
+//! 1. **Lossless**: concatenating the `text` of every token reproduces
+//!    the input byte-for-byte — nothing is dropped or normalized.
+//! 2. **Total**: any input, including invalid or truncated Rust, lexes
+//!    without panicking; unterminated literals simply run to the end.
+//! 3. **Line-accurate**: each token records the 1-based line where it
+//!    starts, which is what findings and `lint:allow` annotations key on.
+
+/// The coarse token classes the rule engine distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `'x'`, `b'x'`.
+    Lit,
+    /// `//…` line comment (doc comments included).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware.
+    BlockComment,
+    /// A run of whitespace.
+    Whitespace,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: its class, exact source text, and starting line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text, verbatim.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Lex `source` into a lossless token stream. Never panics.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking line numbers.
+    fn bump(&mut self, buf: &mut String) {
+        if let Some(&c) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            buf.push(c);
+            self.pos += 1;
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, line: u32) {
+        if !text.is_empty() {
+            self.out.push(Tok { kind, text, line });
+        }
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            let mut text = String::new();
+            if c.is_whitespace() {
+                while self.peek(0).is_some_and(|c| c.is_whitespace()) {
+                    self.bump(&mut text);
+                }
+                self.emit(TokKind::Whitespace, text, line);
+            } else if c == '/' && self.peek(1) == Some('/') {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump(&mut text);
+                }
+                self.emit(TokKind::LineComment, text, line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(&mut text);
+                self.emit(TokKind::BlockComment, text, line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line);
+            } else if c == '"' {
+                self.string_body(&mut text);
+                self.emit(TokKind::Lit, text, line);
+            } else if c == '\'' {
+                self.quote(&mut text);
+                let kind = if text.ends_with('\'') && text.chars().count() > 1 {
+                    TokKind::Lit
+                } else {
+                    TokKind::Lifetime
+                };
+                self.emit(kind, text, line);
+            } else if c.is_ascii_digit() {
+                self.number(&mut text);
+                self.emit(TokKind::Num, text, line);
+            } else {
+                self.bump(&mut text);
+                self.emit(TokKind::Punct, text, line);
+            }
+        }
+        self.out
+    }
+
+    /// Nesting-aware `/* … */`; an unterminated comment runs to EOF.
+    fn block_comment(&mut self, text: &mut String) {
+        let mut depth = 0usize;
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(text);
+                self.bump(text);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                self.bump(text);
+                self.bump(text);
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// An identifier, or — when the identifier is `r`/`b`/`br` directly
+    /// followed by a quote or raw-string hashes — a prefixed literal.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(&mut text);
+        }
+        let raw_capable = text == "r" || text == "br";
+        let byte_capable = text == "b" || text == "br";
+        match self.peek(0) {
+            Some('"') if raw_capable || byte_capable => {
+                self.string_body(&mut text);
+                self.emit(TokKind::Lit, text, line);
+            }
+            Some('\'') if text == "b" => {
+                self.quote(&mut text);
+                self.emit(TokKind::Lit, text, line);
+            }
+            Some('#') if raw_capable => {
+                // Count hashes; a quote after them begins a raw string.
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump(&mut text);
+                    }
+                    self.raw_string_tail(&mut text, hashes);
+                    self.emit(TokKind::Lit, text, line);
+                } else {
+                    // `r#ident` raw identifier (or stray hash): emit the
+                    // prefix as an ident and let the main loop carry on.
+                    self.emit(TokKind::Ident, text, line);
+                }
+            }
+            _ => self.emit(TokKind::Ident, text, line),
+        }
+    }
+
+    /// Body of a `"…"` string with escapes; opening quote not yet
+    /// consumed. Unterminated strings run to EOF.
+    fn string_body(&mut self, text: &mut String) {
+        self.bump(text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(text);
+                self.bump(text);
+            } else if c == '"' {
+                self.bump(text);
+                return;
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// After `r#…#"`: consume until `"` followed by `hashes` hashes.
+    fn raw_string_tail(&mut self, text: &mut String, hashes: usize) {
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('"') && (1..=hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..=hashes {
+                    self.bump(text);
+                }
+                return;
+            }
+            self.bump(text);
+        }
+    }
+
+    /// A `'` token: char literal (`'a'`, `'\n'`, `'£'`) or lifetime
+    /// (`'a`, `'static`). Disambiguated by whether a closing quote
+    /// directly follows the short body.
+    fn quote(&mut self, text: &mut String) {
+        self.bump(text); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then to the quote.
+                self.bump(text);
+                self.bump(text);
+                while self.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                    self.bump(text);
+                }
+                self.bump(text); // closing ' (or nothing at EOF)
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'abc` (no closing quote) a lifetime.
+                let mut body = 1usize;
+                while self.peek(body).is_some_and(is_ident_continue) {
+                    body += 1;
+                }
+                let is_char = self.peek(body) == Some('\'');
+                for _ in 0..body {
+                    self.bump(text);
+                }
+                if is_char {
+                    self.bump(text);
+                }
+            }
+            Some('\'') | None => {} // `''` or EOF: lone quote, Punct-ish
+            Some(_) => {
+                // Single-char literal like '+' or '0'.
+                self.bump(text);
+                if self.peek(0) == Some('\'') {
+                    self.bump(text);
+                }
+            }
+        }
+    }
+
+    /// A numeric literal: prefixes, underscores, a fraction part (but
+    /// not `..`), exponents, and type suffixes. Heuristic but total.
+    fn number(&mut self, text: &mut String) {
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X')) {
+            self.bump(text);
+            self.bump(text);
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump(text);
+            }
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump(text);
+        }
+        // Fraction: `1.5` yes; `1..5` and `1.method()` no.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(text);
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump(text);
+            }
+        }
+        // Exponent: `1e3`, `1.5E-3`.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-')) as usize;
+            if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                for _ in 0..=sign {
+                    self.bump(text);
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump(text);
+                }
+            }
+        }
+        // Suffix: `u64`, `f32`, `usize`.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Tok> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, src, "lexer must be lossless");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ks = kinds("let x = foo.unwrap();");
+        assert_eq!(ks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(ks[3], (TokKind::Ident, "foo".into()));
+        assert_eq!(ks[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ks = kinds(r#"let s = "x.unwrap() /* not a comment */";"#);
+        assert!(ks.iter().filter(|(k, _)| *k == TokKind::Lit).count() == 1);
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let ks = kinds(r###"let s = r#"quote " inside"#;"###);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lit && t.starts_with("r#")));
+        let ks = kinds("let b = br\"bytes\";");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lit && t.starts_with("br")));
+    }
+
+    #[test]
+    fn raw_identifier_prefix_splits() {
+        let ks = kinds("let r#type = 1;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn comments_nest_and_terminate() {
+        let ks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+        roundtrip("/* unterminated ");
+        roundtrip("\"unterminated ");
+        roundtrip("r#\"unterminated ");
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let ks = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lit && t == "'a'"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lit && t == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("0x1f 1_000 1.5e-3 2u64 1..5 9.min(3)");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            ["0x1f", "1_000", "1.5e-3", "2u64", "1", "5", "9", "3"]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = roundtrip("a\nb\n  c");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("c"), Some(3));
+    }
+}

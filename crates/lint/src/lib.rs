@@ -1,0 +1,39 @@
+//! `appvsweb-lint` — the workspace's self-hosted determinism &
+//! robustness analyzer.
+//!
+//! The reproduction's headline numbers are only trustworthy because the
+//! simulation is bit-deterministic: every RNG draw flows through
+//! labelled [`SimRng`] forks and nothing reads wall clocks or ambient
+//! entropy. This crate machine-checks those invariants on every CI run
+//! instead of trusting convention:
+//!
+//! * a small, lossless, literal/comment-aware Rust lexer ([`lexer`]);
+//! * a rule engine over the token stream with light cross-file state
+//!   ([`engine`], [`rules`]): `D1` no wall clocks, `D2` no unordered
+//!   hash iteration into aggregates, `D3` closed fork-label table,
+//!   `R1` no panicking paths in library code, `R2` all serialization
+//!   through `impl_json!`, `S1` total-order float comparisons;
+//! * inline `lint:allow(R1) reason`-style suppressions the engine
+//!   parses and validates;
+//! * a committed `lint.baseline.json` ([`baseline`]) so CI fails on
+//!   *new* violations while existing debt burns down.
+//!
+//! Run it as `cargo run -p appvsweb-lint -- --check` (what `ci.sh`
+//! does) or via the `repro lint` subcommand.
+//!
+//! [`SimRng`]: https://docs.rs/appvsweb-netsim
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cli;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, BaselineDiff, BaselineEntry};
+pub use engine::{
+    analyze_files, classify, collect_workspace, FileClass, Finding, Report, SourceFile,
+};
+pub use lexer::{lex, Tok, TokKind};

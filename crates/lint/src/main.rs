@@ -1,0 +1,6 @@
+//! Standalone entry point: `cargo run -p appvsweb-lint -- [flags]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(appvsweb_lint::cli::run(&args));
+}

@@ -1,0 +1,66 @@
+//! Baseline workflow tests: fingerprint matching is line-independent
+//! and multiset-aware, and the JSON document round-trips.
+
+use appvsweb_lint::{analyze_files, Baseline, SourceFile};
+
+fn report_for(text: &str) -> appvsweb_lint::Report {
+    analyze_files(&[SourceFile {
+        path: "crates/x/src/lib.rs".to_string(),
+        text: text.to_string(),
+    }])
+}
+
+#[test]
+fn baseline_accepts_known_findings_and_flags_new_ones() {
+    let v1 = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let baseline = Baseline::from_report(&report_for(v1));
+    assert!(baseline.diff(&report_for(v1)).new.is_empty());
+
+    // Adding lines *above* the site must not churn the match: the
+    // fingerprint keys on tokens, not line numbers.
+    let v2 = "fn pad() {}\n\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let diff = baseline.diff(&report_for(v2));
+    assert!(
+        diff.new.is_empty(),
+        "line shift broke the match: {:?}",
+        diff.new
+    );
+    assert!(diff.stale.is_empty());
+
+    // A genuinely new violation is new.
+    let v3 = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\nfn g() { panic!(\"boom\"); }\n";
+    let diff = baseline.diff(&report_for(v3));
+    assert_eq!(diff.new.len(), 1);
+    assert_eq!(diff.new[0].rule, "R1");
+}
+
+#[test]
+fn matching_is_multiset_aware() {
+    // Two identical sites need two baseline entries.
+    let one = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let two =
+        "fn f(v: Option<u8>) -> u8 { v.unwrap() }\nfn g(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let baseline_one = Baseline::from_report(&report_for(one));
+    let diff = baseline_one.diff(&report_for(two));
+    assert_eq!(diff.new.len(), 1, "second identical site must count as new");
+
+    // And fixing one of two leaves one stale entry.
+    let baseline_two = Baseline::from_report(&report_for(two));
+    let diff = baseline_two.diff(&report_for(one));
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.stale.len(), 1);
+}
+
+#[test]
+fn baseline_document_round_trips() {
+    let baseline = Baseline::from_report(&report_for("fn f(v: Option<u8>) -> u8 { v.unwrap() }\n"));
+    let text = baseline.to_json_text();
+    let parsed = Baseline::from_json_text(&text).expect("well-formed document");
+    assert_eq!(parsed, baseline);
+    // An empty baseline (the committed state) parses too.
+    let empty = Baseline::default().to_json_text();
+    assert_eq!(
+        Baseline::from_json_text(&empty).expect("empty ok"),
+        Baseline::default()
+    );
+}

@@ -1,0 +1,66 @@
+//! The acceptance check for rule D3: the label table the lint emits for
+//! the *real* workspace must match the canonical `rng_labels` tables
+//! exactly — complete, duplicate-free, and with every stream
+//! independent under a fixed seed.
+
+use appvsweb_lint::{analyze_files, collect_workspace};
+use appvsweb_netsim::{rng_labels, SimRng};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn emitted_label_table_matches_rng_labels_exactly() {
+    let files = collect_workspace(workspace_root()).expect("workspace readable");
+    let report = analyze_files(&files);
+
+    let emitted: Vec<&str> = report.labels.iter().map(|l| l.label.as_str()).collect();
+    let unique: BTreeSet<&str> = emitted.iter().copied().collect();
+    assert_eq!(
+        emitted.len(),
+        unique.len(),
+        "duplicate fork labels in the workspace: {emitted:?}"
+    );
+
+    let canonical: BTreeSet<&str> = rng_labels::STATIC
+        .iter()
+        .chain(rng_labels::DYNAMIC_PREFIXES)
+        .copied()
+        .collect();
+    assert_eq!(
+        unique, canonical,
+        "lint label table diverged from rng_labels; register new labels there"
+    );
+}
+
+#[test]
+fn every_label_forks_an_independent_stream() {
+    // Same parent seed, different labels ⇒ different draws. A collision
+    // here would mean two subsystems silently share entropy.
+    let labels: Vec<String> = rng_labels::STATIC
+        .iter()
+        .map(|l| l.to_string())
+        .chain([
+            rng_labels::session("svc", "Android", "App"),
+            rng_labels::cell_panic("svc", "Android", "App", 1),
+            rng_labels::device_ids("iOS"),
+        ])
+        .collect();
+    let draws: Vec<u64> = labels
+        .iter()
+        .map(|l| SimRng::new(0xA11CE).fork(l).next_u64())
+        .collect();
+    let unique: BTreeSet<u64> = draws.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        draws.len(),
+        "two labels produced identical first draws: {labels:?}"
+    );
+}

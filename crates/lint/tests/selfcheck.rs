@@ -1,0 +1,44 @@
+//! The lint must pass its own rules (ISSUE 3 satellite): analyzing the
+//! `crates/lint` sources with the full pipeline yields zero findings,
+//! which is also what keeps the committed baseline empty.
+
+use appvsweb_lint::{analyze_files, collect_workspace};
+use std::path::Path;
+
+#[test]
+fn lint_crate_passes_its_own_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root");
+    let files: Vec<_> = collect_workspace(root)
+        .expect("workspace readable")
+        .into_iter()
+        .filter(|f| f.path.starts_with("crates/lint/"))
+        .collect();
+    assert!(!files.is_empty(), "lint sources not found");
+    let report = analyze_files(&files);
+    assert!(
+        report.findings.is_empty(),
+        "the lint does not pass its own rules: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    // Stronger than the baseline gate: the workspace currently has zero
+    // findings at all, so any new violation shows up both here and in
+    // `--check`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let files = collect_workspace(root).expect("workspace readable");
+    let report = analyze_files(&files);
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings: {:#?}",
+        report.findings
+    );
+}

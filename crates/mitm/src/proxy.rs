@@ -11,7 +11,8 @@ use appvsweb_httpsim::{degrade, wire, Request, Response};
 use appvsweb_netsim::dns::{CacheState, DnsError, DnsErrorKind};
 use appvsweb_netsim::faults::{ConnFault, DnsFault};
 use appvsweb_netsim::{
-    Connection, DnsResolver, Endpoint, FaultCounts, FaultInjector, FaultPlan, Link, SimRng, SimTime,
+    rng_labels, Connection, DnsResolver, Endpoint, FaultCounts, FaultInjector, FaultPlan, Link,
+    SimRng, SimTime,
 };
 use appvsweb_tlssim::{
     handshake::{handshake, handshake_with_fault},
@@ -194,7 +195,7 @@ impl Meddle {
         Meddle {
             ca: CertificateAuthority::new(&config.ca_label),
             upstream_trust,
-            dns: DnsResolver::new(rng.fork("meddle-dns")),
+            dns: DnsResolver::new(rng.fork(rng_labels::MEDDLE_DNS)),
             config,
             connections: Vec::new(),
             records: Vec::new(),
@@ -211,7 +212,7 @@ impl Meddle {
     /// own labelled fork of `rng`, so arming it with [`FaultPlan::none`]
     /// (or never calling this) leaves every other stream untouched.
     pub fn set_faults(&mut self, plan: FaultPlan, rng: &SimRng) {
-        self.faults = FaultInjector::new(plan, rng.fork("meddle-chaos"));
+        self.faults = FaultInjector::new(plan, rng.fork(rng_labels::MEDDLE_CHAOS));
     }
 
     /// Ledger of tunnel-side faults injected so far this session.

@@ -150,7 +150,7 @@ fn gen_digits(rng: &mut SimRng, n: usize) -> String {
 
 fn gen_hex(rng: &mut SimRng, n: usize) -> String {
     (0..n)
-        .map(|_| char::from_digit(rng.below(16) as u32, 16).unwrap())
+        .map(|_| char::from_digit(rng.below(16) as u32, 16).unwrap_or('0'))
         .collect()
 }
 
@@ -189,12 +189,12 @@ impl Device {
     /// A factory-reset device: fresh identifiers, no permissions granted,
     /// GPS fix present (the testers ran with location on, in Boston).
     pub fn factory_reset(os: Os, rng: &mut SimRng) -> Self {
-        let mut id_rng = rng.fork(&format!("device-ids:{os}"));
+        let mut id_rng = rng.fork(&crate::rng_labels::device_ids(os));
         Device {
             os,
             ids: DeviceIds::generate(&mut id_rng),
             granted: BTreeSet::new(),
-            gps: Some(boston_fix(&mut rng.fork("gps"))),
+            gps: Some(boston_fix(&mut rng.fork(crate::rng_labels::GPS))),
         }
     }
 

@@ -15,6 +15,8 @@
 //!   monotonic [`clock::SimClock`]
 //! * [`rng`] — a seedable SplitMix64 RNG with labelled forking so
 //!   independent subsystems draw from independent streams
+//! * [`rng_labels`] — the workspace's closed fork-label table (enforced
+//!   by `appvsweb-lint` rule D3)
 //! * [`event`] — a deterministic event queue (ties broken by insertion
 //!   order, never by hash order)
 //! * [`dns`] — a resolver with zones, positive *and negative* caching,
@@ -39,6 +41,7 @@ pub mod event;
 pub mod faults;
 pub mod link;
 pub mod rng;
+pub mod rng_labels;
 pub mod tcp;
 
 pub use clock::{SimClock, SimDuration, SimTime};

@@ -66,14 +66,16 @@ impl AhoCorasick {
         // Indexing two tables by the same byte is the clearest spelling.
         let mut fail = vec![0u32; next.len()];
         let mut queue = std::collections::VecDeque::new();
-        #[allow(clippy::needless_range_loop)]
-        for b in 0..256 {
-            let s = next[0][b];
-            if s == u32::MAX {
-                next[0][b] = 0;
-            } else {
-                fail[s as usize] = 0;
-                queue.push_back(s as usize);
+        if let Some(root) = next.first_mut() {
+            #[allow(clippy::needless_range_loop)]
+            for b in 0..256 {
+                let s = root[b];
+                if s == u32::MAX {
+                    root[b] = 0;
+                } else {
+                    fail[s as usize] = 0;
+                    queue.push_back(s as usize);
+                }
             }
         }
         while let Some(state) = queue.pop_front() {

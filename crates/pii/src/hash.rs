@@ -41,8 +41,9 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
 
     for block in msg.chunks_exact(64) {
         let mut m = [0u32; 16];
-        for (i, w) in m.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        for (w, bytes) in m.iter_mut().zip(block.chunks_exact(4)) {
+            let &[b0, b1, b2, b3] = bytes else { continue };
+            *w = u32::from_le_bytes([b0, b1, b2, b3]);
         }
         let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
         for i in 0..64 {
@@ -85,13 +86,14 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
 
     for block in msg.chunks_exact(64) {
         let mut w = [0u32; 80];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        for (wi, bytes) in w.iter_mut().zip(block.chunks_exact(4)) {
+            let &[b0, b1, b2, b3] = bytes else { continue };
+            *wi = u32::from_be_bytes([b0, b1, b2, b3]);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
-        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        let [mut a, mut b, mut c, mut d, mut e] = h;
         for (i, &wi) in w.iter().enumerate() {
             let (f, k) = match i {
                 0..=19 => ((b & c) | (!b & d), 0x5a82_7999),
@@ -111,11 +113,9 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
             b = a;
             a = tmp;
         }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
+        for (hi, ai) in h.iter_mut().zip([a, b, c, d, e]) {
+            *hi = hi.wrapping_add(ai);
+        }
     }
 
     let mut out = [0u8; 20];
@@ -154,8 +154,9 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
 
     for block in msg.chunks_exact(64) {
         let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        for (wi, bytes) in w.iter_mut().zip(block.chunks_exact(4)) {
+            let &[b0, b1, b2, b3] = bytes else { continue };
+            *wi = u32::from_be_bytes([b0, b1, b2, b3]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -165,8 +166,7 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
-            (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);

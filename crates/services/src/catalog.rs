@@ -190,6 +190,7 @@ impl ServiceSpec {
 
     /// Primary first-party domain.
     pub fn primary_domain(&self) -> &'static str {
+        // lint:allow(R1) static catalog data; every_service_has_first_party asserts ≥1 domain
         self.first_party[0]
     }
 }
@@ -1672,6 +1673,17 @@ mod tests {
     use super::*;
     use appvsweb_netsim::Os;
     use std::collections::BTreeMap;
+
+    #[test]
+    fn every_service_has_first_party() {
+        for s in Catalog::paper().all() {
+            assert!(
+                !s.first_party.is_empty(),
+                "{} needs at least one first-party domain",
+                s.id
+            );
+        }
+    }
 
     #[test]
     fn fifty_testable_services() {

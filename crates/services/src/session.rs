@@ -21,7 +21,7 @@ use appvsweb_httpsim::compress::gzip_compress;
 use appvsweb_httpsim::url::Scheme;
 use appvsweb_httpsim::{Body, CookieJar, Request, Response, Url};
 use appvsweb_mitm::{ExchangeError, Meddle, OriginServer, ReusePolicy, Trace};
-use appvsweb_netsim::{EventQueue, FaultPlan, Os, SimDuration, SimRng, SimTime};
+use appvsweb_netsim::{rng_labels, EventQueue, FaultPlan, Os, SimDuration, SimRng, SimTime};
 use appvsweb_pii::{GroundTruth, PiiType};
 use appvsweb_tlssim::{PinSet, TrustStore};
 
@@ -223,10 +223,8 @@ impl SessionRunner<'_> {
         truth: &GroundTruth,
         cfg: &SessionConfig,
     ) -> Trace {
-        let mut rng = SimRng::new(cfg.seed).fork(&format!(
-            "session:{}:{:?}:{:?}",
-            self.spec.id, self.os, self.medium
-        ));
+        let mut rng =
+            SimRng::new(cfg.seed).fork(&rng_labels::session(self.spec.id, self.os, self.medium));
         let end = SimTime::ZERO + cfg.duration;
         let mut queue: EventQueue<Action> = EventQueue::new();
         let mut jar = CookieJar::new(); // private mode: fresh, discarded after
@@ -235,6 +233,7 @@ impl SessionRunner<'_> {
         // Pinned apps refuse the proxy's forged chains for their own
         // hosts (criterion 4 exclusions: Facebook, Twitter).
         let pins = if self.spec.excluded == Some(Exclusion::CertificatePinning) {
+            // lint:allow(R1) reviewed invariant: the world CA always issues a non-empty chain
             let leaf = world.tls_config(&self.api_host()).chain.leaf().unwrap().key;
             PinSet::of([leaf])
         } else {
@@ -251,7 +250,7 @@ impl SessionRunner<'_> {
             trust: device_trust,
             pins,
             retry: cfg.retry.clone(),
-            rng: rng.fork("retry"),
+            rng: rng.fork(rng_labels::RETRY),
             retries_spent: 0,
         };
 
@@ -397,7 +396,7 @@ impl SessionRunner<'_> {
         };
         if let Some(tracker_id) = password_sink {
             let tracker = trackers::by_id(tracker_id);
-            let url = Url::new(Scheme::Https, tracker.hosts[0], "/v1/auth/track");
+            let url = Url::new(Scheme::Https, tracker.primary_host(), "/v1/auth/track");
             let body = Body::form(&[
                 ("login", &truth.email),
                 ("password", &truth.password),
@@ -607,7 +606,7 @@ impl SessionRunner<'_> {
         let mut pii_tags_remaining = 3u32;
         for id in self.spec.web.ad_networks {
             let tracker = trackers::by_id(id);
-            let host = tracker.hosts[0];
+            let host = tracker.primary_host();
             // Tag JavaScript: requested every page, but the browser cache
             // answers repeats (max-age=600 outlives the session).
             {
@@ -676,7 +675,7 @@ impl SessionRunner<'_> {
             let slots = exchanges.len().min(3);
             for k in 0..slots {
                 let tracker = exchanges[(n as usize * slots + k) % exchanges.len()];
-                let mut url = Url::new(Scheme::Https, tracker.hosts[0], "/rtb");
+                let mut url = Url::new(Scheme::Https, tracker.primary_host(), "/rtb");
                 url.push_query("rtb", &self.spec.web.rtb_depth.to_string());
                 url.push_query("sync", &format!("c{:08x}", rng.next_u64() as u32));
                 let _ = k;

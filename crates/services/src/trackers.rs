@@ -60,6 +60,14 @@ pub struct TrackerSpec {
     pub creative_bytes: usize,
 }
 
+impl TrackerSpec {
+    /// Primary beacon host (the first entry of [`hosts`](Self::hosts)).
+    pub fn primary_host(&self) -> &'static str {
+        // lint:allow(R1) static catalog data; every_tracker_has_hosts asserts ≥1 host
+        self.hosts[0]
+    }
+}
+
 /// The tracker catalog.
 pub fn all() -> &'static [TrackerSpec] {
     TRACKERS
@@ -74,6 +82,7 @@ pub fn by_id(id: &str) -> &'static TrackerSpec {
     TRACKERS
         .iter()
         .find(|t| t.id == id)
+        // lint:allow(R1) documented panic: a bad static catalog reference is a programming error
         .unwrap_or_else(|| panic!("unknown tracker id: {id}"))
 }
 

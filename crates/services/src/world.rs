@@ -12,7 +12,7 @@ use appvsweb_httpsim::url::Scheme;
 use appvsweb_httpsim::{degrade, Body, Request, Response, StatusCode, Url};
 use appvsweb_mitm::OriginServer;
 use appvsweb_netsim::faults::ResponseFault;
-use appvsweb_netsim::{FaultCounts, FaultInjector, FaultPlan, SimRng, SimTime};
+use appvsweb_netsim::{rng_labels, FaultCounts, FaultInjector, FaultPlan, SimRng, SimTime};
 use appvsweb_tlssim::{CertificateAuthority, ServerConfig, TrustStore};
 
 /// RTB exchange hosts that participate in redirect chains.
@@ -54,7 +54,7 @@ impl OriginWorld {
     /// `rng`. A plan of [`FaultPlan::none`] never draws, leaving every
     /// other stream untouched.
     pub fn set_faults(&mut self, plan: FaultPlan, rng: &SimRng) {
-        self.faults = FaultInjector::new(plan, rng.fork("world-chaos"));
+        self.faults = FaultInjector::new(plan, rng.fork(rng_labels::WORLD_CHAOS));
     }
 
     /// Take the ledger of origin-side faults injected so far, resetting

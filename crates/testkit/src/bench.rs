@@ -8,6 +8,7 @@
 use appvsweb_json::{encode_pretty, impl_json, Json, ToJson};
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
+// lint:allow(D1) the bench harness is the one legitimate wall-clock consumer
 use std::time::Instant;
 
 /// Per-benchmark summary statistics, in nanoseconds per operation.
@@ -40,6 +41,7 @@ pub struct BenchRunner {
     warmup_samples: u64,
     samples: u64,
     results: Vec<BenchResult>,
+    meta: Vec<(String, Json)>,
 }
 
 /// One sample should take at least this long, or per-sample clock
@@ -60,7 +62,15 @@ impl BenchRunner {
             warmup_samples: 3,
             samples,
             results: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Attach a suite-level metadata value (scan sizes, finding counts,
+    /// derived throughput…). Emitted as a `meta` object in the artifact;
+    /// suites that record none keep their existing document shape.
+    pub fn meta(&mut self, key: &str, value: impl ToJson) {
+        self.meta.push((key.to_string(), value.to_json()));
     }
 
     /// Override warmup/timed sample counts (for long-running benches).
@@ -77,6 +87,7 @@ impl BenchRunner {
         // Calibrate the batch: double until one batch meets the floor.
         let mut batch: u64 = 1;
         loop {
+            // lint:allow(D1) wall-clock timing is the harness's whole job
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(f());
@@ -94,6 +105,7 @@ impl BenchRunner {
         }
         let mut per_op: Vec<f64> = (0..self.samples)
             .map(|_| {
+                // lint:allow(D1) wall-clock timing is the harness's whole job
                 let t0 = Instant::now();
                 for _ in 0..batch {
                     black_box(f());
@@ -110,8 +122,8 @@ impl BenchRunner {
             median_ns: percentile(&per_op, 50.0),
             p95_ns: percentile(&per_op, 95.0),
             mean_ns: per_op.iter().sum::<f64>() / per_op.len() as f64,
-            min_ns: per_op[0],
-            max_ns: per_op[per_op.len() - 1],
+            min_ns: per_op.first().copied().unwrap_or(0.0),
+            max_ns: per_op.last().copied().unwrap_or(0.0),
         };
         println!(
             "bench {:<40} median {:>12}  p95 {:>12}  ({} samples × {} ops)",
@@ -132,11 +144,15 @@ impl BenchRunner {
     /// Write `BENCH_<suite>.json` under `dir` and return its path.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         let path = dir.join(format!("BENCH_{}.json", self.suite));
-        let doc = Json::Obj(vec![
+        let mut fields = vec![
             ("suite".to_string(), Json::Str(self.suite.clone())),
             ("unit".to_string(), Json::Str("ns_per_op".to_string())),
             ("results".to_string(), self.results.to_json()),
-        ]);
+        ];
+        if !self.meta.is_empty() {
+            fields.push(("meta".to_string(), Json::Obj(self.meta.clone())));
+        }
+        let doc = Json::Obj(fields);
         std::fs::write(&path, encode_pretty(&doc) + "\n")?;
         println!("bench artifact: {}", path.display());
         Ok(path)

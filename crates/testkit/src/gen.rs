@@ -341,7 +341,7 @@ impl CharClass {
                 } else {
                     const EXOTIC: &[char] =
                         &['é', 'π', '☂', '中', '𝄞', 'Ω', 'ß', '→', '\u{a0}', '￿'];
-                    *rng.choose(EXOTIC).unwrap()
+                    rng.choose(EXOTIC).copied().unwrap_or('?')
                 }
             }
         }

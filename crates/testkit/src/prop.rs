@@ -52,12 +52,14 @@ where
     G: Gen,
     F: Fn(&G::Value),
 {
+    // lint:allow(D3) the label is the caller's static property name, passed through verbatim
     let mut rng = SimRng::new(cfg.seed).fork(name);
     for case in 0..cfg.cases {
         let value = gen.generate(&mut rng);
         if let Err(message) = run_one(&prop, &value) {
             let (minimal, steps) = shrink(cfg, gen, &prop, value);
             let final_message = run_one(&prop, &minimal).err().unwrap_or(message);
+            // lint:allow(R1) a test harness reports failure by panicking
             panic!(
                 "property {name} failed (case {case}/{cases}, seed {seed}, {steps} shrink \
                  steps)\nminimal input: {minimal:?}\nfailure: {final_message}",
