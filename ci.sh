@@ -17,6 +17,9 @@ cargo run -q --release -p appvsweb-lint -- --check
 echo "== lint bench (emits BENCH_lint.json: scan size, tokens/sec, findings by rule) =="
 cargo bench -q -p appvsweb-bench --bench lint
 
+echo "== repro fuzz --smoke (corpus replay + short mutation burst; emits BENCH_testkit.json) =="
+cargo run -q --release -p appvsweb-bench --bin repro -- fuzz --smoke
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

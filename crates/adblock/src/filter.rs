@@ -80,9 +80,11 @@ pub enum ParsedLine {
 pub fn parse_line(line: &str) -> ParsedLine {
     let line = line.trim();
     if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+        appvsweb_cover::cover!();
         return ParsedLine::Comment;
     }
     if line.contains("##") || line.contains("#@#") || line.contains("#?#") {
+        appvsweb_cover::cover!();
         return ParsedLine::ElementHiding;
     }
 
@@ -113,13 +115,16 @@ pub fn parse_line(line: &str) -> ParsedLine {
 
     let mut body = body;
     if let Some(rest) = body.strip_prefix("||") {
+        appvsweb_cover::cover!();
         filter.kind = FilterKind::HostAnchor;
         body = rest;
     } else if let Some(rest) = body.strip_prefix('|') {
+        appvsweb_cover::cover!();
         filter.kind = FilterKind::StartAnchor;
         body = rest;
     }
     if let Some(rest) = body.strip_suffix('|') {
+        appvsweb_cover::cover!();
         filter.end_anchor = true;
         body = rest;
     }
@@ -136,6 +141,7 @@ pub fn parse_line(line: &str) -> ParsedLine {
                 "~third-party" => filter.third_party = Some(false),
                 _ => {
                     if let Some(domains) = opt.strip_prefix("domain=") {
+                        appvsweb_cover::cover!();
                         for d in domains.split('|') {
                             match d.strip_prefix('~') {
                                 Some(ex) => filter.exclude_domains.push(ex.to_ascii_lowercase()),
@@ -227,6 +233,7 @@ fn match_from(pattern: &str, text: &str, must_end: bool) -> bool {
             None => !must_end || t.is_empty(),
             Some(b'*') => {
                 // Wildcard: try consuming 0..=all of t.
+                appvsweb_cover::cover!();
                 (0..=t.len()).any(|k| rec(&p[1..], &t[k..], must_end))
             }
             Some(b'^') => match t.first() {

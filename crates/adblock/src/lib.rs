@@ -27,6 +27,7 @@
 pub mod category;
 pub mod engine;
 pub mod filter;
+pub mod fuzz;
 pub mod lists;
 
 pub use category::{Categorizer, Category};

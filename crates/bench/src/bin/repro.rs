@@ -10,6 +10,8 @@
 //! repro --seed 7 --minutes 4  # alternate experiment parameters
 //! repro --faults moderate     # fault-sweep: run the campaign degraded
 //! repro lint --check          # determinism/robustness lint vs the baseline
+//! repro fuzz --smoke          # coverage-guided fuzz smoke gate (CI)
+//! repro fuzz --target json    # fuzz one parser, grow its corpus
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -65,7 +67,8 @@ fn parse_args() -> Args {
                     "usage: repro [--all] [--table N] [--figure 1a..1f] [--duration] \
                      [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N] \
                      [--faults none|light|moderate|heavy]\n       repro lint [--check] \
-                     [--json] [--fix-baseline] [--labels]"
+                     [--json] [--fix-baseline] [--labels]\n       repro fuzz [--target NAME] \
+                     [--iters N] [--seed N] [--smoke] [--minimize]"
                 );
                 std::process::exit(0);
             }
@@ -156,6 +159,11 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
         std::process::exit(appvsweb_lint::cli::run(&argv[1..]));
+    }
+    // `repro fuzz [...]` drives the deterministic coverage-guided fuzzer
+    // over the registered parser targets and the committed corpus.
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(appvsweb_bench::fuzz_cli::run(&argv[1..]));
     }
     let args = parse_args();
     let faults = match args.faults.as_deref() {

@@ -3,25 +3,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz_cli;
+pub mod fuzz_targets;
+
 use appvsweb_analysis::Study;
-use appvsweb_core::study::{run_study, StudyConfig};
-use std::sync::OnceLock;
+use appvsweb_core::study::StudyConfig;
 
 /// The canonical full study (seed 2016, 4-minute sessions), computed once
-/// per process and shared by every table/figure bench.
+/// per process and shared by every table/figure bench. Delegates to the
+/// testkit fixture so benches and integration tests share one cache.
 pub fn shared_study() -> &'static Study {
-    static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| run_study(&StudyConfig::default()))
+    appvsweb_testkit::fixtures::canonical_study()
 }
 
 /// A faster study configuration (1-minute sessions, no ReCon) for benches
 /// that measure the pipeline itself rather than consume its output.
 pub fn quick_config() -> StudyConfig {
-    StudyConfig {
-        duration: appvsweb_netsim::SimDuration::from_mins(1),
-        use_recon: false,
-        ..StudyConfig::default()
-    }
+    appvsweb_testkit::fixtures::quick_study_config()
 }
 
 /// The repository root, where `BENCH_*.json` artifacts are written so

@@ -54,15 +54,18 @@ pub fn percent_decode(input: &str) -> String {
             b'%' => {
                 if let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) {
                     if let (Some(hi), Some(lo)) = (from_hex_digit(h), from_hex_digit(l)) {
+                        appvsweb_cover::cover!();
                         out.push((hi << 4) | lo);
                         i += 3;
                         continue;
                     }
                 }
+                appvsweb_cover::cover!();
                 out.push(b'%');
                 i += 1;
             }
             b'+' => {
+                appvsweb_cover::cover!();
                 out.push(b' ');
                 i += 1;
             }
@@ -125,8 +128,14 @@ pub fn form_urldecode(input: &str) -> Vec<(String, String)> {
         .split('&')
         .filter(|s| !s.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(pair), String::new()),
+            Some((k, v)) => {
+                appvsweb_cover::cover!();
+                (percent_decode(k), percent_decode(v))
+            }
+            None => {
+                appvsweb_cover::cover!();
+                (percent_decode(pair), String::new())
+            }
         })
         .collect()
 }
@@ -190,11 +199,26 @@ pub fn base64_decode(input: &str) -> Option<Vec<u8>> {
             b'A'..=b'Z' => b - b'A',
             b'a'..=b'z' => b - b'a' + 26,
             b'0'..=b'9' => b - b'0' + 52,
-            b'+' | b'-' => 62,
-            b'/' | b'_' => 63,
-            b'=' => continue,
-            b'\r' | b'\n' => continue,
-            _ => return None,
+            b'+' | b'-' => {
+                appvsweb_cover::cover!();
+                62
+            }
+            b'/' | b'_' => {
+                appvsweb_cover::cover!();
+                63
+            }
+            b'=' => {
+                appvsweb_cover::cover!();
+                continue;
+            }
+            b'\r' | b'\n' => {
+                appvsweb_cover::cover!();
+                continue;
+            }
+            _ => {
+                appvsweb_cover::cover!();
+                return None;
+            }
         } as u32;
         acc = (acc << 6) | v;
         bits += 6;
@@ -226,15 +250,23 @@ pub fn hex_encode(data: &[u8]) -> String {
 pub fn hex_decode(input: &str) -> Option<Vec<u8>> {
     let bytes = input.as_bytes();
     if !bytes.len().is_multiple_of(2) {
+        appvsweb_cover::cover!();
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);
     for pair in bytes.chunks(2) {
         let &[hi, lo] = pair else { return None };
-        let hi = from_hex_digit(hi)?;
-        let lo = from_hex_digit(lo)?;
+        let Some(hi) = from_hex_digit(hi) else {
+            appvsweb_cover::cover!();
+            return None;
+        };
+        let Some(lo) = from_hex_digit(lo) else {
+            appvsweb_cover::cover!();
+            return None;
+        };
         out.push((hi << 4) | lo);
     }
+    appvsweb_cover::cover!();
     Some(out)
 }
 

@@ -215,6 +215,7 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
         match btype {
             0 => {
                 // Stored.
+                appvsweb_cover::cover!();
                 bits.align_byte();
                 if bits.pos + 4 > data.len() {
                     return Err(InflateError::Truncated);
@@ -232,11 +233,13 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
                 bits.pos += len;
             }
             1 => {
+                appvsweb_cover::cover!();
                 let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
                 let dist = Huffman::from_lengths(&[5u8; 30])?;
                 inflate_block(&mut bits, &lit, &dist, &mut out)?;
             }
             2 => {
+                appvsweb_cover::cover!();
                 let (lit, dist) = read_dynamic_tables(&mut bits)?;
                 inflate_block(&mut bits, &lit, &dist, &mut out)?;
             }
@@ -267,6 +270,7 @@ fn read_dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), I
         match sym {
             0..=15 => lengths.push(sym as u8),
             16 => {
+                appvsweb_cover::cover!();
                 let prev = *lengths
                     .last()
                     .ok_or(InflateError::Corrupt("repeat at start"))?;
@@ -276,10 +280,12 @@ fn read_dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), I
                 }
             }
             17 => {
+                appvsweb_cover::cover!();
                 let n = 3 + bits.take_bits(3)? as usize;
                 lengths.resize(lengths.len() + n, 0);
             }
             18 => {
+                appvsweb_cover::cover!();
                 let n = 11 + bits.take_bits(7)? as usize;
                 lengths.resize(lengths.len() + n, 0);
             }
@@ -306,6 +312,7 @@ fn inflate_block(
             0..=255 => out.push(sym as u8),
             256 => return Ok(()),
             257..=285 => {
+                appvsweb_cover::cover!();
                 let idx = (sym - 257) as usize;
                 let len =
                     LENGTH_BASE[idx] as usize + bits.take_bits(LENGTH_EXTRA[idx] as u32)? as usize;
@@ -482,12 +489,14 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     let mut offset = 10;
     if flags & 0x04 != 0 {
         // FEXTRA: two length bytes, then that many payload bytes.
+        appvsweb_cover::cover!();
         let lo = *data.get(offset).ok_or(InflateError::Truncated)?;
         let hi = *data.get(offset + 1).ok_or(InflateError::Truncated)?;
         offset += 2 + u16::from_le_bytes([lo, hi]) as usize;
     }
     if flags & 0x08 != 0 {
         // FNAME: zero-terminated.
+        appvsweb_cover::cover!();
         while *data.get(offset).ok_or(InflateError::Truncated)? != 0 {
             offset += 1;
         }
@@ -495,6 +504,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     }
     if flags & 0x10 != 0 {
         // FCOMMENT
+        appvsweb_cover::cover!();
         while *data.get(offset).ok_or(InflateError::Truncated)? != 0 {
             offset += 1;
         }

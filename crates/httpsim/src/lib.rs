@@ -41,6 +41,7 @@ pub mod codec;
 pub mod compress;
 pub mod cookie;
 pub mod degrade;
+pub mod fuzz;
 pub mod headers;
 pub mod message;
 pub mod url;

@@ -1,0 +1,80 @@
+//! Fuzz entry point: parser totality plus the serialize fixed point.
+//!
+//! The harness feeds arbitrary bytes; the contract under fuzzing is
+//!
+//! 1. `parse` never panics — malformed input is a typed [`JsonError`],
+//! 2. any document that *does* parse serializes to a canonical form
+//!    that reparses, and that canonical form is a byte-level fixed
+//!    point: `serialize(parse(serialize(v))) == serialize(v)`. (Value
+//!    equality is deliberately not asserted — `Float(1.0)` serializes
+//!    to `"1"`, which reparses as `Uint(1)`; the *text* is what must
+//!    stabilize.)
+//!
+//! [`JsonError`]: crate::JsonError
+
+use crate::parse;
+
+/// Run the JSON target on raw fuzz bytes. Panics only on a contract
+/// violation — exactly what the fuzz engine reports as a crash.
+pub fn run(data: &[u8]) {
+    // The parser takes &str; arbitrary bytes are decoded lossily so the
+    // fuzzer can still reach every byte-level branch past the replacement
+    // characters.
+    let text = String::from_utf8_lossy(data);
+    let Ok(value) = parse(&text) else {
+        return;
+    };
+    let s1 = value.to_compact();
+    let reparsed = parse(&s1);
+    assert!(
+        reparsed.is_ok(),
+        "serialized JSON failed to reparse: {reparsed:?} in {s1:?}"
+    );
+    let Ok(reparsed) = reparsed else { return };
+    let s2 = reparsed.to_compact();
+    assert_eq!(s1, s2, "serialize∘parse is not a fixed point");
+    // Pretty form must describe the same document.
+    let pretty = value.to_pretty();
+    let pretty_parsed = parse(&pretty);
+    assert!(
+        pretty_parsed.is_ok(),
+        "pretty JSON failed to reparse: {pretty_parsed:?}"
+    );
+    if let Ok(v) = pretty_parsed {
+        assert_eq!(v.to_compact(), s2, "pretty form diverged");
+    }
+}
+
+/// Dictionary: the grammar's fixed tokens plus escape/number shrapnel.
+pub const DICT: &[&[u8]] = &[
+    b"{",
+    b"}",
+    b"[",
+    b"]",
+    b":",
+    b",",
+    b"\"",
+    b"\\",
+    b"true",
+    b"false",
+    b"null",
+    b"\\u0041",
+    b"\\uD83D\\uDE00",
+    b"1e308",
+    b"-0",
+    b"0.5",
+    b"18446744073709551615",
+    b"\"\"",
+    b"{}",
+    b"[]",
+];
+
+/// Built-in seeds: one document per value kind plus nesting and escapes.
+pub const SEEDS: &[&[u8]] = &[
+    b"null",
+    b"[1,2.5,-3,1e10,\"x\"]",
+    b"{\"a\":{\"b\":[true,false,null]},\"c\":\"\\n\\u00e9\"}",
+    b"{\"deep\":[[[[[[{\"k\":0}]]]]]]}",
+    b"\"\\uD834\\uDD1E\"",
+    b"-9223372036854775808",
+];

@@ -22,6 +22,7 @@
 //!   `null` (JSON has no NaN/Infinity).
 
 mod convert;
+pub mod fuzz;
 mod parse;
 mod ser;
 mod value;

@@ -6,6 +6,7 @@
 //! at full 64-bit precision; everything else falls back to `f64`.
 
 use crate::value::{Json, JsonError};
+use appvsweb_cover::cover;
 
 /// Parse a complete JSON document; trailing whitespace is allowed,
 /// trailing garbage is an error.
@@ -64,13 +65,34 @@ impl<'a> Parser<'a> {
             return Err(JsonError::at(self.pos, "nesting too deep".to_string()));
         }
         match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal(b"true", Json::Bool(true)),
-            Some(b'f') => self.literal(b"false", Json::Bool(false)),
-            Some(b'n') => self.literal(b"null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'{') => {
+                cover!();
+                self.object(depth)
+            }
+            Some(b'[') => {
+                cover!();
+                self.array(depth)
+            }
+            Some(b'"') => {
+                cover!();
+                Ok(Json::Str(self.string()?))
+            }
+            Some(b't') => {
+                cover!();
+                self.literal(b"true", Json::Bool(true))
+            }
+            Some(b'f') => {
+                cover!();
+                self.literal(b"false", Json::Bool(false))
+            }
+            Some(b'n') => {
+                cover!();
+                self.literal(b"null", Json::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                cover!();
+                self.number()
+            }
             Some(other) => Err(JsonError::at(
                 self.pos,
                 format!("unexpected character {:?}", other as char),
@@ -96,6 +118,7 @@ impl<'a> Parser<'a> {
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
+            cover!();
             self.pos += 1;
             return Ok(Json::Obj(pairs));
         }
@@ -124,6 +147,7 @@ impl<'a> Parser<'a> {
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
+            cover!();
             self.pos += 1;
             return Ok(Json::Arr(items));
         }
@@ -166,6 +190,7 @@ impl<'a> Parser<'a> {
                     return Ok(out);
                 }
                 Some(b'\\') => {
+                    cover!();
                     self.pos += 1;
                     self.escape(&mut out)?;
                 }
@@ -195,9 +220,11 @@ impl<'a> Parser<'a> {
             b'r' => out.push('\r'),
             b't' => out.push('\t'),
             b'u' => {
+                cover!();
                 let hi = self.hex4()?;
                 let ch = if (0xD800..0xDC00).contains(&hi) {
                     // High surrogate: must pair with \uDC00..\uDFFF.
+                    cover!();
                     if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
                         self.pos += 2;
                         let lo = self.hex4()?;
@@ -257,6 +284,7 @@ impl<'a> Parser<'a> {
         }
         let mut integral = true;
         if self.peek() == Some(b'.') {
+            cover!();
             integral = false;
             self.pos += 1;
             if !matches!(self.peek(), Some(b'0'..=b'9')) {
@@ -270,6 +298,7 @@ impl<'a> Parser<'a> {
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            cover!();
             integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {

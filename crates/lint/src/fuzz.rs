@@ -1,0 +1,65 @@
+//! Fuzz entry point for the lint lexer.
+//!
+//! The lexer underpins every rule the workspace trusts for its
+//! determinism gates, so its three documented properties are asserted
+//! on arbitrary input: totality (no panic), losslessness (token texts
+//! concatenate back to the input), and line accuracy (1-based,
+//! non-decreasing, consistent with the newlines actually consumed).
+
+use crate::lexer::lex;
+
+/// Run the lexer target on raw fuzz bytes.
+pub fn run(data: &[u8]) {
+    let source = String::from_utf8_lossy(data);
+    let tokens = lex(&source);
+
+    // Lossless: concatenation reproduces the input byte-for-byte.
+    let rebuilt: String = tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(rebuilt, source, "lexer dropped or normalized bytes");
+
+    // Line-accurate: lines start at 1, never decrease, and each token's
+    // recorded line equals 1 + newlines consumed before it.
+    let mut expected_line = 1u32;
+    for tok in &tokens {
+        assert!(
+            tok.line == expected_line,
+            "token {:?} recorded line {} but starts on line {}",
+            tok.text,
+            tok.line,
+            expected_line
+        );
+        expected_line += tok.text.matches('\n').count() as u32;
+        assert!(!tok.text.is_empty(), "lexer emitted an empty token");
+    }
+}
+
+/// Dictionary: the trickiest Rust token shapes — raw strings, byte
+/// strings, nested comments, lifetimes, and the rule keywords.
+pub const DICT: &[&[u8]] = &[
+    b"//",
+    b"/*",
+    b"*/",
+    b"\"",
+    b"\\\"",
+    b"r#\"",
+    b"\"#",
+    b"br#\"",
+    b"b'",
+    b"'a",
+    b"'\\''",
+    b"0x1f",
+    b"1_000u64",
+    b"1e9",
+    b"unwrap",
+    b"fork",
+    b"lint:allow(R1)",
+    b"#[cfg(test)]",
+];
+
+/// Seeds: small Rust fragments covering every token class.
+pub const SEEDS: &[&[u8]] = &[
+    b"fn main() { let x = 1; }",
+    b"// comment\n/* block /* nested */ */\nlet s = r#\"raw \"quoted\"\"#;",
+    b"let b = b\"bytes\"; let c = b'x'; let l: &'static str = \"s\";",
+    b"x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); v[0];",
+];

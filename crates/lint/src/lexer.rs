@@ -103,19 +103,23 @@ impl Lexer {
                 }
                 self.emit(TokKind::Whitespace, text, line);
             } else if c == '/' && self.peek(1) == Some('/') {
+                appvsweb_cover::cover!();
                 while self.peek(0).is_some_and(|c| c != '\n') {
                     self.bump(&mut text);
                 }
                 self.emit(TokKind::LineComment, text, line);
             } else if c == '/' && self.peek(1) == Some('*') {
+                appvsweb_cover::cover!();
                 self.block_comment(&mut text);
                 self.emit(TokKind::BlockComment, text, line);
             } else if is_ident_start(c) {
                 self.ident_or_prefixed_literal(line);
             } else if c == '"' {
+                appvsweb_cover::cover!();
                 self.string_body(&mut text);
                 self.emit(TokKind::Lit, text, line);
             } else if c == '\'' {
+                appvsweb_cover::cover!();
                 self.quote(&mut text);
                 let kind = if text.ends_with('\'') && text.chars().count() > 1 {
                     TokKind::Lit
@@ -166,14 +170,17 @@ impl Lexer {
         let byte_capable = text == "b" || text == "br";
         match self.peek(0) {
             Some('"') if raw_capable || byte_capable => {
+                appvsweb_cover::cover!();
                 self.string_body(&mut text);
                 self.emit(TokKind::Lit, text, line);
             }
             Some('\'') if text == "b" => {
+                appvsweb_cover::cover!();
                 self.quote(&mut text);
                 self.emit(TokKind::Lit, text, line);
             }
             Some('#') if raw_capable => {
+                appvsweb_cover::cover!();
                 // Count hashes; a quote after them begins a raw string.
                 let mut hashes = 0usize;
                 while self.peek(hashes) == Some('#') {

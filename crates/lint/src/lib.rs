@@ -29,6 +29,7 @@
 pub mod baseline;
 pub mod cli;
 pub mod engine;
+pub mod fuzz;
 pub mod lexer;
 pub mod rules;
 

@@ -169,6 +169,7 @@ impl DnsResolver {
         let host = host.to_ascii_lowercase();
         if let Some(entry) = self.cache.get(&host) {
             if entry.expires > now {
+                appvsweb_cover::cover!();
                 self.stats.cache_hits += 1;
                 return Ok(DnsAnswer {
                     addr: entry.addr,
@@ -179,11 +180,13 @@ impl DnsResolver {
         }
         if let Some(entry) = self.negative.get(&host) {
             if entry.expires > now {
+                appvsweb_cover::cover!();
                 self.stats.negative_hits += 1;
                 return Err(DnsError::new(entry.kind, host));
             }
         }
         let Some(&addr) = self.zones.get(&host) else {
+            appvsweb_cover::cover!();
             self.stats.failures += 1;
             self.negative.insert(
                 host.clone(),
@@ -194,6 +197,7 @@ impl DnsResolver {
             );
             return Err(DnsError::new(DnsErrorKind::NxDomain, host));
         };
+        appvsweb_cover::cover!();
         self.stats.network_queries += 1;
         let jitter = self
             .rng

@@ -39,6 +39,7 @@ pub mod device;
 pub mod dns;
 pub mod event;
 pub mod faults;
+pub mod fuzz;
 pub mod link;
 pub mod rng;
 pub mod rng_labels;

@@ -41,6 +41,9 @@ pub const SESSION_PREFIX: &str = "session";
 pub const CELL_PANIC_PREFIX: &str = "cell-panic";
 /// Prefix of per-OS device-identifier streams; see [`device_ids`].
 pub const DEVICE_IDS_PREFIX: &str = "device-ids";
+/// Prefix of per-target fuzzing-engine mutation streams; see
+/// [`fuzz_target`].
+pub const FUZZ_PREFIX: &str = "fuzz";
 
 /// Every static label, for exhaustiveness checks. Keep sorted.
 pub const STATIC: &[&str] = &[
@@ -54,7 +57,12 @@ pub const STATIC: &[&str] = &[
 ];
 
 /// Every dynamic-label prefix, for exhaustiveness checks. Keep sorted.
-pub const DYNAMIC_PREFIXES: &[&str] = &[CELL_PANIC_PREFIX, DEVICE_IDS_PREFIX, SESSION_PREFIX];
+pub const DYNAMIC_PREFIXES: &[&str] = &[
+    CELL_PANIC_PREFIX,
+    DEVICE_IDS_PREFIX,
+    FUZZ_PREFIX,
+    SESSION_PREFIX,
+];
 
 /// The per-cell session stream: one independent stream per
 /// (service, OS, medium) study cell.
@@ -71,6 +79,13 @@ pub fn cell_panic(service_id: &str, os: impl Debug, medium: impl Debug, attempt:
 /// The per-OS device-identifier stream (IMEI, MAC, IDFA, …).
 pub fn device_ids(os: impl Display) -> String {
     format!("{DEVICE_IDS_PREFIX}:{os}")
+}
+
+/// The per-target mutation-scheduling stream of the fuzzing engine:
+/// one independent stream per registered fuzz target, so adding a
+/// target never re-keys another target's schedule.
+pub fn fuzz_target(name: &str) -> String {
+    format!("{FUZZ_PREFIX}:{name}")
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub mod aho;
 pub mod detector;
 pub mod encode;
 pub mod eval;
+pub mod fuzz;
 pub mod hash;
 pub mod matcher;
 pub mod profile;

@@ -65,9 +65,11 @@ pub fn extract_kv(text: &str) -> Vec<(String, String)> {
     for segment in text.split(['&', ';', '?', '\n']) {
         let segment = segment.trim();
         if let Some((k, v)) = segment.split_once('=') {
+            appvsweb_cover::cover!();
             let k = k.rsplit([' ', '/']).next().unwrap_or(k);
             let v = v.split_whitespace().next().unwrap_or("");
             if !k.is_empty() && !v.is_empty() && k.len() <= 40 && v.len() <= 256 {
+                appvsweb_cover::cover!();
                 out.push((k.to_ascii_lowercase(), v.to_string()));
             }
         }
@@ -79,6 +81,7 @@ pub fn extract_kv(text: &str) -> Vec<(String, String)> {
     while i < bytes.len() {
         if bytes[i] == b'"' {
             if let Some(key_end) = find_quote(bytes, i + 1) {
+                appvsweb_cover::cover!();
                 let key = &text[i + 1..key_end];
                 let mut j = key_end + 1;
                 while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b':') {
@@ -88,6 +91,7 @@ pub fn extract_kv(text: &str) -> Vec<(String, String)> {
                             j += 1;
                         }
                         let value = if j < bytes.len() && bytes[j] == b'"' {
+                            appvsweb_cover::cover!();
                             find_quote(bytes, j + 1).map(|end| text[j + 1..end].to_string())
                         } else {
                             let end = text[j..]

@@ -8,16 +8,26 @@
 //!   uses, forked per test name from a fixed harness seed — every run,
 //!   on every machine, sees the same cases. Failures are greedily
 //!   shrunk before being reported.
+//! * **Coverage-guided fuzzing** ([`fuzz`]): byte-level mutation over
+//!   `appvsweb-cover` edge coverage, with a committed regression corpus
+//!   and crash minimization through the property shrinker. The mutation
+//!   schedule is drawn from a per-target forked [`SimRng`] stream, so a
+//!   fuzz run is as reproducible as a property test.
 //! * **Micro-benchmarks** ([`bench`]): a wall-clock runner with warmup
 //!   and auto-batching that reports median/p95 per op and writes
 //!   `BENCH_*.json` artifacts through `appvsweb-json`.
+//! * **Shared fixtures** ([`fixtures`]): the study/world setup helpers
+//!   integration tests used to copy-paste.
 
 pub mod bench;
+pub mod fixtures;
+pub mod fuzz;
 pub mod gen;
 mod prop;
 
 pub use appvsweb_netsim::SimRng;
 pub use bench::{BenchResult, BenchRunner};
+pub use fuzz::{Crash, FuzzConfig, FuzzOutcome, FuzzTarget};
 pub use gen::Gen;
 pub use prop::{check, check_with, PropConfig};
 

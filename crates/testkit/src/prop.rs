@@ -71,7 +71,7 @@ where
 }
 
 /// Run the property once, converting a panic into `Err(message)`.
-fn run_one<V, F: Fn(&V)>(prop: &F, value: &V) -> Result<(), String> {
+pub(crate) fn run_one<V, F: Fn(&V)>(prop: &F, value: &V) -> Result<(), String> {
     let prev_hook = std::panic::take_hook();
     // Silence the default hook's backtrace spam while probing.
     std::panic::set_hook(Box::new(|_| {}));
@@ -83,7 +83,7 @@ fn run_one<V, F: Fn(&V)>(prop: &F, value: &V) -> Result<(), String> {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s.to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -94,7 +94,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Greedy shrink: repeatedly take the first candidate that still fails.
-fn shrink<G, F>(cfg: &PropConfig, gen: &G, prop: &F, mut current: G::Value) -> (G::Value, u32)
+/// Shared with the fuzzing engine, which minimizes crash inputs through
+/// the same ladder.
+pub(crate) fn shrink<G, F>(
+    cfg: &PropConfig,
+    gen: &G,
+    prop: &F,
+    mut current: G::Value,
+) -> (G::Value, u32)
 where
     G: Gen,
     F: Fn(&G::Value),

@@ -1,0 +1,62 @@
+//! Fuzz entry point for the TLS record-layer sizing model.
+//!
+//! A structured target: the fuzz bytes are decoded as a stream of `u32`
+//! payload lengths (keeping the arithmetic far from `usize` overflow),
+//! and the sizing laws Figure 1c depends on are asserted per length —
+//! exact record accounting, monotonicity, and the fragment-cap
+//! boundary.
+
+use crate::record::{record_count, wire_bytes, MAX_FRAGMENT, RECORD_OVERHEAD};
+
+/// Run the record-sizing target on raw fuzz bytes.
+pub fn run(data: &[u8]) {
+    for chunk in data.chunks(4) {
+        let mut le = [0u8; 4];
+        for (slot, &b) in le.iter_mut().zip(chunk) {
+            *slot = b;
+        }
+        let len = u32::from_le_bytes(le) as usize;
+
+        let records = record_count(len);
+        let wire = wire_bytes(len);
+
+        // Exact accounting: the wire never carries anything but payload
+        // plus per-record overhead.
+        assert_eq!(wire, len + records * RECORD_OVERHEAD, "len {len}");
+        assert_eq!(records, len.div_ceil(MAX_FRAGMENT), "len {len}");
+        assert!(wire >= len, "wire must dominate payload (len {len})");
+
+        // Boundary behaviour: one more byte past a fragment boundary
+        // costs exactly one record of overhead extra.
+        if len > 0 && len.is_multiple_of(MAX_FRAGMENT) {
+            assert_eq!(
+                wire_bytes(len + 1),
+                wire + 1 + RECORD_OVERHEAD,
+                "crossing the fragment cap at {len}"
+            );
+        }
+        // Monotone in the payload: adding a byte never shrinks the wire.
+        if len > 0 {
+            assert!(
+                wire_bytes(len - 1) <= wire,
+                "wire_bytes not monotone at {len}"
+            );
+        }
+    }
+}
+
+/// Dictionary: little-endian encodings of the interesting boundaries.
+pub const DICT: &[&[u8]] = &[
+    &[0, 0, 0, 0],
+    &[1, 0, 0, 0],
+    &[0xff, 0x3f, 0, 0],
+    &[0x00, 0x40, 0, 0],
+    &[0x01, 0x40, 0, 0],
+    &[0xff, 0xff, 0xff, 0xff],
+];
+
+/// Seeds: a sweep crossing several fragment boundaries.
+pub const SEEDS: &[&[u8]] = &[
+    &[0, 0, 0, 0, 100, 0, 0, 0, 0x00, 0x40, 0, 0, 0x01, 0x40, 0, 0],
+    &[0xff, 0xff, 0, 0, 0x00, 0x00, 0x01, 0x00],
+];

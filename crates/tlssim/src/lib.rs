@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod fuzz;
 pub mod handshake;
 pub mod pinning;
 pub mod record;

@@ -33,9 +33,13 @@ pub const RESUMED_HANDSHAKE_BYTES: usize = 330;
 /// ```
 pub fn wire_bytes(plaintext_len: usize) -> usize {
     if plaintext_len == 0 {
+        appvsweb_cover::cover!();
         return 0;
     }
     let records = plaintext_len.div_ceil(MAX_FRAGMENT);
+    if records > 1 {
+        appvsweb_cover::cover!();
+    }
     plaintext_len + records * RECORD_OVERHEAD
 }
 

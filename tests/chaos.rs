@@ -13,53 +13,17 @@
 
 use appvsweb::core::dataset;
 use appvsweb::core::study::{run_cell, run_study, StudyConfig};
+use appvsweb::core::Testbed;
 use appvsweb::netsim::{FaultPlan, Os, SimDuration};
-use appvsweb::services::{Catalog, Medium};
-use appvsweb_testkit::{check_with, gen, prop_test, Gen, PropConfig, SimRng};
+use appvsweb::services::session::RetryPolicy;
+use appvsweb::services::{Catalog, Medium, SessionConfig};
+use appvsweb_testkit::fixtures::{
+    fault_plans as plans, quick_study_config_with, with_quiet_panics,
+};
+use appvsweb_testkit::{check_with, gen, prop_test, PropConfig};
 
 fn quick_cfg(faults: FaultPlan) -> StudyConfig {
-    StudyConfig {
-        duration: SimDuration::from_mins(1),
-        use_recon: false,
-        faults,
-        ..StudyConfig::default()
-    }
-}
-
-fn prob(rng: &mut SimRng, scale: f64) -> f64 {
-    (rng.below(1_001) as f64) / 1_000.0 * scale
-}
-
-/// Arbitrary network/origin fault plan with every rate in `[0, 0.25]`
-/// and sane spike/flap windows. `cell_panic` stays 0 here — panic
-/// isolation is a study-runner property, tested separately below.
-fn plans() -> impl Gen<Value = FaultPlan> {
-    gen::from_fn(|rng: &mut SimRng| FaultPlan {
-        packet_loss: prob(rng, 0.25),
-        latency_spike: prob(rng, 0.25),
-        latency_spike_ms: rng.below(5_000),
-        connection_reset: prob(rng, 0.25),
-        link_flap: prob(rng, 0.1),
-        link_flap_ms: rng.below(10_000),
-        dns_servfail: prob(rng, 0.25),
-        dns_timeout: prob(rng, 0.25),
-        tls_abort: prob(rng, 0.25),
-        truncated_body: prob(rng, 0.25),
-        malformed_chunked: prob(rng, 0.25),
-        server_error: prob(rng, 0.25),
-        cell_panic: 0.0,
-    })
-}
-
-/// Run the closure with the default panic hook silenced, restoring it
-/// after. The injected-panic tests crash cells on purpose; their
-/// backtraces are noise, not signal.
-fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let out = f();
-    std::panic::set_hook(prev);
-    out
+    quick_study_config_with(faults)
 }
 
 #[test]
@@ -103,6 +67,53 @@ prop_test! {
         assert!(plan.packet_loss <= 1.0, "rates must clamp to [0, 1]");
         assert_eq!(plan.is_none(), milli == 0);
     }
+}
+
+#[test]
+fn retry_budget_is_never_exceeded_under_any_plan() {
+    // The session's retry ledger is bounded by the policy's budget no
+    // matter how hostile the fault plan is, and a no-retry policy keeps
+    // the ledger at zero.
+    let catalog = Catalog::paper();
+    let spec = catalog.get("bbc-news").unwrap();
+    check_with(
+        &PropConfig {
+            cases: 10,
+            ..PropConfig::default()
+        },
+        "retry_budget_is_never_exceeded",
+        &(plans(), gen::u64s(0..=15)),
+        |case| {
+            let (plan, budget) = case.clone();
+            let retry = RetryPolicy {
+                session_budget: budget as u32,
+                ..RetryPolicy::standard()
+            };
+            let cfg = SessionConfig {
+                duration: SimDuration::from_mins(1),
+                faults: plan.clone(),
+                retry,
+                ..SessionConfig::default()
+            };
+            let mut tb = Testbed::for_cell(spec, Os::Android, 2016);
+            let trace = tb.run_session(spec, Os::Android, Medium::Web, &cfg);
+            assert!(
+                trace.retries <= budget,
+                "spent {} retries with a budget of {budget}",
+                trace.retries
+            );
+
+            let none_cfg = SessionConfig {
+                duration: SimDuration::from_mins(1),
+                faults: plan,
+                retry: RetryPolicy::none(),
+                ..SessionConfig::default()
+            };
+            let mut tb = Testbed::for_cell(spec, Os::Android, 2016);
+            let trace = tb.run_session(spec, Os::Android, Medium::Web, &none_cfg);
+            assert_eq!(trace.retries, 0, "RetryPolicy::none() must never retry");
+        },
+    );
 }
 
 #[test]

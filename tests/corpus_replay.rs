@@ -1,0 +1,117 @@
+//! Replay the committed fuzz regression corpus on every `cargo test`.
+//!
+//! Each entry under `tests/corpus/<target>/` was either hand-written to
+//! pin a previously fixed bug (the `regress-*` files) or discovered by
+//! `repro fuzz` as coverage-expanding. Replaying them all, every time,
+//! is what turns the corpus into a regression suite: a target harness
+//! that starts panicking on a committed input fails here first.
+
+use appvsweb_bench::fuzz_targets;
+use appvsweb_testkit::{fuzz, FuzzConfig};
+
+/// Replay-only configuration: no mutation, just the committed inputs.
+fn replay_cfg() -> FuzzConfig {
+    FuzzConfig {
+        iters: 0,
+        ..FuzzConfig::default()
+    }
+}
+
+fn corpus_for(name: &str) -> Vec<Vec<u8>> {
+    let dir = fuzz_targets::corpus_dir(name);
+    fuzz::load_corpus_dir(&dir)
+        .expect("corpus directory readable")
+        .into_iter()
+        .map(|(_, data)| data)
+        .collect()
+}
+
+#[test]
+fn every_corpus_entry_replays_without_crashing() {
+    for target in fuzz_targets::all() {
+        let corpus = corpus_for(target.name);
+        let outcome = fuzz::fuzz(&target, &corpus, &replay_cfg());
+        let messages: Vec<&str> = outcome
+            .replay_crashes
+            .iter()
+            .map(|c| c.message.as_str())
+            .collect();
+        assert!(
+            outcome.replay_crashes.is_empty(),
+            "{}: committed corpus entries crashed on replay: {messages:?}",
+            target.name
+        );
+        assert_eq!(
+            outcome.execs, outcome.corpus_in as u64,
+            "replay-only run must execute exactly the pool"
+        );
+    }
+}
+
+#[test]
+fn regression_pins_are_committed() {
+    // The three regression families from earlier PRs must stay in the
+    // corpus: the PR 2 gzip-trailer truncation and DNS negative-cache
+    // fixes, and the PR 3 lexer property-test edge cases.
+    for (target, pin) in [
+        ("httpsim_gzip", "regress-trailer-truncated.bin"),
+        ("httpsim_gzip", "regress-trailer-missing.bin"),
+        ("netsim_dns", "regress-negative-cache-timeout.bin"),
+        ("netsim_dns", "regress-negative-cache-nxdomain.bin"),
+        ("lint_lexer", "regress-raw-string-hashes.bin"),
+        ("lint_lexer", "regress-nested-comment.bin"),
+        ("lint_lexer", "regress-unterminated-raw.bin"),
+    ] {
+        let path = fuzz_targets::corpus_dir(target).join(pin);
+        assert!(path.is_file(), "missing regression pin {}", path.display());
+    }
+}
+
+#[test]
+fn short_fuzz_runs_are_deterministic_per_target() {
+    // Same seed + same corpus -> byte-identical schedule. A cheap burst
+    // per target keeps this check inside the test budget while still
+    // exercising the mutation path (replay alone would not).
+    let cfg = FuzzConfig {
+        iters: 64,
+        ..FuzzConfig::default()
+    };
+    for target in fuzz_targets::all() {
+        let corpus = corpus_for(target.name);
+        let a = fuzz::fuzz(&target, &corpus, &cfg);
+        let b = fuzz::fuzz(&target, &corpus, &cfg);
+        assert_eq!(a.execs, b.execs, "{}: execs diverged", target.name);
+        assert_eq!(a.edges, b.edges, "{}: coverage diverged", target.name);
+        assert_eq!(
+            a.discoveries, b.discoveries,
+            "{}: discoveries diverged",
+            target.name
+        );
+    }
+}
+
+#[test]
+fn json_corpus_inputs_hit_the_serialization_fixed_point() {
+    // Differential check (beyond the in-harness assertions): for every
+    // committed fuzz input that parses as JSON, parse -> serialize ->
+    // parse -> serialize must reach a byte-level fixed point in both the
+    // compact and pretty forms, and float formatting must be total.
+    let mut parsed = 0usize;
+    for data in corpus_for("json") {
+        let text = String::from_utf8_lossy(&data);
+        let Ok(value) = appvsweb_json::parse(&text) else {
+            continue;
+        };
+        parsed += 1;
+        let compact = value.to_compact();
+        let reparsed = appvsweb_json::parse(&compact).expect("compact form must reparse");
+        assert_eq!(reparsed.to_compact(), compact, "compact fixed point");
+        let pretty = value.to_pretty();
+        let repretty = appvsweb_json::parse(&pretty).expect("pretty form must reparse");
+        assert_eq!(repretty, reparsed, "pretty and compact forms agree");
+    }
+    assert!(
+        parsed >= 10,
+        "the json corpus should contain plenty of parseable documents, got {parsed}"
+    );
+}

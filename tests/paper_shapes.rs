@@ -8,16 +8,15 @@
 
 use appvsweb::analysis::figures::{self, FigureId};
 use appvsweb::analysis::{tables, Study};
-use appvsweb::core::study::{run_study, StudyConfig};
 use appvsweb::netsim::Os;
 use appvsweb::pii::PiiType;
 use appvsweb::services::Medium;
-use std::sync::OnceLock;
+use appvsweb_testkit::fixtures::canonical_study;
 
-/// The canonical full study, shared across every test in this binary.
+/// The canonical full study, computed once per process by the testkit
+/// fixture and shared across every test in this binary.
 fn study() -> &'static Study {
-    static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| run_study(&StudyConfig::default()))
+    canonical_study()
 }
 
 fn table1_pct(group: &str, medium: Medium) -> f64 {

@@ -6,17 +6,14 @@ use appvsweb::adblock::Categorizer;
 use appvsweb::analysis::analyze_trace;
 use appvsweb::core::study::{run_cell, StudyConfig};
 use appvsweb::core::Testbed;
-use appvsweb::netsim::{Os, SimDuration};
+use appvsweb::netsim::Os;
 use appvsweb::pii::{CombinedDetector, PiiType};
 use appvsweb::services::catalog::Exclusion;
 use appvsweb::services::{Catalog, Medium, SessionConfig};
+use appvsweb_testkit::fixtures::quick_study_config;
 
 fn quick() -> StudyConfig {
-    StudyConfig {
-        duration: SimDuration::from_mins(1),
-        use_recon: false,
-        ..Default::default()
-    }
+    quick_study_config()
 }
 
 #[test]

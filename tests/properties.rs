@@ -9,44 +9,20 @@ use appvsweb::httpsim::codec;
 use appvsweb::httpsim::{wire, Body, Method, Request, Url};
 use appvsweb::pii::encode::Encoding;
 use appvsweb::pii::{hash, GroundTruth, GroundTruthMatcher};
-use appvsweb_testkit::{gen, prop_test, Gen, SimRng};
+use appvsweb::services::session::RetryPolicy;
+use appvsweb_testkit::fixtures::{hosts, paths};
+use appvsweb_testkit::{gen, prop_test, SimRng};
 use std::collections::BTreeSet;
 
-/// `label(.label)+` hostname like `tracker.example.com`.
-fn hosts() -> impl Gen<Value = String> {
-    gen::from_fn(|rng: &mut SimRng| {
-        let labels = rng.range(2, 3);
-        let mut host = String::new();
-        for i in 0..labels {
-            if i > 0 {
-                host.push('.');
-            }
-            let len = if i + 1 == labels {
-                rng.range(2, 5)
-            } else {
-                rng.range(1, 10)
-            };
-            for _ in 0..len {
-                host.push(rng.range(b'a' as u64, b'z' as u64) as u8 as char);
-            }
-        }
-        host
-    })
-}
-
-/// `/seg/seg` style path with 0..=3 lowercase alphanumeric segments.
-fn paths() -> impl Gen<Value = String> {
-    gen::from_fn(|rng: &mut SimRng| {
-        let segs = rng.below(4);
-        let mut path = String::new();
-        for _ in 0..segs {
-            path.push('/');
-            for _ in 0..rng.range(1, 8) {
-                let c = b"abcdefghijklmnopqrstuvwxyz0123456789"[rng.below(36) as usize];
-                path.push(c as char);
-            }
-        }
-        path
+/// Generator of arbitrary (but sane) retry policies, edge cases included:
+/// zero base delay, a cap below the base, no jitter, no budget.
+fn retry_policies() -> impl appvsweb_testkit::Gen<Value = RetryPolicy> {
+    gen::from_fn(|rng: &mut SimRng| RetryPolicy {
+        max_attempts: rng.range(1, 6) as u32,
+        base_delay_ms: rng.below(1_001),
+        max_delay_ms: rng.below(8_001),
+        jitter: (rng.below(501) as f64) / 1_000.0,
+        session_budget: rng.below(65) as u32,
     })
 }
 
@@ -256,6 +232,52 @@ prop_test! {
                 "spurious finding {f:?}"
             );
         }
+    }
+
+    // ---------------- retry policy ----------------
+
+    fn backoff_is_monotone_up_to_the_cap(policy in retry_policies()) {
+        // With jitter stripped, successive backoffs never shrink and
+        // never exceed the per-delay ceiling.
+        let flat = RetryPolicy { jitter: 0.0, ..policy.clone() };
+        let mut rng = SimRng::new(0).fork("props-retry-flat");
+        let mut prev = 0u64;
+        for attempt in 0..20 {
+            let delay = flat.backoff_ms(attempt, &mut rng);
+            assert!(delay <= flat.max_delay_ms, "delay {delay} above cap");
+            assert!(delay >= prev, "backoff shrank: {prev} -> {delay}");
+            prev = delay;
+        }
+    }
+
+    fn jitter_stays_within_its_band(policy in retry_policies(), seed in gen::u64s(0..=999)) {
+        // Jittered delays land in [base, base * (1 + jitter)], where base
+        // is the deterministic capped-doubling floor.
+        let mut rng = SimRng::new(seed).fork("props-retry-jitter");
+        for attempt in 0..12 {
+            let base = policy
+                .base_delay_ms
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(policy.max_delay_ms);
+            let delay = policy.backoff_ms(attempt, &mut rng);
+            assert!(delay >= base, "jitter may only add delay");
+            assert!(
+                delay <= base + (base as f64 * policy.jitter) as u64,
+                "delay {delay} beyond the jitter band of base {base}"
+            );
+        }
+    }
+
+    fn backoff_without_jitter_never_draws_from_the_stream(policy in retry_policies()) {
+        // The golden-path guarantee behind FaultPlan::none() determinism:
+        // a jitter-free policy must not consume RNG state.
+        let flat = RetryPolicy { jitter: 0.0, ..policy.clone() };
+        let mut a = SimRng::new(7).fork("props-retry-stream");
+        let mut b = SimRng::new(7).fork("props-retry-stream");
+        for attempt in 0..8 {
+            let _ = flat.backoff_ms(attempt, &mut a);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "stream advanced without jitter");
     }
 
     // ---------------- compression & totality ----------------

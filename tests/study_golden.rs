@@ -9,13 +9,13 @@
 use appvsweb::analysis::{tables, Study};
 use appvsweb::core::{dataset, run_study, StudyConfig};
 use appvsweb::services::Medium;
-use std::sync::OnceLock;
+use appvsweb_testkit::fixtures::canonical_study;
 
 /// The canonical study (seed 2016, 4 simulated minutes, ReCon on),
-/// computed once and shared across the tests in this binary.
+/// computed once per process by the testkit fixture and shared across
+/// the tests in this binary.
 fn canonical() -> &'static Study {
-    static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| run_study(&StudyConfig::default()))
+    canonical_study()
 }
 
 #[test]
