@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy --no-default-features (obs compiled out) =="
+cargo clippy -p appvsweb -p appvsweb-bench --all-targets --no-default-features -- -D warnings
+
 echo "== appvsweb-lint --check (determinism & robustness vs lint.baseline.json) =="
 cargo run -q --release -p appvsweb-lint -- --check
 
@@ -19,6 +22,9 @@ cargo bench -q -p appvsweb-bench --bench lint
 
 echo "== repro fuzz --smoke (corpus replay + short mutation burst; emits BENCH_testkit.json) =="
 cargo run -q --release -p appvsweb-bench --bin repro -- fuzz --smoke
+
+echo "== repro metrics --check (obs conservation laws over the quick campaign) =="
+cargo run -q --release -p appvsweb-bench --bin repro -- metrics --check
 
 echo "== cargo build --release =="
 cargo build --release --workspace

@@ -108,6 +108,8 @@ pub fn analyze_trace(
     detector: &CombinedDetector,
     categorizer: &Categorizer,
 ) -> CellAnalysis {
+    let _span = appvsweb_obs::span!("analysis.analyze", "{}/{os:?}/{medium:?}", spec.id);
+    appvsweb_obs::counter!("analysis.cells_analyzed");
     let mut cell = CellAnalysis {
         service_id: spec.id.to_string(),
         service_name: spec.name.to_string(),
@@ -164,6 +166,12 @@ pub fn analyze_trace(
                 continue;
             }
             let domain = Host::new(&txn.host).registrable_domain();
+            appvsweb_obs::counter!("analysis.leaks");
+            appvsweb_obs::event!(
+                "analysis.leak",
+                "{t:?} -> {domain} ({category:?}) plaintext={}",
+                txn.plaintext
+            );
             cell.leaks.push(LeakEvent {
                 pii_type: t,
                 domain: domain.clone(),
@@ -182,6 +190,13 @@ pub fn analyze_trace(
         }
     }
 
+    appvsweb_obs::event!(
+        "analysis.cell",
+        "flows={} aa_flows={} leaks={}",
+        cell.total_flows,
+        cell.aa_flows,
+        cell.leaks.len()
+    );
     cell
 }
 
@@ -273,6 +288,21 @@ pub struct StudyHealth {
     pub session_retries: u64,
     /// Labels (`service/os/medium`) of the failed cells, sorted.
     pub failed_cells: Vec<String>,
+    /// Failed cells with their captured panic payloads, sorted by cell
+    /// label. `failed_cells` stays as the bare-label view; this is the
+    /// diagnosable one.
+    pub failures: Vec<CellFailure>,
+}
+
+/// Why one cell exhausted its attempts: the label plus the panic payload
+/// of the final attempt (the string that used to be swallowed by the
+/// study runner's `catch_unwind`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Cell label, `service/os/medium`.
+    pub cell: String,
+    /// Panic payload of the last failed attempt.
+    pub error: String,
 }
 
 impl StudyHealth {
@@ -404,8 +434,9 @@ appvsweb_json::impl_json!(struct CellAnalysis {
 });
 appvsweb_json::impl_json!(struct StudyHealth {
     cells_attempted, cells_completed, cells_retried, cells_failed, faults, session_retries,
-    failed_cells
+    failed_cells, failures
 });
+appvsweb_json::impl_json!(struct CellFailure { cell, error });
 appvsweb_json::impl_json!(struct Study { cells, health });
 appvsweb_json::impl_json!(struct ServiceComparison {
     service_id, os, aa_domain_diff, aa_flow_diff, aa_byte_diff, leak_domain_diff,

@@ -32,5 +32,7 @@ pub mod report;
 pub mod stats;
 pub mod tables;
 
-pub use leaks::{analyze_trace, CellAnalysis, LeakEvent, ServiceComparison, Study, StudyHealth};
+pub use leaks::{
+    analyze_trace, CellAnalysis, CellFailure, LeakEvent, ServiceComparison, Study, StudyHealth,
+};
 pub use stats::{Cdf, Pdf};

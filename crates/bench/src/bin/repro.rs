@@ -12,6 +12,8 @@
 //! repro lint --check          # determinism/robustness lint vs the baseline
 //! repro fuzz --smoke          # coverage-guided fuzz smoke gate (CI)
 //! repro fuzz --target json    # fuzz one parser, grow its corpus
+//! repro trace --cell amazon/Android/App   # span tree of one cell
+//! repro metrics --check       # metrics dump / conservation-law gate
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -68,7 +70,8 @@ fn parse_args() -> Args {
                      [--headlines] [--json FILE] [--report FILE] [--seed N] [--minutes N] \
                      [--faults none|light|moderate|heavy]\n       repro lint [--check] \
                      [--json] [--fix-baseline] [--labels]\n       repro fuzz [--target NAME] \
-                     [--iters N] [--seed N] [--smoke] [--minimize]"
+                     [--iters N] [--seed N] [--smoke] [--minimize]\n       repro trace \
+                     [--cell SERVICE/OS/MEDIUM]\n       repro metrics [--check]"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +168,13 @@ fn main() {
     if argv.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(appvsweb_bench::fuzz_cli::run(&argv[1..]));
     }
+    // `repro trace` / `repro metrics` surface the observability layer.
+    if argv.first().map(String::as_str) == Some("trace") {
+        std::process::exit(appvsweb_bench::obs_cli::run_trace(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("metrics") {
+        std::process::exit(appvsweb_bench::obs_cli::run_metrics(&argv[1..]));
+    }
     let args = parse_args();
     let faults = match args.faults.as_deref() {
         None => FaultPlan::none(),
@@ -193,8 +203,11 @@ fn main() {
     if !cfg.faults.is_none() || !study.health.is_complete() {
         println!("== Campaign health ==");
         println!("{}", study.health.summary());
-        if !study.health.failed_cells.is_empty() {
-            println!("failed cells: {}", study.health.failed_cells.join(", "));
+        if !study.health.failures.is_empty() {
+            println!("failed cells:");
+            for failure in &study.health.failures {
+                println!("  {}: {}", failure.cell, failure.error);
+            }
         }
         println!();
     }

@@ -68,6 +68,13 @@ pub fn all() -> Vec<FuzzTarget> {
             seeds: appvsweb_netsim::fuzz::SEEDS,
             max_len: 128,
         },
+        FuzzTarget {
+            name: "trace",
+            run: appvsweb_obs::fuzz::run,
+            dict: appvsweb_obs::fuzz::DICT,
+            seeds: appvsweb_obs::fuzz::SEEDS,
+            max_len: 1024,
+        },
     ]
 }
 
@@ -92,7 +99,7 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate target name");
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 9);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 pub mod fuzz_cli;
 pub mod fuzz_targets;
+pub mod obs_cli;
 
 use appvsweb_analysis::Study;
 use appvsweb_core::study::StudyConfig;

@@ -1,0 +1,376 @@
+//! The `repro trace` and `repro metrics` subcommands: surface the
+//! observability layer from the command line.
+//!
+//! * `repro trace --cell SERVICE/OS/MEDIUM` runs one cell under capture
+//!   and prints its span tree; without `--cell` it runs the quick
+//!   campaign and prints a one-line journal summary per cell.
+//! * `repro metrics` runs the quick campaign and dumps the aggregated
+//!   metrics registry as JSON; `repro metrics --check` additionally
+//!   verifies the cross-layer conservation laws (flow, retry, fault and
+//!   byte accounting must agree between the obs counters, the journal,
+//!   and the study's own health ledger) and exits non-zero on any
+//!   violation — the CI gate for silent instrumentation drift.
+//!
+//! The law checks run under fault plans with `cell_panic` held at zero:
+//! a panicked attempt unwinds out of the proxy before `finish_session`,
+//! so its flow/retry ledgers are legitimately incomplete and the laws
+//! below would not be exact.
+
+use appvsweb_analysis::Study;
+use appvsweb_core::study::{run_cell_journal, run_study, StudyConfig};
+use appvsweb_netsim::{FaultPlan, Os};
+use appvsweb_obs::journal::{render_tree, EventKind};
+use appvsweb_obs::metrics::{self, MetricsSnapshot};
+use appvsweb_obs::StudyJournal;
+use appvsweb_services::{Catalog, Medium};
+
+/// Entry point for `repro trace`. Returns the process exit code.
+pub fn run_trace(args: &[String]) -> i32 {
+    if !appvsweb_obs::ENABLED {
+        eprintln!("repro trace: observability is compiled out (build with the `obs` feature)");
+        return 2;
+    }
+    let mut cell: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cell" => cell = it.next().cloned(),
+            "--help" | "-h" => {
+                eprintln!("usage: repro trace [--cell SERVICE/OS/MEDIUM]");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown trace argument: {other}");
+                return 2;
+            }
+        }
+    }
+    let cfg = crate::quick_config();
+    match cell {
+        Some(label) => trace_one_cell(&label, &cfg),
+        None => trace_campaign(&cfg),
+    }
+}
+
+/// Run a single cell under capture and print every journal it produced
+/// (the cell itself, plus training pseudo-cells when ReCon is on).
+fn trace_one_cell(label: &str, cfg: &StudyConfig) -> i32 {
+    let Some((service, os, medium)) = parse_cell(label) else {
+        eprintln!("bad --cell (expected SERVICE/OS/MEDIUM, e.g. weather-channel/Android/App)");
+        return 2;
+    };
+    let catalog = Catalog::paper();
+    let Some(spec) = catalog.get(&service) else {
+        eprintln!("unknown service id: {service} (see the catalog in crates/services)");
+        return 2;
+    };
+    let (analysis, journal) = run_cell_journal(spec, os, medium, cfg, None);
+    for cell in &journal.cells {
+        println!("{}", render_tree(cell));
+    }
+    if analysis.is_none() {
+        eprintln!("cell exhausted its attempts; the journal above covers every attempt");
+        return 1;
+    }
+    0
+}
+
+/// Run the quick campaign under capture and summarize each journal.
+fn trace_campaign(cfg: &StudyConfig) -> i32 {
+    appvsweb_obs::capture_begin();
+    let study = run_study(cfg);
+    let journal = appvsweb_obs::capture_end();
+    println!(
+        "{:<44} {:>7} {:>7} {:>9} {:>10}",
+        "cell", "events", "spans", "counters", "last_t_ms"
+    );
+    for cell in &journal.cells {
+        let spans = cell
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanOpen)
+            .count();
+        let last_ms = cell.events.last().map_or(0, |e| e.at_ms);
+        println!(
+            "{:<44} {:>7} {:>7} {:>9} {:>10}",
+            cell.cell,
+            cell.events.len(),
+            spans,
+            cell.counters.len(),
+            last_ms
+        );
+    }
+    let total_events: usize = journal.cells.iter().map(|c| c.events.len()).sum();
+    println!(
+        "\n{} cell journals, {} events; {}",
+        journal.cells.len(),
+        total_events,
+        study.health.summary()
+    );
+    0
+}
+
+/// Entry point for `repro metrics`. Returns the process exit code: 0 on
+/// success, 1 when `--check` finds a conservation-law violation, 2 on
+/// usage errors.
+pub fn run_metrics(args: &[String]) -> i32 {
+    if !appvsweb_obs::ENABLED {
+        eprintln!("repro metrics: observability is compiled out (build with the `obs` feature)");
+        return 2;
+    }
+    let mut check = false;
+    for arg in args {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: repro metrics [--check]");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown metrics argument: {other}");
+                return 2;
+            }
+        }
+    }
+    if check {
+        return check_laws();
+    }
+    metrics::reset();
+    let study = run_study(&crate::quick_config());
+    let snap = metrics::snapshot();
+    println!("{}", appvsweb_json::encode_pretty(&snap));
+    eprintln!("({})", study.health.summary());
+    0
+}
+
+/// Run the conservation-law suite under two fault plans and report.
+fn check_laws() -> i32 {
+    let quick = crate::quick_config();
+    let moderate = {
+        let mut plan = FaultPlan::preset("moderate").unwrap_or_default();
+        // Exactness requires no panicked attempts; see the module docs.
+        plan.cell_panic = 0.0;
+        plan
+    };
+    let plans = [
+        ("none".to_string(), FaultPlan::none()),
+        ("moderate, cell_panic=0".to_string(), moderate),
+    ];
+    let mut violations = 0usize;
+    for (label, faults) in plans {
+        let cfg = StudyConfig {
+            faults,
+            ..quick.clone()
+        };
+        violations += check_plan(&label, &cfg);
+    }
+    if violations > 0 {
+        eprintln!("metrics --check: FAIL ({violations} law violations)");
+        1
+    } else {
+        eprintln!("metrics --check: every conservation law holds");
+        0
+    }
+}
+
+/// Run one campaign and verify every law; returns the violation count.
+fn check_plan(label: &str, cfg: &StudyConfig) -> usize {
+    metrics::reset();
+    appvsweb_obs::capture_begin();
+    let study = run_study(cfg);
+    let journal = appvsweb_obs::capture_end();
+    let snap = metrics::snapshot();
+    println!("== plan {label}: {} ==", study.health.summary());
+
+    let mut failed = 0usize;
+    let mut law = |name: &str, ok: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if ok { " ok " } else { "FAIL" });
+        if !ok {
+            failed += 1;
+        }
+    };
+
+    law_accounting(&study, &mut law);
+    law_spans(&journal, &mut law);
+    law_flows(&journal, &snap, &mut law);
+    law_retries(&study, &snap, &mut law);
+    law_faults(&study, &snap, &mut law);
+    law_bytes(&snap, &mut law);
+    law_journal_matches_registry(&journal, &snap, &mut law);
+    failed
+}
+
+/// Every attempted cell completed (exactness precondition: with
+/// `cell_panic = 0` nothing can fail, so a failure is itself a bug).
+fn law_accounting(study: &Study, law: &mut impl FnMut(&str, bool, String)) {
+    let h = &study.health;
+    law(
+        "cell accounting",
+        h.all_accounted() && h.cells_failed == 0,
+        format!(
+            "{} attempted = {} completed + {} failed",
+            h.cells_attempted, h.cells_completed, h.cells_failed
+        ),
+    );
+}
+
+/// Every span opened in every journal closed exactly once.
+fn law_spans(journal: &StudyJournal, law: &mut impl FnMut(&str, bool, String)) {
+    let unbalanced = journal.cells.iter().filter(|c| !c.spans_balanced()).count();
+    law(
+        "balanced spans",
+        unbalanced == 0,
+        format!(
+            "{} of {} journals unbalanced",
+            unbalanced,
+            journal.cells.len()
+        ),
+    );
+}
+
+/// Every flow the proxy opened was closed (`finish_session` sweeps the
+/// pool), and the journal's per-cell copies sum to the global counters.
+fn law_flows(
+    journal: &StudyJournal,
+    snap: &MetricsSnapshot,
+    law: &mut impl FnMut(&str, bool, String),
+) {
+    let opened = snap.counter("mitm.flows_opened");
+    let closed = snap.counter("mitm.flows_closed");
+    law(
+        "flow conservation",
+        opened == closed && journal.counter_total("mitm.flows_opened") == opened,
+        format!(
+            "opened {opened} == closed {closed} (journal total {})",
+            journal.counter_total("mitm.flows_opened")
+        ),
+    );
+}
+
+/// Client retries counted at the session layer match the study ledger.
+fn law_retries(study: &Study, snap: &MetricsSnapshot, law: &mut impl FnMut(&str, bool, String)) {
+    let counted = snap.counter("session.retries");
+    law(
+        "retry conservation",
+        counted == study.health.session_retries,
+        format!(
+            "obs {counted} == health ledger {}",
+            study.health.session_retries
+        ),
+    );
+    // Every retry drew exactly one backoff delay.
+    let backoffs = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "session.backoff_ms")
+        .map_or(0, |h| h.count);
+    law(
+        "backoff histogram",
+        backoffs == counted,
+        format!("backoff samples {backoffs} == retries {counted}"),
+    );
+}
+
+/// Faults counted at the injection choke point match the study ledger
+/// (which additionally books one `cell_panics` entry per panicked
+/// attempt — those never pass through `FaultCounts::record`).
+fn law_faults(study: &Study, snap: &MetricsSnapshot, law: &mut impl FnMut(&str, bool, String)) {
+    let injected = snap.counter("netsim.faults.injected");
+    let ledger = study.health.faults.total() - study.health.faults.cell_panics;
+    law(
+        "fault conservation",
+        injected == ledger,
+        format!("obs {injected} == health ledger {ledger}"),
+    );
+}
+
+/// Byte conservation across layers: every byte a simulated TCP
+/// connection moved is accounted for by exactly one producer —
+/// HTTP codec output, TLS record framing, handshake flights, failed
+/// handshake flights — minus bytes a connection fault destroyed.
+fn law_bytes(snap: &MetricsSnapshot, law: &mut impl FnMut(&str, bool, String)) {
+    let moved = snap.counter("netsim.conn.bytes_up") + snap.counter("netsim.conn.bytes_down");
+    let lost = snap.counter("mitm.bytes_lost");
+    let produced = snap.counter("httpsim.codec_bytes")
+        + snap.counter("tlssim.record_overhead_bytes")
+        + snap.counter("mitm.handshake_bytes")
+        + snap.counter("mitm.tls_failed_bytes");
+    law(
+        "byte conservation",
+        moved + lost == produced,
+        format!("moved {moved} + lost {lost} == produced {produced}"),
+    );
+}
+
+/// The per-cell journal copies of every law counter sum to the
+/// process-wide registry value: nothing fired outside a cell scope.
+fn law_journal_matches_registry(
+    journal: &StudyJournal,
+    snap: &MetricsSnapshot,
+    law: &mut impl FnMut(&str, bool, String),
+) {
+    const NAMES: [&str; 9] = [
+        "netsim.conn.bytes_up",
+        "netsim.conn.bytes_down",
+        "netsim.faults.injected",
+        "httpsim.codec_bytes",
+        "mitm.handshake_bytes",
+        "mitm.tls_failed_bytes",
+        "mitm.bytes_lost",
+        "mitm.transactions",
+        "session.retries",
+    ];
+    let drifted: Vec<&str> = NAMES
+        .into_iter()
+        .filter(|name| journal.counter_total(name) != snap.counter(name))
+        .collect();
+    law(
+        "journal/registry agreement",
+        drifted.is_empty(),
+        if drifted.is_empty() {
+            format!("{} counters agree", NAMES.len())
+        } else {
+            format!("drift on {}", drifted.join(", "))
+        },
+    );
+}
+
+/// Parse a `SERVICE/OS/MEDIUM` cell label.
+fn parse_cell(label: &str) -> Option<(String, Os, Medium)> {
+    let mut parts = label.split('/');
+    let service = parts.next()?.to_string();
+    let os = match parts.next()? {
+        "Android" | "android" => Os::Android,
+        "Ios" | "ios" | "iOS" => Os::Ios,
+        _ => return None,
+    };
+    let medium = match parts.next()? {
+        "App" | "app" => Medium::App,
+        "Web" | "web" => Medium::Web,
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((service, os, medium))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_labels_parse_and_reject() {
+        assert_eq!(
+            parse_cell("weather-channel/Android/App"),
+            Some(("weather-channel".to_string(), Os::Android, Medium::App))
+        );
+        assert_eq!(
+            parse_cell("bbc-news/ios/web"),
+            Some(("bbc-news".to_string(), Os::Ios, Medium::Web))
+        );
+        assert_eq!(parse_cell("only-a-service"), None);
+        assert_eq!(parse_cell("svc/Windows/App"), None);
+        assert_eq!(parse_cell("svc/Android/App/extra"), None);
+    }
+}

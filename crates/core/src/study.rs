@@ -15,7 +15,7 @@
 
 use crate::testbed::Testbed;
 use appvsweb_adblock::Categorizer;
-use appvsweb_analysis::{analyze_trace, CellAnalysis, Study, StudyHealth};
+use appvsweb_analysis::{analyze_trace, CellAnalysis, CellFailure, Study, StudyHealth};
 use appvsweb_httpsim::Host;
 use appvsweb_netsim::{rng_labels, FaultKind, FaultPlan, Os, SimDuration, SimRng};
 use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
@@ -88,6 +88,10 @@ pub fn train_recon(catalog: &Catalog, cfg: &StudyConfig) -> ReconClassifier {
             let mut tb = Testbed::for_cell(spec, os, session_cfg.seed);
             let matcher = GroundTruthMatcher::new(&tb.truth);
             for medium in Medium::BOTH {
+                // Training sessions journal under a `train/` pseudo-cell
+                // id; they run on the main thread before any worker.
+                let _scope =
+                    appvsweb_obs::cell_scope(&format!("train/{}/{os:?}/{medium:?}", spec.id));
                 let trace = tb.run_session(spec, os, medium, &session_cfg);
                 for txn in &trace.transactions {
                     let text = appvsweb_analysis::leaks::scan_text_of(&txn.request);
@@ -159,6 +163,21 @@ struct CellOutcome {
     cell: Option<CellAnalysis>,
     attempts: u32,
     panics: u64,
+    /// Payload string of the last panic, when any attempt panicked.
+    panic_msg: Option<String>,
+}
+
+/// Best-effort string form of a `catch_unwind` payload. Panics raised
+/// with `panic!("…")` carry `&str` or `String`; anything else gets a
+/// placeholder rather than being dropped on the floor.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Run a cell inside a panic boundary with bounded retry. A cell that
@@ -172,9 +191,19 @@ fn run_cell_guarded(
     recon: Option<&ReconClassifier>,
 ) -> CellOutcome {
     let label = format!("{}/{:?}/{:?}", spec.id, os, medium);
+    // The cell scope and per-attempt span live *outside* the panic
+    // boundary, so an unwinding attempt still closes them exactly once;
+    // spans opened inside the attempt close during the unwind itself.
+    let _scope = appvsweb_obs::cell_scope(&label);
+    appvsweb_obs::counter!("study.cells_scheduled");
     let allowed = cfg.cell_attempts.max(1);
     let mut panics = 0u64;
+    let mut panic_msg = None;
     for attempt in 0..allowed {
+        let _attempt = appvsweb_obs::span!("study.cell_attempt", "attempt={attempt}");
+        if attempt > 0 {
+            appvsweb_obs::counter!("study.cell_retries");
+        }
         match catch_unwind(AssertUnwindSafe(|| {
             run_cell_attempt(spec, os, medium, cfg, recon, attempt)
         })) {
@@ -184,9 +213,16 @@ fn run_cell_guarded(
                     cell: Some(cell),
                     attempts: attempt + 1,
                     panics,
+                    panic_msg,
                 }
             }
-            Err(_) => panics += 1,
+            Err(payload) => {
+                panics += 1;
+                let msg = panic_message(payload.as_ref());
+                appvsweb_obs::counter!("study.cell_panics");
+                appvsweb_obs::event!("study.cell_panic", "attempt={attempt} {msg}");
+                panic_msg = Some(msg);
+            }
         }
     }
     CellOutcome {
@@ -194,7 +230,27 @@ fn run_cell_guarded(
         cell: None,
         attempts: allowed,
         panics,
+        panic_msg,
     }
+}
+
+/// Run one cell under its own journal capture, returning the analysis
+/// (when the cell survives its attempts) together with everything it
+/// recorded — including `train/`-free single-cell traces for
+/// `repro trace --cell` and the golden-trace tests.
+///
+/// Takes over the process-wide capture; callers must not already be
+/// inside [`appvsweb_obs::capture_begin`].
+pub fn run_cell_journal(
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    cfg: &StudyConfig,
+    recon: Option<&ReconClassifier>,
+) -> (Option<CellAnalysis>, appvsweb_obs::StudyJournal) {
+    appvsweb_obs::capture_begin();
+    let outcome = run_cell_guarded(spec, os, medium, cfg, recon);
+    (outcome.cell, appvsweb_obs::capture_end())
 }
 
 /// Run the full study over the paper catalog.
@@ -265,11 +321,18 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
             }
             None => {
                 health.cells_failed += 1;
-                health.failed_cells.push(outcome.label);
+                health.failed_cells.push(outcome.label.clone());
+                health.failures.push(CellFailure {
+                    cell: outcome.label,
+                    error: outcome
+                        .panic_msg
+                        .unwrap_or_else(|| "panic payload unavailable".to_string()),
+                });
             }
         }
     }
     health.failed_cells.sort();
+    health.failures.sort_by(|a, b| a.cell.cmp(&b.cell));
 
     // Deterministic output order regardless of worker scheduling.
     cells.sort_by(|a, b| {

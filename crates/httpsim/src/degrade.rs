@@ -32,6 +32,8 @@ pub fn server_error(code: u16) -> Response {
     } else {
         StatusCode(503)
     };
+    appvsweb_obs::counter!("httpsim.degraded_responses");
+    appvsweb_obs::event!("http.degrade", "server_error {}", status.0);
     let mut resp = Response::new(status);
     resp.set_body(Body::binary(
         format!(
@@ -51,6 +53,8 @@ pub fn server_error(code: u16) -> Response {
 /// wire parser) sees the mismatch. An empty body gains a phantom
 /// declared byte so the truncation is still observable.
 pub fn truncate(resp: &mut Response) {
+    appvsweb_obs::counter!("httpsim.degraded_responses");
+    appvsweb_obs::event!("http.degrade", "truncated_body");
     let full = resp.body.bytes.len();
     if full == 0 {
         resp.headers.set("Content-Length", "1");
@@ -65,6 +69,8 @@ pub fn truncate(resp: &mut Response) {
 /// classic symptom of a proxy hanging up before the last flight. The
 /// stored body becomes the broken framed bytes themselves.
 pub fn malform_chunked(resp: &mut Response) {
+    appvsweb_obs::counter!("httpsim.degraded_responses");
+    appvsweb_obs::event!("http.degrade", "malformed_chunked");
     let framed = wire::chunk_body(&resp.body.bytes, 512);
     let cut = framed.len().saturating_sub(7);
     resp.body.bytes = framed[..cut].to_vec();

@@ -253,10 +253,14 @@ impl Meddle {
         let host = req.url.host.as_str().to_string();
         let port = req.url.effective_port();
         let tls = !req.url.is_plaintext();
+        appvsweb_obs::stamp(now.as_millis());
+        let _span = appvsweb_obs::span!("mitm.exchange", "{} {host}", req.method.as_str());
 
         // Link flap: the access link is down, nothing leaves the device
         // (so there is no connection record — the radio never keyed up).
         if self.faults.link_down(now.as_millis()) {
+            appvsweb_obs::counter!("mitm.link_down");
+            appvsweb_obs::event!("link.down", "{host}");
             return Err(ExchangeError::LinkDown);
         }
 
@@ -302,6 +306,7 @@ impl Meddle {
                         // Handshake bytes: client sends ~1/4, server ~3/4
                         // (certificates dominate the server flight).
                         let hs = sess.handshake_bytes;
+                        appvsweb_obs::counter!("mitm.handshake_bytes", hs);
                         let conn = &mut self.connections[conn_index];
                         conn.send(hs / 4);
                         conn.receive(hs - hs / 4);
@@ -318,6 +323,7 @@ impl Meddle {
                     }
                     Err(err) => {
                         // The aborted handshake still moved packets.
+                        appvsweb_obs::counter!("mitm.tls_failed_bytes", 512 + 2048);
                         let conn = &mut self.connections[conn_index];
                         conn.send(512);
                         conn.receive(2048);
@@ -326,6 +332,7 @@ impl Meddle {
                             ExchangeError::TlsAbort => OpaqueReason::HandshakeAborted,
                             _ => OpaqueReason::UpstreamUntrusted,
                         };
+                        appvsweb_obs::event!("flow.opaque", "{host} {reason:?}");
                         self.records[conn_index].decrypted = false;
                         self.records[conn_index].opaque_reason = Some(reason);
                         if err == ExchangeError::TlsAbort {
@@ -358,6 +365,8 @@ impl Meddle {
         let tls_session = entry.tls_session.clone();
 
         let req_bytes = wire::serialize_request(&req).len();
+        appvsweb_obs::counter!("httpsim.codec_bytes", req_bytes);
+        appvsweb_obs::event!("http.request", "{host} bytes={req_bytes}");
 
         // Connection-level fault: the request dies before a response. A
         // timeout means the full request went up and nothing came back; a
@@ -371,6 +380,8 @@ impl Meddle {
                 ConnFault::Timeout => (ExchangeError::Timeout, FlowError::Timeout, up_full),
                 ConnFault::Reset => (ExchangeError::Reset, FlowError::Reset, up_full.min(256)),
             };
+            appvsweb_obs::counter!("mitm.bytes_lost", up_full - up_sent);
+            appvsweb_obs::event!("conn.fault", "{host} {flow_err:?}");
             self.connections[conn_index].send(up_sent);
             self.records[conn_index].stats = self.connections[conn_index].stats;
             self.records[conn_index].busy_ms +=
@@ -383,17 +394,25 @@ impl Meddle {
 
         // Latency spike: the exchange completes, but the link stalled.
         if let Some(extra) = self.faults.latency_spike() {
+            appvsweb_obs::event!("link.latency_spike", "{}ms", extra.as_millis());
             self.records[conn_index].busy_ms += extra.as_millis();
         }
 
         // Move the request to the origin and the response back.
         let response = origin.handle(&req, now);
         let resp_bytes = wire::serialize_response(&response).len();
+        appvsweb_obs::counter!("httpsim.codec_bytes", resp_bytes);
+        appvsweb_obs::event!(
+            "http.response",
+            "{host} status={} bytes={resp_bytes}",
+            response.status.0
+        );
         let (up, down) = match &tls_session {
             Some(sess) => (sess.wire_bytes(req_bytes), sess.wire_bytes(resp_bytes)),
             None => (req_bytes, resp_bytes),
         };
         let decrypted = self.records[conn_index].decrypted || !tls;
+        appvsweb_obs::histogram!("mitm.exchange_wire_bytes", up + down);
         {
             let conn = &mut self.connections[conn_index];
             conn.send(up);
@@ -403,6 +422,8 @@ impl Meddle {
         self.records[conn_index].busy_ms += self.config.link.exchange_time(up, down).as_millis();
 
         if decrypted {
+            appvsweb_obs::counter!("mitm.transactions");
+            appvsweb_obs::event!("har.entry", "{host}");
             self.records[conn_index].transactions += 1;
             self.transactions.push(HttpTransaction {
                 connection_id: self.records[conn_index].id,
@@ -436,6 +457,8 @@ impl Meddle {
         self.next_conn_id += 1;
         let client = Endpoint::new(self.client_addr, 49152 + (id % 16384) as u16);
         let server = Endpoint::new(addr, port);
+        appvsweb_obs::counter!("mitm.flows_opened");
+        appvsweb_obs::event!("flow.open", "{host}:{port} tls={tls}");
         let conn = Connection::open(id, client, server, now);
         self.records.push(ConnectionRecord {
             id,
@@ -457,6 +480,8 @@ impl Meddle {
     }
 
     fn close_conn(&mut self, index: usize, now: SimTime) {
+        appvsweb_obs::counter!("mitm.flows_closed");
+        appvsweb_obs::event!("flow.close", "{}", self.records[index].host);
         self.connections[index].close(now);
         self.records[index].closed_at = Some(now);
         self.records[index].stats = self.connections[index].stats;
@@ -530,6 +555,7 @@ impl Meddle {
     /// End the session: close everything and take the trace. The tunnel
     /// is left ready for a fresh session.
     pub fn finish_session(&mut self, now: SimTime) -> Trace {
+        appvsweb_obs::stamp(now.as_millis());
         let open: Vec<usize> = self.pool.values().map(|e| e.conn_index).collect();
         for idx in open {
             self.close_conn(idx, now);

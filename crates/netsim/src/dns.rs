@@ -170,6 +170,8 @@ impl DnsResolver {
         if let Some(entry) = self.cache.get(&host) {
             if entry.expires > now {
                 appvsweb_cover::cover!();
+                appvsweb_obs::counter!("netsim.dns.cache_hits");
+                appvsweb_obs::event!("dns.cache_hit", "{host}");
                 self.stats.cache_hits += 1;
                 return Ok(DnsAnswer {
                     addr: entry.addr,
@@ -181,12 +183,16 @@ impl DnsResolver {
         if let Some(entry) = self.negative.get(&host) {
             if entry.expires > now {
                 appvsweb_cover::cover!();
+                appvsweb_obs::counter!("netsim.dns.negative_hits");
+                appvsweb_obs::event!("dns.negative_hit", "{host} {:?}", entry.kind);
                 self.stats.negative_hits += 1;
                 return Err(DnsError::new(entry.kind, host));
             }
         }
         let Some(&addr) = self.zones.get(&host) else {
             appvsweb_cover::cover!();
+            appvsweb_obs::counter!("netsim.dns.nxdomain");
+            appvsweb_obs::event!("dns.nxdomain", "{host}");
             self.stats.failures += 1;
             self.negative.insert(
                 host.clone(),
@@ -198,6 +204,8 @@ impl DnsResolver {
             return Err(DnsError::new(DnsErrorKind::NxDomain, host));
         };
         appvsweb_cover::cover!();
+        appvsweb_obs::counter!("netsim.dns.queries");
+        appvsweb_obs::event!("dns.query", "{host}");
         self.stats.network_queries += 1;
         let jitter = self
             .rng
@@ -223,6 +231,8 @@ impl DnsResolver {
     /// returns the error a client would see.
     pub fn fail(&mut self, host: &str, kind: DnsErrorKind, now: SimTime) -> DnsError {
         let host = host.to_ascii_lowercase();
+        appvsweb_obs::counter!("netsim.dns.injected_failures");
+        appvsweb_obs::event!("dns.fault", "{host} {kind:?}");
         self.stats.network_queries += 1;
         self.stats.failures += 1;
         self.negative.insert(

@@ -200,6 +200,8 @@ pub struct FaultCounts {
 impl FaultCounts {
     /// Record one fault of `kind`.
     pub fn record(&mut self, kind: FaultKind) {
+        appvsweb_obs::counter!("netsim.faults.injected");
+        appvsweb_obs::event!("fault.injected", "{kind:?}");
         match kind {
             FaultKind::PacketLoss => self.packet_loss += 1,
             FaultKind::LatencySpike => self.latency_spikes += 1,

@@ -124,6 +124,7 @@ impl Connection {
             ConnState::Established,
             "send on closed connection"
         );
+        appvsweb_obs::counter!("netsim.conn.bytes_up", bytes);
         self.stats.bytes_up += bytes as u64;
         self.stats.packets_up += segments_for(bytes);
         // Pure ACKs from the receiver (one per two segments, delayed-ACK).
@@ -140,6 +141,7 @@ impl Connection {
             ConnState::Established,
             "receive on closed connection"
         );
+        appvsweb_obs::counter!("netsim.conn.bytes_down", bytes);
         self.stats.bytes_down += bytes as u64;
         self.stats.packets_down += segments_for(bytes);
         self.stats.packets_up += segments_for(bytes).div_ceil(2);

@@ -1,0 +1,102 @@
+//! Fuzz entry point for the trace-journal codec.
+//!
+//! A differential target: fuzz bytes that decode as a [`StudyJournal`]
+//! must re-encode to a byte-level fixed point (encode → decode →
+//! encode is stable in both compact and pretty forms), and the span-tree
+//! renderer must be total on whatever the decoder accepts — including
+//! unbalanced span sequences that no real capture would produce (the
+//! `regress-depth-underflow` corpus pin).
+
+use crate::journal::{render_tree, StudyJournal};
+
+/// Run the journal-codec target on raw fuzz bytes.
+pub fn run(data: &[u8]) {
+    let text = String::from_utf8_lossy(data);
+    let Ok(journal) = appvsweb_json::decode::<StudyJournal>(&text) else {
+        return;
+    };
+    let compact = appvsweb_json::encode(&journal);
+    let back: Result<StudyJournal, _> = appvsweb_json::decode(&compact);
+    assert!(back.is_ok(), "re-encoded journal must reparse");
+    let back = back.unwrap_or_default();
+    assert_eq!(back, journal, "decode(encode(j)) must equal j");
+    assert_eq!(
+        appvsweb_json::encode(&back),
+        compact,
+        "compact journal encoding must reach a fixed point"
+    );
+    let pretty = appvsweb_json::encode_pretty(&journal);
+    let repretty: Result<StudyJournal, _> = appvsweb_json::decode(&pretty);
+    assert!(repretty.is_ok(), "pretty journal must reparse");
+    assert_eq!(
+        repretty.unwrap_or_default(),
+        journal,
+        "pretty and compact forms must agree"
+    );
+    // The renderer must be total on arbitrary decoded journals.
+    for cell in &journal.cells {
+        let tree = render_tree(cell);
+        assert!(tree.starts_with("cell "), "render is deterministic prose");
+    }
+}
+
+/// Dictionary: the journal's JSON vocabulary.
+pub const DICT: &[&[u8]] = &[
+    b"{\"cells\":[]}",
+    b"\"cells\"",
+    b"\"events\"",
+    b"\"counters\"",
+    b"\"histograms\"",
+    b"\"seq\"",
+    b"\"at_ms\"",
+    b"\"kind\"",
+    b"\"depth\"",
+    b"\"name\"",
+    b"\"detail\"",
+    b"\"value\"",
+    b"\"count\"",
+    b"\"sum\"",
+    b"\"buckets\"",
+    b"\"SpanOpen\"",
+    b"\"SpanClose\"",
+    b"\"Event\"",
+    b"\"cell\"",
+];
+
+/// Seeds: an empty journal, a one-cell journal with every entry kind,
+/// and an unbalanced close-without-open journal (renderer totality).
+pub const SEEDS: &[&[u8]] = &[
+    b"{\"cells\":[]}",
+    b"{\"cells\":[{\"cell\":\"svc/Android/App\",\"events\":[\
+{\"seq\":0,\"at_ms\":5,\"kind\":\"SpanOpen\",\"depth\":0,\"name\":\"mitm.exchange\",\"detail\":\"GET a.example\"},\
+{\"seq\":1,\"at_ms\":6,\"kind\":\"Event\",\"depth\":1,\"name\":\"dns.query\",\"detail\":\"a.example\"},\
+{\"seq\":2,\"at_ms\":9,\"kind\":\"SpanClose\",\"depth\":0,\"name\":\"mitm.exchange\",\"detail\":\"\"}],\
+\"counters\":[{\"name\":\"mitm.flows_opened\",\"value\":1}],\
+\"histograms\":[{\"name\":\"h\",\"count\":1,\"sum\":2,\"buckets\":[0,0,1]}]}]}",
+    b"{\"cells\":[{\"cell\":\"hostile\",\"events\":[\
+{\"seq\":9,\"at_ms\":0,\"kind\":\"SpanClose\",\"depth\":0,\"name\":\"never-opened\",\"detail\":\"\"}],\
+\"counters\":[],\"histograms\":[]}]}",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_survives_the_harness() {
+        for seed in SEEDS {
+            run(seed);
+        }
+    }
+
+    #[test]
+    fn structured_seeds_actually_decode() {
+        for seed in SEEDS {
+            let text = String::from_utf8_lossy(seed);
+            assert!(
+                appvsweb_json::decode::<StudyJournal>(&text).is_ok(),
+                "seed must decode: {text}"
+            );
+        }
+    }
+}

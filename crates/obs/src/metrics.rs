@@ -1,0 +1,272 @@
+//! Process-wide counters and fixed-bucket histograms.
+//!
+//! Each [`crate::counter!`]/[`crate::histogram!`] call site expands to a
+//! `static` slot here. The first increment registers the slot in a
+//! global registry (one mutex acquisition per call site per process);
+//! every later increment is a single relaxed `fetch_add` — the same
+//! discipline as `appvsweb-cover`'s hit map, and why the instrumented
+//! hot path stays within the <3% overhead budget.
+//!
+//! [`snapshot`] aggregates slots by name (several call sites may share a
+//! metric name) and returns name-sorted, JSON-serializable totals;
+//! [`reset`] zeroes every registered slot so a run can be measured in
+//! isolation. Values are process-wide and monotone between resets —
+//! per-cell attribution lives in [`crate::journal`], not here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::journal::{bucket_index, BUCKETS};
+
+/// A lazily registered process-wide counter (one per call site).
+pub struct CounterSlot {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl CounterSlot {
+    /// Const-construct a slot (used by the [`crate::counter!`] macro).
+    pub const fn new(name: &'static str) -> CounterSlot {
+        CounterSlot {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n`; registers the slot on first use.
+    pub fn add(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Relaxed)
+            && self
+                .registered
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            registry()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .counters
+                .push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A lazily registered process-wide log2-bucket histogram.
+pub struct HistogramSlot {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    registered: AtomicBool,
+}
+
+impl HistogramSlot {
+    /// Const-construct a slot (used by the [`crate::histogram!`] macro).
+    pub const fn new(name: &'static str) -> HistogramSlot {
+        HistogramSlot {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one value; registers the slot on first use.
+    pub fn record(&'static self, v: u64) {
+        if !self.registered.load(Ordering::Relaxed)
+            && self
+                .registered
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            registry()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .histograms
+                .push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(slot) = self.buckets.get(bucket_index(v)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Registry {
+    counters: Vec<&'static CounterSlot>,
+    histograms: Vec<&'static HistogramSlot>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counters: Vec::new(),
+        histograms: Vec::new(),
+    });
+    &REGISTRY
+}
+
+/// One aggregated counter in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total across every call site sharing the name.
+    pub value: u64,
+}
+
+/// One aggregated histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-log2-bucket counts (see [`crate::journal::bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time dump of the whole registry, name-sorted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+appvsweb_json::impl_json!(struct CounterSnapshot { name, value });
+appvsweb_json::impl_json!(struct HistogramSnapshot { name, count, sum, buckets });
+appvsweb_json::impl_json!(struct MetricsSnapshot { counters, histograms });
+
+impl MetricsSnapshot {
+    /// Look up a counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+}
+
+/// Aggregate every registered slot by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for slot in &reg.counters {
+        *counters.entry(slot.name).or_insert(0) += slot.value.load(Ordering::Relaxed);
+    }
+    let mut histograms: BTreeMap<&'static str, (u64, u64, Vec<u64>)> = BTreeMap::new();
+    for slot in &reg.histograms {
+        let entry = histograms
+            .entry(slot.name)
+            .or_insert_with(|| (0, 0, vec![0; BUCKETS]));
+        entry.0 += slot.count.load(Ordering::Relaxed);
+        entry.1 += slot.sum.load(Ordering::Relaxed);
+        for (total, bucket) in entry.2.iter_mut().zip(slot.buckets.iter()) {
+            *total += bucket.load(Ordering::Relaxed);
+        }
+    }
+    MetricsSnapshot {
+        counters: counters
+            .into_iter()
+            .map(|(name, value)| CounterSnapshot {
+                name: name.to_string(),
+                value,
+            })
+            .collect(),
+        histograms: histograms
+            .into_iter()
+            .map(|(name, (count, sum, buckets))| HistogramSnapshot {
+                name: name.to_string(),
+                count,
+                sum,
+                buckets,
+            })
+            .collect(),
+    }
+}
+
+/// Convenience: the current total of one counter.
+pub fn counter_value(name: &str) -> u64 {
+    snapshot().counter(name)
+}
+
+/// Zero every registered slot (slots stay registered).
+pub fn reset() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for slot in &reg.counters {
+        slot.value.store(0, Ordering::Relaxed);
+    }
+    for slot in &reg.histograms {
+        slot.count.store(0, Ordering::Relaxed);
+        slot.sum.store(0, Ordering::Relaxed);
+        for bucket in slot.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; serialize tests that reset it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counters_aggregate_across_call_sites_and_reset() {
+        let _lock = LOCK.lock().unwrap();
+        reset();
+        crate::counter!("test.metrics.shared");
+        crate::counter!("test.metrics.shared", 4);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.metrics.shared"), 5);
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot must be name-sorted");
+        reset();
+        assert_eq!(counter_value("test.metrics.shared"), 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histograms_bucket_by_log2_and_round_trip_as_json() {
+        let _lock = LOCK.lock().unwrap();
+        reset();
+        for v in [0u64, 1, 2, 3, 1024] {
+            crate::histogram!("test.metrics.sizes", v);
+        }
+        let snap = snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.metrics.sizes")
+            .expect("histogram registered");
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 1030);
+        assert_eq!(hist.buckets.get(bucket_index(0)).copied(), Some(1));
+        assert_eq!(hist.buckets.get(bucket_index(2)).copied(), Some(2));
+        let text = appvsweb_json::encode(&snap);
+        let back: MetricsSnapshot = appvsweb_json::decode(&text).expect("round trip");
+        assert_eq!(back, snap);
+        reset();
+    }
+
+    #[test]
+    fn disabled_build_keeps_the_registry_empty() {
+        let _lock = LOCK.lock().unwrap();
+        if !crate::ENABLED {
+            crate::counter!("test.metrics.never");
+            assert_eq!(counter_value("test.metrics.never"), 0);
+        }
+    }
+}

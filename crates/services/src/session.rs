@@ -206,7 +206,11 @@ impl NetCtx<'_> {
                         return Err(err);
                     }
                     self.retries_spent += 1;
-                    at += SimDuration(self.retry.backoff_ms(attempt - 1, &mut self.rng));
+                    appvsweb_obs::counter!("session.retries");
+                    appvsweb_obs::event!("session.retry", "attempt={attempt} after {err:?}");
+                    let backoff = self.retry.backoff_ms(attempt - 1, &mut self.rng);
+                    appvsweb_obs::histogram!("session.backoff_ms", backoff);
+                    at += SimDuration(backoff);
                 }
             }
         }
@@ -225,6 +229,14 @@ impl SessionRunner<'_> {
     ) -> Trace {
         let mut rng =
             SimRng::new(cfg.seed).fork(&rng_labels::session(self.spec.id, self.os, self.medium));
+        appvsweb_obs::stamp(0);
+        let _span = appvsweb_obs::span!(
+            "session.run",
+            "{}/{:?}/{:?}",
+            self.spec.id,
+            self.os,
+            self.medium
+        );
         let end = SimTime::ZERO + cfg.duration;
         let mut queue: EventQueue<Action> = EventQueue::new();
         let mut jar = CookieJar::new(); // private mode: fresh, discarded after
@@ -283,6 +295,9 @@ impl SessionRunner<'_> {
             if now > end {
                 break;
             }
+            appvsweb_obs::stamp(now.as_millis());
+            appvsweb_obs::counter!("session.actions");
+            appvsweb_obs::event!("session.action", "{action:?}");
             match action {
                 Action::Login => self.do_login(&mut net, truth, &mut jar, now),
                 Action::ProfileSync => self.do_profile_sync(&mut net, truth, &mut jar, now),

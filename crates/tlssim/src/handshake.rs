@@ -88,7 +88,9 @@ impl TlsSession {
     /// session (record framing only; the handshake is counted once in
     /// [`TlsSession::handshake_bytes`]).
     pub fn wire_bytes(&self, plaintext_len: usize) -> usize {
-        record::wire_bytes(plaintext_len)
+        let wire = record::wire_bytes(plaintext_len);
+        appvsweb_obs::counter!("tlssim.record_overhead_bytes", wire - plaintext_len);
+        wire
     }
 }
 
@@ -125,15 +127,23 @@ pub fn handshake_with_fault(
         .trust
         .verify(&server.chain, &client.server_name, client.now)
     {
+        appvsweb_obs::counter!("tlssim.handshake_failures");
+        appvsweb_obs::event!("tls.untrusted", "{}", client.server_name);
         return Err(HandshakeError::UntrustedCertificate);
     }
     if !client.pins.accepts(&server.chain) {
+        appvsweb_obs::counter!("tlssim.handshake_failures");
+        appvsweb_obs::event!("tls.pin_violation", "{}", client.server_name);
         return Err(HandshakeError::PinViolation);
     }
     if abort {
+        appvsweb_obs::counter!("tlssim.aborts");
+        appvsweb_obs::event!("tls.abort", "{}", client.server_name);
         return Err(HandshakeError::Aborted);
     }
     let resumed = resume && server.supports_resumption;
+    appvsweb_obs::counter!("tlssim.handshakes");
+    appvsweb_obs::event!("tls.handshake", "{} resumed={resumed}", client.server_name);
     Ok(TlsSession {
         server_name: client.server_name.clone(),
         handshake_bytes: if resumed {

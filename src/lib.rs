@@ -22,6 +22,8 @@
 //! * [`core`] — the full study driver and dataset export
 //! * [`json`] — zero-dependency JSON value type, parser, serializer,
 //!   and the `impl_json!` derive-style macro
+//! * [`obs`] — deterministic tracing and metrics over the whole
+//!   pipeline (span journals, counters, conservation-law checks)
 //!
 //! Start with `examples/quickstart.rs`, or run the whole campaign:
 //!
@@ -35,6 +37,7 @@ pub use appvsweb_httpsim as httpsim;
 pub use appvsweb_json as json;
 pub use appvsweb_mitm as mitm;
 pub use appvsweb_netsim as netsim;
+pub use appvsweb_obs as obs;
 pub use appvsweb_pii as pii;
 pub use appvsweb_recommend as recommend;
 pub use appvsweb_services as services;

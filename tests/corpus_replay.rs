@@ -50,9 +50,10 @@ fn every_corpus_entry_replays_without_crashing() {
 
 #[test]
 fn regression_pins_are_committed() {
-    // The three regression families from earlier PRs must stay in the
+    // The regression families from earlier PRs must stay in the
     // corpus: the PR 2 gzip-trailer truncation and DNS negative-cache
-    // fixes, and the PR 3 lexer property-test edge cases.
+    // fixes, the PR 3 lexer property-test edge cases, and the journal
+    // renderer's close-without-open totality case.
     for (target, pin) in [
         ("httpsim_gzip", "regress-trailer-truncated.bin"),
         ("httpsim_gzip", "regress-trailer-missing.bin"),
@@ -61,6 +62,7 @@ fn regression_pins_are_committed() {
         ("lint_lexer", "regress-raw-string-hashes.bin"),
         ("lint_lexer", "regress-nested-comment.bin"),
         ("lint_lexer", "regress-unterminated-raw.bin"),
+        ("trace", "regress-depth-underflow.bin"),
     ] {
         let path = fuzz_targets::corpus_dir(target).join(pin);
         assert!(path.is_file(), "missing regression pin {}", path.display());
@@ -113,5 +115,34 @@ fn json_corpus_inputs_hit_the_serialization_fixed_point() {
     assert!(
         parsed >= 10,
         "the json corpus should contain plenty of parseable documents, got {parsed}"
+    );
+}
+
+#[test]
+fn trace_corpus_journals_hit_the_codec_fixed_point() {
+    // Same differential law, one type layer up: every committed trace
+    // input that decodes as a StudyJournal must survive decode ->
+    // encode -> decode losslessly, and the span-tree renderer must be
+    // total on it — even on journals no real capture would produce
+    // (unbalanced spans, absurd depths).
+    use appvsweb::obs::journal::{render_tree, StudyJournal};
+    let mut decoded = 0usize;
+    for data in corpus_for("trace") {
+        let text = String::from_utf8_lossy(&data);
+        let Ok(journal) = appvsweb::json::decode::<StudyJournal>(&text) else {
+            continue;
+        };
+        decoded += 1;
+        let compact = appvsweb::json::encode(&journal);
+        let back: StudyJournal =
+            appvsweb::json::decode(&compact).expect("re-encoded journal must reparse");
+        assert_eq!(back, journal, "journal codec fixed point");
+        for cell in &journal.cells {
+            let _ = render_tree(cell);
+        }
+    }
+    assert!(
+        decoded >= 2,
+        "the trace corpus should contain decodable journals, got {decoded}"
     );
 }

@@ -1,0 +1,270 @@
+//! Cross-layer accounting properties for the observability layer.
+//!
+//! The journal is only trustworthy if it agrees with the artifacts the
+//! pipeline already produces. Under arbitrary (panic-free) fault plans,
+//! one session's journal must reconcile with the mitm trace and its HAR
+//! export; under forced cell panics, every span must still close
+//! exactly once and the swallowed panic payload must surface in both
+//! the journal and the study health ledger; and at study scale the obs
+//! retry counter must equal the health ledger's. `repro metrics
+//! --check` runs the same laws as a CI gate; these tests pin them
+//! per-session and under panics, where the CLI gate cannot.
+
+use appvsweb::core::study::{run_cell_journal, run_study};
+use appvsweb::core::Testbed;
+use appvsweb::mitm::har::to_har;
+use appvsweb::netsim::{FaultPlan, Os, SimDuration};
+use appvsweb::obs;
+use appvsweb::obs::journal::EventKind;
+use appvsweb::services::{Catalog, Medium, SessionConfig};
+use appvsweb_testkit::fixtures::{fault_plans, quick_study_config_with, with_quiet_panics};
+use appvsweb_testkit::{check_with, gen, PropConfig};
+use std::sync::Mutex;
+
+/// Journal capture is process-global; serialize the tests in this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run one session in a `test/…` pseudo-cell and return its journal
+/// alongside the trace the pipeline produced. The §3.2 background
+/// filter is disabled: it removes OS-chatter flows from the trace
+/// *after* capture, and these laws reconcile the journal against the
+/// raw record of what the proxy actually did.
+fn captured_session(
+    service: &str,
+    os: Os,
+    medium: Medium,
+    plan: FaultPlan,
+) -> (appvsweb::mitm::Trace, obs::journal::CellJournal) {
+    let catalog = Catalog::paper();
+    let spec = catalog.get(service).expect("catalog service");
+    let cfg = SessionConfig {
+        duration: SimDuration::from_mins(1),
+        faults: plan,
+        strip_background: false,
+        ..SessionConfig::default()
+    };
+    obs::capture_begin();
+    let trace = {
+        let _scope = obs::cell_scope("test/session");
+        let mut tb = Testbed::for_cell(spec, os, 2016);
+        tb.run_session(spec, os, medium, &cfg)
+    };
+    let journal = obs::capture_end();
+    let cell = journal
+        .cell("test/session")
+        .expect("scoped journal")
+        .clone();
+    (trace, cell)
+}
+
+#[test]
+fn session_journals_reconcile_with_trace_and_har_under_arbitrary_plans() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cells = [
+        ("weather-channel", Os::Android, Medium::App),
+        ("bbc-news", Os::Ios, Medium::Web),
+        ("grubhub", Os::Android, Medium::Web),
+    ];
+    check_with(
+        &PropConfig {
+            cases: 9,
+            ..PropConfig::default()
+        },
+        "session_journal_accounting",
+        &(fault_plans(), gen::u64s(0..=1_000_000)),
+        |case| {
+            let (plan, pick) = case.clone();
+            let (service, os, medium) = cells[pick as usize % cells.len()];
+            let (trace, cell) = captured_session(service, os, medium, plan);
+
+            // Sequence numbers are dense and spans balance.
+            for (i, ev) in cell.events.iter().enumerate() {
+                assert_eq!(ev.seq, i as u64, "seq must be dense");
+            }
+            assert!(cell.spans_balanced(), "every span closes exactly once");
+
+            // Flow law: one open event per connection record, every open
+            // matched by a close (finish_session sweeps the pool).
+            let opened = cell.counter("mitm.flows_opened");
+            assert_eq!(opened, trace.connections.len() as u64, "flow law: opens");
+            assert_eq!(
+                opened,
+                cell.counter("mitm.flows_closed"),
+                "flow law: closes"
+            );
+            assert_eq!(
+                opened,
+                cell.count_kind("flow.open", EventKind::Event),
+                "flow law: events"
+            );
+
+            // HAR law: the export carries one entry per completed
+            // transaction plus one error-status entry per connection a
+            // fault killed — nothing vanishes, nothing is invented.
+            let har = to_har(&trace);
+            let aborted = trace
+                .connections
+                .iter()
+                .filter(|c| c.error.is_some())
+                .count();
+            assert_eq!(
+                har.log.entries.len(),
+                trace.transactions.len() + aborted,
+                "har law"
+            );
+            assert_eq!(
+                cell.counter("mitm.transactions"),
+                trace.transactions.len() as u64,
+                "har law: journal"
+            );
+
+            // Retry law: the obs counter and the trace ledger increment
+            // at the same site, and every retry drew one backoff delay.
+            assert_eq!(cell.counter("session.retries"), trace.retries, "retry law");
+            let backoffs = cell
+                .histograms
+                .iter()
+                .find(|h| h.name == "session.backoff_ms")
+                .map_or(0, |h| h.count);
+            assert_eq!(backoffs, trace.retries, "retry law: backoff histogram");
+
+            // Exchange-size histogram: one sample per exchange that got
+            // a response, so at least one per recorded transaction.
+            let wire = cell
+                .histograms
+                .iter()
+                .find(|h| h.name == "mitm.exchange_wire_bytes")
+                .map_or(0, |h| h.count);
+            assert!(
+                wire >= trace.transactions.len() as u64,
+                "histogram law: wire samples {wire} < transactions {}",
+                trace.transactions.len()
+            );
+
+            // Fault law: everything the injectors recorded was counted
+            // at the single choke point (plans here never panic cells).
+            assert_eq!(
+                cell.counter("netsim.faults.injected"),
+                trace.faults.total(),
+                "fault law"
+            );
+
+            // Byte law: bytes moved by simulated TCP == bytes produced
+            // by the HTTP codecs + TLS framing + handshake flights,
+            // minus bytes destroyed by connection faults.
+            let moved =
+                cell.counter("netsim.conn.bytes_up") + cell.counter("netsim.conn.bytes_down");
+            let produced = cell.counter("httpsim.codec_bytes")
+                + cell.counter("tlssim.record_overhead_bytes")
+                + cell.counter("mitm.handshake_bytes")
+                + cell.counter("mitm.tls_failed_bytes");
+            assert_eq!(
+                moved + cell.counter("mitm.bytes_lost"),
+                produced,
+                "byte conservation across netsim/httpsim/tlssim/mitm"
+            );
+        },
+    );
+}
+
+#[test]
+fn panicked_attempts_balance_spans_and_surface_the_payload() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let catalog = Catalog::paper();
+    let spec = catalog.get("weather-channel").expect("catalog service");
+    let mut plan = FaultPlan::moderate();
+    plan.cell_panic = 1.0; // every attempt unwinds mid-session
+    let cfg = quick_study_config_with(plan);
+    let (cell, journal) =
+        with_quiet_panics(|| run_cell_journal(spec, Os::Android, Medium::App, &cfg, None));
+    assert!(cell.is_none(), "a pinned panic rate must fail the cell");
+
+    let j = journal
+        .cell("weather-channel/Android/App")
+        .expect("failed cell still journals");
+    assert!(
+        j.spans_balanced(),
+        "spans opened before the panic must close exactly once during unwind"
+    );
+    let attempts = u64::from(cfg.cell_attempts.max(1));
+    assert_eq!(
+        j.count_kind("study.cell_attempt", EventKind::SpanOpen),
+        attempts
+    );
+    assert_eq!(
+        j.count_kind("study.cell_attempt", EventKind::SpanClose),
+        attempts
+    );
+    assert_eq!(j.counter("study.cell_panics"), attempts);
+    // The payload the runner used to swallow is now journaled verbatim.
+    assert!(
+        j.events
+            .iter()
+            .any(|e| e.name == "study.cell_panic" && e.detail.contains("injected")),
+        "panic payload must appear in the journal"
+    );
+}
+
+#[test]
+fn study_retry_counter_matches_the_health_ledger() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = quick_study_config_with(FaultPlan::moderate());
+    obs::capture_begin();
+    let study = run_study(&cfg);
+    let journal = obs::capture_end();
+
+    assert!(study.health.session_retries > 0, "moderate plan must retry");
+    assert_eq!(
+        journal.counter_total("session.retries"),
+        study.health.session_retries,
+        "obs retry events must equal the StudyHealth retry ledger"
+    );
+    assert_eq!(
+        journal.counter_total("netsim.faults.injected"),
+        study.health.faults.total() - study.health.faults.cell_panics,
+        "obs fault events must equal the StudyHealth fault ledger"
+    );
+    assert!(
+        study.health.failures.is_empty(),
+        "no panics under a panic-free plan"
+    );
+    // One journal per measurement cell, in sorted order.
+    assert_eq!(journal.cells.len() as u64, study.health.cells_attempted);
+    let ids: Vec<&str> = journal.cells.iter().map(|c| c.cell.as_str()).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "capture_end must sort journals by cell id");
+}
+
+#[test]
+fn failed_cells_carry_their_panic_payload_in_the_health_ledger() {
+    let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut plan = FaultPlan::moderate();
+    plan.cell_panic = 0.3;
+    let study = with_quiet_panics(|| run_study(&quick_study_config_with(plan)));
+    let h = &study.health;
+    assert!(
+        h.cells_failed > 0,
+        "0.3^2 per cell over 196 cells must fail some"
+    );
+    assert_eq!(h.failures.len() as u64, h.cells_failed);
+    let labels: Vec<&str> = h.failures.iter().map(|f| f.cell.as_str()).collect();
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    assert_eq!(labels, sorted, "failures are sorted by cell label");
+    assert_eq!(
+        labels,
+        h.failed_cells
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+        "failures and failed_cells describe the same set"
+    );
+    for failure in &h.failures {
+        assert!(
+            failure.error.contains("injected") && failure.error.contains("attempt"),
+            "payload must be the real panic message, got {:?}",
+            failure.error
+        );
+    }
+}
