@@ -26,6 +26,9 @@ cargo run -q --release -p appvsweb-bench --bin repro -- fuzz --smoke
 echo "== repro metrics --check (obs conservation laws over the quick campaign) =="
 cargo run -q --release -p appvsweb-bench --bin repro -- metrics --check
 
+echo "== repro population --smoke (1k-user campaign determinism gate) =="
+cargo run -q --release -p appvsweb-bench --bin repro -- population --smoke
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

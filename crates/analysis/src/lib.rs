@@ -14,7 +14,11 @@
 //! 2. [`tables`] and [`figures`] aggregate the 200 cells
 //!    (50 services × 2 OSes × 2 media) into Table 1, Table 2, Table 3
 //!    and Figures 1a–1f.
-//! 3. [`stats`] provides the CDF/PDF/Jaccard machinery; [`render`]
+//! 3. [`sketch`] and [`population`] scale the same aggregation to
+//!    population campaigns: mergeable quantile/top-k sketches and the
+//!    per-shard [`population::PopulationAggregate`] that
+//!    `appvsweb-population` folds across 10k–1M simulated users.
+//! 4. [`stats`] provides the CDF/PDF/Jaccard machinery; [`render`]
 //!    formats tables and figure series as text, in the same layout the
 //!    paper prints; [`osdiff`] computes the paper's Android-vs-iOS
 //!    comparisons; [`report`] renders the whole evaluation as markdown.
@@ -27,12 +31,16 @@
 pub mod figures;
 pub mod leaks;
 pub mod osdiff;
+pub mod population;
 pub mod render;
 pub mod report;
+pub mod sketch;
 pub mod stats;
 pub mod tables;
 
 pub use leaks::{
     analyze_trace, CellAnalysis, CellFailure, LeakEvent, ServiceComparison, Study, StudyHealth,
 };
+pub use population::{PopulationAggregate, PopulationReport};
+pub use sketch::{QuantileSketch, TopKSketch};
 pub use stats::{Cdf, Pdf};

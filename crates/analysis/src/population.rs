@@ -1,0 +1,599 @@
+//! Population-scale aggregation: the mergeable shard state behind
+//! `repro population`, plus its table/figure builders and renderer.
+//!
+//! A population campaign simulates 10k–1M users on top of the 196-cell
+//! study. Each user streams into exactly one shard's
+//! [`PopulationAggregate`]; shard states then fold pairwise in a fixed
+//! reduction tree (see `appvsweb-population`). Every field here is a
+//! commutative-monoid summary — counters, `BTreeMap`s of counters, and
+//! the [`sketch`](crate::sketch) types — so the fold is a homomorphism
+//! of user-stream concatenation and the final report is byte-identical
+//! no matter how many workers raced over the shards.
+//!
+//! The builders at the bottom render the population analogues of the
+//! paper's tables (per-PII-type reach, heavy-hitter A&A organizations,
+//! OS × medium cohorts) and the per-user app-vs-web difference CDFs
+//! ("Figures 2–7", the population counterparts of Figures 1a–1f).
+
+use crate::sketch::{QuantileSketch, TopKSketch};
+use appvsweb_netsim::Os;
+use appvsweb_pii::PiiType;
+use appvsweb_services::Medium;
+use std::collections::BTreeMap;
+
+/// Default top-k capacity. The simulator's registrable-domain universe
+/// is a few hundred strings, so this keeps campaigns in the exact
+/// (zero-eviction) regime with room to spare while still bounding
+/// hostile inputs.
+pub const DEFAULT_TOPK_CAPACITY: u32 = 1024;
+
+/// The population figure catalogue: `(key, description)` in report
+/// order. Figures 2–7 are the per-user analogues of the paper's
+/// Figures 1a–1f (app − web differences; figure 7 is the Jaccard
+/// similarity of leaked-type sets).
+pub const FIGURES: &[(&str, &str)] = &[
+    ("fig2", "A&A domains contacted, app - web, per user"),
+    ("fig3", "A&A flows, app - web, per user"),
+    ("fig4", "A&A megabytes, app - web, per user"),
+    ("fig5", "domains receiving leaks, app - web, per user"),
+    ("fig6", "leaked PII types, app - web, per user"),
+    (
+        "fig7",
+        "Jaccard similarity of leaked types, app vs web, per user",
+    ),
+];
+
+/// Canonical per-(figure, OS) sketch key, e.g. `"fig2:Android"`.
+pub fn figure_key(figure: &str, os: Os) -> String {
+    format!("{figure}:{os:?}")
+}
+
+/// Canonical per-(OS, medium) cohort key, e.g. `"Android:App"`.
+pub fn cohort_key(os: Os, medium: Medium) -> String {
+    format!("{os:?}:{medium:?}")
+}
+
+/// Per-(OS, medium) cohort counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CohortStats {
+    /// Users who used this (OS, medium) at least once.
+    pub users: u64,
+    /// Sessions run in the cohort.
+    pub sessions: u64,
+    /// TCP flows to A&A domains.
+    pub aa_flows: u64,
+    /// Bytes to/from A&A domains.
+    pub aa_bytes: u64,
+    /// PII leak instances.
+    pub leak_instances: u64,
+}
+
+impl CohortStats {
+    fn merge(&mut self, other: &Self) {
+        self.users = self.users.saturating_add(other.users);
+        self.sessions = self.sessions.saturating_add(other.sessions);
+        self.aa_flows = self.aa_flows.saturating_add(other.aa_flows);
+        self.aa_bytes = self.aa_bytes.saturating_add(other.aa_bytes);
+        self.leak_instances = self.leak_instances.saturating_add(other.leak_instances);
+    }
+}
+
+/// Per-PII-type population counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PiiStats {
+    /// Users who leaked this type at least once.
+    pub users: u64,
+    /// Total leak instances.
+    pub instances: u64,
+    /// Instances attributed to app sessions.
+    pub app_instances: u64,
+    /// Instances attributed to web sessions.
+    pub web_instances: u64,
+}
+
+impl PiiStats {
+    fn merge(&mut self, other: &Self) {
+        self.users = self.users.saturating_add(other.users);
+        self.instances = self.instances.saturating_add(other.instances);
+        self.app_instances = self.app_instances.saturating_add(other.app_instances);
+        self.web_instances = self.web_instances.saturating_add(other.web_instances);
+    }
+}
+
+/// One shard's mergeable population state.
+///
+/// Every field is a commutative monoid, so [`merge`] is associative,
+/// commutative up to byte-identical serialization, has the empty state
+/// as identity, and equals sequential ingestion of both shards' user
+/// streams — the laws `tests/population_laws.rs` property-tests.
+///
+/// [`merge`]: PopulationAggregate::merge
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PopulationAggregate {
+    /// Users ingested (each user lands in exactly one shard).
+    pub users: u64,
+    /// Users who leaked at least one PII instance.
+    pub users_leaking: u64,
+    /// Sessions simulated across all users.
+    pub sessions: u64,
+    /// Total TCP flows across sessions.
+    pub flows: u64,
+    /// Flows to A&A domains.
+    pub aa_flows: u64,
+    /// Bytes to/from A&A domains.
+    pub aa_bytes: u64,
+    /// PII leak instances.
+    pub leak_instances: u64,
+    /// Per-(OS, medium) cohort counters, keyed by [`cohort_key`].
+    pub cohorts: BTreeMap<String, CohortStats>,
+    /// Per-PII-type counters.
+    pub pii: BTreeMap<PiiType, PiiStats>,
+    /// Leak instances per A&A organization (heavy hitters).
+    pub leak_orgs: TopKSketch,
+    /// Users reached per A&A organization.
+    pub org_reach: TopKSketch,
+    /// Per-(figure, OS) difference sketches, keyed by [`figure_key`].
+    pub figures: BTreeMap<String, QuantileSketch>,
+}
+
+impl PopulationAggregate {
+    /// The empty state (the merge identity), with bounded top-k
+    /// sketches sized for the simulator's domain universe.
+    pub fn new() -> Self {
+        PopulationAggregate {
+            leak_orgs: TopKSketch::with_capacity(DEFAULT_TOPK_CAPACITY),
+            org_reach: TopKSketch::with_capacity(DEFAULT_TOPK_CAPACITY),
+            ..Self::default()
+        }
+    }
+
+    /// Fold another shard's state in. Equals having ingested the other
+    /// shard's user stream into `self` (exactly, while the top-k
+    /// sketches stay in their zero-eviction regime).
+    pub fn merge(&mut self, other: &Self) {
+        self.users = self.users.saturating_add(other.users);
+        self.users_leaking = self.users_leaking.saturating_add(other.users_leaking);
+        self.sessions = self.sessions.saturating_add(other.sessions);
+        self.flows = self.flows.saturating_add(other.flows);
+        self.aa_flows = self.aa_flows.saturating_add(other.aa_flows);
+        self.aa_bytes = self.aa_bytes.saturating_add(other.aa_bytes);
+        self.leak_instances = self.leak_instances.saturating_add(other.leak_instances);
+        for (key, stats) in &other.cohorts {
+            self.cohorts.entry(key.clone()).or_default().merge(stats);
+        }
+        for (ty, stats) in &other.pii {
+            self.pii.entry(*ty).or_default().merge(stats);
+        }
+        self.leak_orgs.merge(&other.leak_orgs);
+        self.org_reach.merge(&other.org_reach);
+        for (key, sketch) in &other.figures {
+            self.figures.entry(key.clone()).or_default().merge(sketch);
+        }
+    }
+
+    /// Whether every top-k summary stayed exact (no evictions), i.e.
+    /// all merge laws held exactly for this state's whole history.
+    pub fn is_exact(&self) -> bool {
+        self.leak_orgs.is_exact() && self.org_reach.is_exact()
+    }
+
+    /// Approximate heap footprint of this state. Bounded by the fixed
+    /// key/bucket universes — *not* by the number of users ingested —
+    /// which is the constant-memory claim `BENCH_population.json`
+    /// reports and `tests/population_laws.rs` checks.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = 64u64;
+        bytes = bytes.saturating_add(self.cohorts.len() as u64 * 96);
+        bytes = bytes.saturating_add(self.pii.len() as u64 * 48);
+        bytes = bytes.saturating_add(self.leak_orgs.approx_bytes());
+        bytes = bytes.saturating_add(self.org_reach.approx_bytes());
+        for (key, sketch) in &self.figures {
+            bytes = bytes.saturating_add(24 + key.len() as u64);
+            bytes = bytes.saturating_add(sketch.approx_bytes());
+        }
+        bytes
+    }
+}
+
+/// A finished population campaign: configuration echo plus the fully
+/// reduced aggregate. Pure function of `(study, users, shards, seed)`;
+/// byte-identical across worker counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PopulationReport {
+    /// Simulated users.
+    pub users: u64,
+    /// Shard count the users were partitioned into.
+    pub shards: u32,
+    /// Population seed (independent of the study seed).
+    pub seed: u64,
+    /// Largest single shard state observed before reduction, in
+    /// approximate bytes — the constant-memory witness.
+    pub peak_state_bytes: u64,
+    /// The reduced population state.
+    pub aggregate: PopulationAggregate,
+}
+
+appvsweb_json::impl_json!(struct CohortStats { users, sessions, aa_flows, aa_bytes, leak_instances });
+appvsweb_json::impl_json!(struct PiiStats { users, instances, app_instances, web_instances });
+appvsweb_json::impl_json!(struct PopulationAggregate {
+    users,
+    users_leaking,
+    sessions,
+    flows,
+    aa_flows,
+    aa_bytes,
+    leak_instances,
+    cohorts,
+    pii,
+    leak_orgs,
+    org_reach,
+    figures,
+});
+appvsweb_json::impl_json!(struct PopulationReport { users, shards, seed, peak_state_bytes, aggregate });
+
+// --------------------------------------------------------------------
+// Population tables (the report's Tables 3–5)
+// --------------------------------------------------------------------
+
+/// One row of population Table 3: a PII type's population reach.
+#[derive(Clone, Debug)]
+pub struct PopTypeRow {
+    /// The PII class.
+    pub pii_type: PiiType,
+    /// Users who leaked it.
+    pub users: u64,
+    /// Fraction of the population affected, in `[0, 1]`.
+    pub pct_users: f64,
+    /// Total leak instances.
+    pub instances: u64,
+    /// Instances via app sessions.
+    pub app_instances: u64,
+    /// Instances via web sessions.
+    pub web_instances: u64,
+}
+
+/// Population Table 3: per-PII-type reach, every type in Table 1
+/// column order (zero rows included, so the layout is stable).
+pub fn population_table3(report: &PopulationReport) -> Vec<PopTypeRow> {
+    let users = report.aggregate.users.max(1) as f64;
+    PiiType::ALL
+        .iter()
+        .map(|ty| {
+            let stats = report.aggregate.pii.get(ty).cloned().unwrap_or_default();
+            PopTypeRow {
+                pii_type: *ty,
+                users: stats.users,
+                pct_users: stats.users as f64 / users,
+                instances: stats.instances,
+                app_instances: stats.app_instances,
+                web_instances: stats.web_instances,
+            }
+        })
+        .collect()
+}
+
+/// One row of population Table 4: a heavy-hitter A&A organization.
+#[derive(Clone, Debug)]
+pub struct PopOrgRow {
+    /// Organization (registrable domain sans public suffix).
+    pub organization: String,
+    /// Total leak instances it received.
+    pub instances: u64,
+    /// Users whose traffic reached it.
+    pub users: u64,
+    /// Fraction of the population reached, in `[0, 1]`.
+    pub pct_users: f64,
+}
+
+/// Population Table 4: the `n` organizations receiving the most leak
+/// instances, ranked by the top-k total order (count desc, key asc).
+pub fn population_table4(report: &PopulationReport, n: usize) -> Vec<PopOrgRow> {
+    let users = report.aggregate.users.max(1) as f64;
+    report
+        .aggregate
+        .leak_orgs
+        .top(n)
+        .into_iter()
+        .map(|entry| {
+            let reach = report.aggregate.org_reach.count(&entry.key);
+            PopOrgRow {
+                organization: entry.key.clone(),
+                instances: entry.count,
+                users: reach,
+                pct_users: reach as f64 / users,
+            }
+        })
+        .collect()
+}
+
+/// One row of population Table 5: an (OS, medium) cohort.
+#[derive(Clone, Debug)]
+pub struct PopCohortRow {
+    /// Cohort label ([`cohort_key`] form).
+    pub cohort: String,
+    /// Users active in the cohort.
+    pub users: u64,
+    /// Sessions run.
+    pub sessions: u64,
+    /// Mean A&A flows per session.
+    pub aa_flows_per_session: f64,
+    /// Total A&A megabytes.
+    pub aa_mb: f64,
+    /// Mean leak instances per user in the cohort.
+    pub leaks_per_user: f64,
+}
+
+/// Population Table 5: cohort summaries in key order.
+pub fn population_table5(report: &PopulationReport) -> Vec<PopCohortRow> {
+    report
+        .aggregate
+        .cohorts
+        .iter()
+        .map(|(key, stats)| PopCohortRow {
+            cohort: key.clone(),
+            users: stats.users,
+            sessions: stats.sessions,
+            aa_flows_per_session: stats.aa_flows as f64 / stats.sessions.max(1) as f64,
+            aa_mb: stats.aa_bytes as f64 / 1.0e6,
+            leaks_per_user: stats.leak_instances as f64 / stats.users.max(1) as f64,
+        })
+        .collect()
+}
+
+/// A rendered summary of one population CDF sketch.
+#[derive(Clone, Debug)]
+pub struct FigureSummary {
+    /// Sketch key ([`figure_key`] form).
+    pub key: String,
+    /// Figure description from [`FIGURES`].
+    pub description: String,
+    /// Finite samples in the sketch (== users contributing).
+    pub count: u64,
+    /// Selected quantiles `(q, value)`.
+    pub quantiles: Vec<(f64, f64)>,
+    /// Fraction of strictly negative samples (web-heavier users).
+    pub fraction_negative: f64,
+}
+
+/// Quantiles every figure summary reports.
+const SUMMARY_QUANTILES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// Summaries of every figure sketch in the report, in [`FIGURES`] ×
+/// OS order.
+pub fn figure_summaries(report: &PopulationReport) -> Vec<FigureSummary> {
+    let mut out = Vec::new();
+    for (figure, description) in FIGURES {
+        for os in [Os::Android, Os::Ios] {
+            let key = figure_key(figure, os);
+            let Some(sketch) = report.aggregate.figures.get(&key) else {
+                continue;
+            };
+            out.push(FigureSummary {
+                key,
+                description: description.to_string(),
+                count: sketch.len(),
+                quantiles: SUMMARY_QUANTILES
+                    .iter()
+                    .map(|&q| (q, sketch.quantile(q)))
+                    .collect(),
+                fraction_negative: sketch.fraction_negative(),
+            });
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------------
+// Rendering
+// --------------------------------------------------------------------
+
+/// Render the whole population report — header, Tables 3–5, CDF
+/// summaries — as the text `repro population` prints and the golden
+/// test snapshots.
+pub fn render_population_report(report: &PopulationReport) -> String {
+    let mut out = String::new();
+    let agg = &report.aggregate;
+    out.push_str(&format!(
+        "== Population campaign: {} users, {} shards, seed {} ==\n",
+        report.users, report.shards, report.seed
+    ));
+    out.push_str(&format!(
+        "peak shard state: {} bytes (approx); exact top-k regime: {}\n",
+        report.peak_state_bytes,
+        if agg.is_exact() {
+            "yes"
+        } else {
+            "NO (evicted)"
+        }
+    ));
+    out.push_str(&format!(
+        "users leaking: {} ({:.1}%)  sessions: {}  flows: {}  A&A flows: {}  leaks: {}\n\n",
+        agg.users_leaking,
+        agg.users_leaking as f64 / agg.users.max(1) as f64 * 100.0,
+        agg.sessions,
+        agg.flows,
+        agg.aa_flows,
+        agg.leak_instances
+    ));
+
+    out.push_str("== Population Table 3: PII types across the population ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>8} {:>12} {:>12} {:>12}\n",
+        "type", "users", "%users", "instances", "app", "web"
+    ));
+    for row in population_table3(report) {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>7.1}% {:>12} {:>12} {:>12}\n",
+            row.pii_type.abbrev(),
+            row.users,
+            row.pct_users * 100.0,
+            row.instances,
+            row.app_instances,
+            row.web_instances
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("== Population Table 4: top A&A organizations by leak instances ==\n");
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>10} {:>8}\n",
+        "organization", "instances", "users", "%users"
+    ));
+    for row in population_table4(report, 15) {
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>10} {:>7.1}%\n",
+            row.organization,
+            row.instances,
+            row.users,
+            row.pct_users * 100.0
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("== Population Table 5: OS x medium cohorts ==\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "cohort", "users", "sessions", "aaF/sess", "aaMB", "leaks/usr"
+    ));
+    for row in population_table5(report) {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>10.2} {:>10.2} {:>10.2}\n",
+            row.cohort,
+            row.users,
+            row.sessions,
+            row.aa_flows_per_session,
+            row.aa_mb,
+            row.leaks_per_user
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("== Population CDF summaries (Figures 2-7, app - web per user) ==\n");
+    for s in figure_summaries(report) {
+        out.push_str(&format!("{} — {}\n", s.key, s.description));
+        let quantiles: Vec<String> = s
+            .quantiles
+            .iter()
+            .map(|(q, v)| format!("p{:02.0}={v:.2}", q * 100.0))
+            .collect();
+        out.push_str(&format!(
+            "  n={} {}  neg={:.1}%\n",
+            s.count,
+            quantiles.join(" "),
+            s.fraction_negative * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aggregate() -> PopulationAggregate {
+        let mut agg = PopulationAggregate::new();
+        agg.users = 10;
+        agg.users_leaking = 7;
+        agg.sessions = 40;
+        agg.flows = 400;
+        agg.aa_flows = 120;
+        agg.aa_bytes = 3_000_000;
+        agg.leak_instances = 25;
+        agg.cohorts.insert(
+            cohort_key(Os::Android, Medium::App),
+            CohortStats {
+                users: 6,
+                sessions: 20,
+                aa_flows: 80,
+                aa_bytes: 2_000_000,
+                leak_instances: 15,
+            },
+        );
+        agg.pii.insert(
+            PiiType::Email,
+            PiiStats {
+                users: 5,
+                instances: 12,
+                app_instances: 9,
+                web_instances: 3,
+            },
+        );
+        agg.leak_orgs.add("doubleclick", 9);
+        agg.leak_orgs.add("crashlytics", 4);
+        agg.org_reach.add("doubleclick", 6);
+        agg.org_reach.add("crashlytics", 3);
+        agg.figures
+            .entry(figure_key("fig2", Os::Android))
+            .or_default()
+            .add(3.0);
+        agg
+    }
+
+    #[test]
+    fn merge_is_identity_on_empty() {
+        let a = sample_aggregate();
+        let mut b = a.clone();
+        b.merge(&PopulationAggregate::new());
+        assert_eq!(appvsweb_json::encode(&a), appvsweb_json::encode(&b));
+    }
+
+    #[test]
+    fn tables_and_render_are_total() {
+        let report = PopulationReport {
+            users: 10,
+            shards: 4,
+            seed: 1,
+            peak_state_bytes: sample_aggregate().approx_bytes(),
+            aggregate: sample_aggregate(),
+        };
+        let t3 = population_table3(&report);
+        assert_eq!(t3.len(), PiiType::ALL.len());
+        let email = t3
+            .iter()
+            .find(|r| r.pii_type == PiiType::Email)
+            .expect("email row");
+        assert_eq!(email.instances, 12);
+        assert!((email.pct_users - 0.5).abs() < 1e-12);
+        let t4 = population_table4(&report, 10);
+        assert_eq!(
+            t4.first().map(|r| r.organization.as_str()),
+            Some("doubleclick")
+        );
+        assert_eq!(t4.first().map(|r| r.users), Some(6));
+        let t5 = population_table5(&report);
+        assert_eq!(t5.len(), 1);
+        let text = render_population_report(&report);
+        assert!(text.contains("Population Table 3"));
+        assert!(text.contains("doubleclick"));
+        assert!(text.contains("fig2:Android"));
+        // Empty report renders too.
+        let empty = PopulationReport::default();
+        assert!(render_population_report(&empty).contains("0 users"));
+    }
+
+    #[test]
+    fn report_codec_round_trips() {
+        let report = PopulationReport {
+            users: 10,
+            shards: 4,
+            seed: 9,
+            peak_state_bytes: 123,
+            aggregate: sample_aggregate(),
+        };
+        let back: PopulationReport =
+            appvsweb_json::decode(&appvsweb_json::encode(&report)).expect("report decodes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_structure_not_mass() {
+        let mut a = sample_aggregate();
+        let before = a.approx_bytes();
+        // Pour in a lot more mass over the same keys: footprint stable.
+        for _ in 0..1000 {
+            a.leak_orgs.add("doubleclick", 1000);
+            a.users = a.users.saturating_add(1000);
+        }
+        assert_eq!(a.approx_bytes(), before);
+    }
+}

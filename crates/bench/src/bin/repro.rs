@@ -14,6 +14,8 @@
 //! repro fuzz --target json    # fuzz one parser, grow its corpus
 //! repro trace --cell amazon/Android/App   # span tree of one cell
 //! repro metrics --check       # metrics dump / conservation-law gate
+//! repro population --users 100000         # population-scale campaign (Tables 3-5 at scale)
+//! repro population --smoke    # 1k-user determinism gate (CI)
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -71,7 +73,9 @@ fn parse_args() -> Args {
                      [--faults none|light|moderate|heavy]\n       repro lint [--check] \
                      [--json] [--fix-baseline] [--labels]\n       repro fuzz [--target NAME] \
                      [--iters N] [--seed N] [--smoke] [--minimize]\n       repro trace \
-                     [--cell SERVICE/OS/MEDIUM]\n       repro metrics [--check]"
+                     [--cell SERVICE/OS/MEDIUM]\n       repro metrics [--check]\n       \
+                     repro population [--users N] [--shards N] [--workers N] [--seed N] \
+                     [--minutes N] [--smoke] [--json FILE]"
                 );
                 std::process::exit(0);
             }
@@ -174,6 +178,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("metrics") {
         std::process::exit(appvsweb_bench::obs_cli::run_metrics(&argv[1..]));
+    }
+    // `repro population` scales the measured study to 10k-1M users.
+    if argv.first().map(String::as_str) == Some("population") {
+        std::process::exit(appvsweb_bench::population_cli::run(&argv[1..]));
     }
     let args = parse_args();
     let faults = match args.faults.as_deref() {

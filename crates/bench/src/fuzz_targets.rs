@@ -75,6 +75,13 @@ pub fn all() -> Vec<FuzzTarget> {
             seeds: appvsweb_obs::fuzz::SEEDS,
             max_len: 1024,
         },
+        FuzzTarget {
+            name: "population",
+            run: appvsweb_population::fuzz::run,
+            dict: appvsweb_population::fuzz::DICT,
+            seeds: appvsweb_population::fuzz::SEEDS,
+            max_len: 1024,
+        },
     ]
 }
 
@@ -99,7 +106,7 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate target name");
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`study`] — the full campaign: 50 services × {Android, iOS} ×
 //!   {app, Web}, 4 simulated minutes each, with ReCon training and the
 //!   combined detection pipeline, parallelized across cells
+//! * [`exec`] — the work-stealing batch executor the study (and the
+//!   `appvsweb-population` campaign) schedule cells/shards on, with
+//!   index-ordered results so worker count never changes output
 //! * [`duration`] — the §3.2 control experiment (4- vs 10-minute
 //!   sessions)
 //! * [`dataset`] — JSON export of the measurement dataset (the paper
@@ -22,6 +25,7 @@
 
 pub mod dataset;
 pub mod duration;
+pub mod exec;
 pub mod study;
 pub mod testbed;
 

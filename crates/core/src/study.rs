@@ -23,7 +23,6 @@ use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
 use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
 
 /// Study parameters.
 #[derive(Clone, Debug)]
@@ -273,31 +272,14 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
         }
     }
 
-    let workers = cfg.workers.max(1);
-    let outcomes: Vec<CellOutcome> = if workers == 1 {
-        work.iter()
-            .map(|(spec, os, medium)| run_cell_guarded(spec, *os, *medium, cfg, recon.as_ref()))
-            .collect()
-    } else {
-        let (tx, rx) = mpsc::channel::<CellOutcome>();
-        let chunk = work.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for slice in work.chunks(chunk) {
-                let tx = tx.clone();
-                let cfg = cfg.clone();
-                let recon = recon.clone();
-                scope.spawn(move || {
-                    for (spec, os, medium) in slice {
-                        let outcome = run_cell_guarded(spec, *os, *medium, &cfg, recon.as_ref());
-                        // Receiver outlives all senders in this scope.
-                        let _ = tx.send(outcome);
-                    }
-                });
-            }
-            drop(tx);
-            rx.into_iter().collect::<Vec<_>>()
-        })
-    };
+    // Work-stealing over cells (chunk = 1: cells are ragged — a heavy
+    // web cell can cost several light app cells — so fine-grained
+    // stealing beats the old static partition). Results come back in
+    // work-list order, and the fold below is order-independent anyway.
+    let outcomes: Vec<CellOutcome> =
+        crate::exec::run_indexed(&work, cfg.workers.max(1), 1, |_, (spec, os, medium)| {
+            run_cell_guarded(spec, *os, *medium, cfg, recon.as_ref())
+        });
 
     // Fold the outcomes into the dataset + ledger. Every aggregate here
     // is order-independent (sums and a sorted list), so the result is

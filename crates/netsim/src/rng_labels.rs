@@ -44,6 +44,9 @@ pub const DEVICE_IDS_PREFIX: &str = "device-ids";
 /// Prefix of per-target fuzzing-engine mutation streams; see
 /// [`fuzz_target`].
 pub const FUZZ_PREFIX: &str = "fuzz";
+/// Prefix of per-user population-campaign streams; see
+/// [`population_user`].
+pub const POPULATION_PREFIX: &str = "population";
 
 /// Every static label, for exhaustiveness checks. Keep sorted.
 pub const STATIC: &[&str] = &[
@@ -61,6 +64,7 @@ pub const DYNAMIC_PREFIXES: &[&str] = &[
     CELL_PANIC_PREFIX,
     DEVICE_IDS_PREFIX,
     FUZZ_PREFIX,
+    POPULATION_PREFIX,
     SESSION_PREFIX,
 ];
 
@@ -79,6 +83,15 @@ pub fn cell_panic(service_id: &str, os: impl Debug, medium: impl Debug, attempt:
 /// The per-OS device-identifier stream (IMEI, MAC, IDFA, …).
 pub fn device_ids(os: impl Display) -> String {
     format!("{DEVICE_IDS_PREFIX}:{os}")
+}
+
+/// The per-(user, cell) stream of a population campaign: every
+/// simulated user draws their profile and usage habits from their own
+/// streams, keyed by a stable user id plus a cell string (`"profile"`
+/// for the profile draw, `"svc/Os/Medium"` for per-cell usage), so
+/// shard boundaries and worker counts can never re-key a user.
+pub fn population_user(user_id: u64, cell: &str) -> String {
+    format!("{POPULATION_PREFIX}:{user_id}:{cell}")
 }
 
 /// The per-target mutation-scheduling stream of the fuzzing engine:
@@ -119,6 +132,11 @@ mod tests {
             "cell-panic:svc:Android:App:2"
         );
         assert_eq!(device_ids("iOS"), "device-ids:iOS");
+        assert_eq!(
+            population_user(7, "svc/Android/App"),
+            "population:7:svc/Android/App"
+        );
+        assert_eq!(population_user(0, "profile"), "population:0:profile");
     }
 
     #[test]

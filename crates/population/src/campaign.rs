@@ -1,0 +1,521 @@
+//! The population campaign: sharded ingestion plus the fixed pairwise
+//! reduction tree.
+//!
+//! The pipeline is three stages, all deterministic in
+//! `(study, users, shards, seed)`:
+//!
+//! 1. **Shard** — users `0..N` are split into a *fixed* number of
+//!    contiguous shards (independent of worker count), and the
+//!    work-stealing executor ([`appvsweb_core::exec`]) races workers
+//!    over shards. Each shard streams its users into one
+//!    [`PopulationAggregate`]; per-user scratch dies with the user, so
+//!    peak memory is `shards × |aggregate|`, independent of `N`.
+//! 2. **Reduce** — shard states fold pairwise in a fixed binary tree
+//!    over shard order: level after level, state `2k` absorbs state
+//!    `2k+1`. The pairing is data-independent, and every aggregate's
+//!    `merge` is the stream-concatenation homomorphism the law suite
+//!    property-tests — so 1, 2, or 8 workers produce byte-identical
+//!    reports.
+//! 3. **Report** — the reduced state plus config echo and the peak
+//!    shard-state footprint (the constant-memory witness).
+
+use crate::model::{ServiceUse, Universe, UserModel};
+use appvsweb_analysis::population::{cohort_key, figure_key, PopulationAggregate};
+use appvsweb_analysis::{stats, CellAnalysis, PopulationReport, Study};
+use appvsweb_core::study::{run_study, StudyConfig};
+use appvsweb_netsim::Os;
+use appvsweb_pii::PiiType;
+use appvsweb_services::Medium;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Population campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Simulated users.
+    pub users: u64,
+    /// Fixed shard count. Memory scales with shards, *not* users; the
+    /// default keeps shard states comfortably under a megabyte total
+    /// while giving the scheduler enough grain to steal.
+    pub shards: u32,
+    /// Worker threads racing over shards (1 = sequential). Output is
+    /// byte-identical for every value.
+    pub workers: usize,
+    /// Population seed, keying every user stream. Independent of the
+    /// base study's seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            users: 10_000,
+            shards: 64,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            seed: 2016,
+        }
+    }
+}
+
+/// Fast lookup from `(service, OS, medium)` to the base study's cell,
+/// plus the rank-ordered adoption universes.
+struct CellIndex<'a> {
+    cells: BTreeMap<(&'a str, Os, Medium), &'a CellAnalysis>,
+    universe: Universe,
+}
+
+impl<'a> CellIndex<'a> {
+    fn new(study: &'a Study) -> Self {
+        let mut cells = BTreeMap::new();
+        let mut ranked: BTreeMap<Os, BTreeSet<(u32, &str)>> = BTreeMap::new();
+        for cell in &study.cells {
+            cells.insert((cell.service_id.as_str(), cell.os, cell.medium), cell);
+            ranked
+                .entry(cell.os)
+                .or_default()
+                .insert((cell.rank, cell.service_id.as_str()));
+        }
+        let ordered = |os: Os| -> Vec<String> {
+            ranked
+                .get(&os)
+                .map(|set| set.iter().map(|(_, id)| id.to_string()).collect())
+                .unwrap_or_default()
+        };
+        CellIndex {
+            cells,
+            universe: Universe {
+                android: ordered(Os::Android),
+                ios: ordered(Os::Ios),
+            },
+        }
+    }
+
+    fn get(&self, service_id: &str, os: Os, medium: Medium) -> Option<&'a CellAnalysis> {
+        self.cells.get(&(service_id, os, medium)).copied()
+    }
+}
+
+/// Per-user, per-medium scratch for the figure diffs. Dropped as soon
+/// as the user is folded in — this is the state the sketches replace
+/// at population scale.
+#[derive(Default)]
+struct MediumScratch<'a> {
+    aa_domains: BTreeSet<&'a str>,
+    aa_flows: u64,
+    aa_bytes: u64,
+    leak_domains: BTreeSet<&'a str>,
+    types: BTreeSet<PiiType>,
+}
+
+/// Organization view of a registrable domain (paper Table 2 style:
+/// the registrable label sans public suffix).
+fn organization(domain: &str) -> &str {
+    domain.split('.').next().unwrap_or(domain)
+}
+
+/// Stream one user into a shard aggregate.
+///
+/// Scaling model: a user's session of a cell observes the cell's
+/// measured per-session traffic, so counts scale linearly with the
+/// user's session count; device churn re-exposes hardware identifiers,
+/// so UniqueId instances additionally scale with device generations.
+fn ingest_user(agg: &mut PopulationAggregate, user: &UserModel, index: &CellIndex) {
+    agg.users = agg.users.saturating_add(1);
+    let mut app = MediumScratch::default();
+    let mut web = MediumScratch::default();
+    let mut orgs: BTreeSet<&str> = BTreeSet::new();
+    let mut cohorts: BTreeSet<String> = BTreeSet::new();
+    let mut leaked = false;
+
+    for ServiceUse {
+        service_id,
+        app_sessions,
+        web_sessions,
+    } in &user.services
+    {
+        for (medium, sessions) in [(Medium::App, *app_sessions), (Medium::Web, *web_sessions)] {
+            if sessions == 0 {
+                continue;
+            }
+            let Some(cell) = index.get(service_id, user.os, medium) else {
+                continue;
+            };
+            let s = sessions as u64;
+            let scratch = match medium {
+                Medium::App => &mut app,
+                Medium::Web => &mut web,
+            };
+
+            agg.sessions = agg.sessions.saturating_add(s);
+            agg.flows = agg.flows.saturating_add(cell.total_flows.saturating_mul(s));
+            agg.aa_flows = agg.aa_flows.saturating_add(cell.aa_flows.saturating_mul(s));
+            agg.aa_bytes = agg.aa_bytes.saturating_add(cell.aa_bytes.saturating_mul(s));
+
+            let mut cell_leaks = 0u64;
+            for (ty, type_agg) in &cell.per_type {
+                let churn = if *ty == PiiType::UniqueId {
+                    user.device_generations as u64
+                } else {
+                    1
+                };
+                let instances = type_agg.count.saturating_mul(s).saturating_mul(churn);
+                cell_leaks = cell_leaks.saturating_add(instances);
+                let stats = agg.pii.entry(*ty).or_default();
+                stats.instances = stats.instances.saturating_add(instances);
+                match medium {
+                    Medium::App => {
+                        stats.app_instances = stats.app_instances.saturating_add(instances)
+                    }
+                    Medium::Web => {
+                        stats.web_instances = stats.web_instances.saturating_add(instances)
+                    }
+                }
+                scratch.types.insert(*ty);
+            }
+            agg.leak_instances = agg.leak_instances.saturating_add(cell_leaks);
+            leaked |= cell_leaks > 0;
+
+            for (domain, leaks) in &cell.per_domain_leaks {
+                let org = organization(domain);
+                agg.leak_orgs.add(org, leaks.saturating_mul(s));
+                orgs.insert(org);
+            }
+            for domain in &cell.aa_domains {
+                scratch.aa_domains.insert(domain.as_str());
+            }
+            for domain in &cell.leak_domains {
+                scratch.leak_domains.insert(domain.as_str());
+            }
+            scratch.aa_flows = scratch
+                .aa_flows
+                .saturating_add(cell.aa_flows.saturating_mul(s));
+            scratch.aa_bytes = scratch
+                .aa_bytes
+                .saturating_add(cell.aa_bytes.saturating_mul(s));
+
+            let cohort = cohort_key(user.os, medium);
+            let cohort_stats = agg.cohorts.entry(cohort.clone()).or_default();
+            cohort_stats.sessions = cohort_stats.sessions.saturating_add(s);
+            cohort_stats.aa_flows = cohort_stats
+                .aa_flows
+                .saturating_add(cell.aa_flows.saturating_mul(s));
+            cohort_stats.aa_bytes = cohort_stats
+                .aa_bytes
+                .saturating_add(cell.aa_bytes.saturating_mul(s));
+            cohort_stats.leak_instances = cohort_stats.leak_instances.saturating_add(cell_leaks);
+            cohorts.insert(cohort);
+        }
+    }
+
+    if leaked {
+        agg.users_leaking = agg.users_leaking.saturating_add(1);
+    }
+    for cohort in cohorts {
+        if let Some(stats) = agg.cohorts.get_mut(&cohort) {
+            stats.users = stats.users.saturating_add(1);
+        }
+    }
+    let user_types: BTreeSet<PiiType> = app.types.union(&web.types).copied().collect();
+    for ty in user_types {
+        if let Some(stats) = agg.pii.get_mut(&ty) {
+            stats.users = stats.users.saturating_add(1);
+        }
+    }
+    for org in orgs {
+        agg.org_reach.add(org, 1);
+    }
+
+    // The per-user app-vs-web difference samples (Figures 2–7).
+    let diff = |a: u64, b: u64| a as f64 - b as f64;
+    let samples = [
+        (
+            "fig2",
+            diff(app.aa_domains.len() as u64, web.aa_domains.len() as u64),
+        ),
+        ("fig3", diff(app.aa_flows, web.aa_flows)),
+        ("fig4", diff(app.aa_bytes, web.aa_bytes) / 1.0e6),
+        (
+            "fig5",
+            diff(app.leak_domains.len() as u64, web.leak_domains.len() as u64),
+        ),
+        ("fig6", diff(app.types.len() as u64, web.types.len() as u64)),
+        ("fig7", stats::jaccard(&app.types, &web.types)),
+    ];
+    for (figure, value) in samples {
+        agg.figures
+            .entry(figure_key(figure, user.os))
+            .or_default()
+            .add(value);
+    }
+}
+
+/// Build one shard's aggregate by streaming users `lo..hi`.
+fn build_shard(seed: u64, range: (u64, u64), index: &CellIndex) -> PopulationAggregate {
+    let mut agg = PopulationAggregate::new();
+    for user_id in range.0..range.1 {
+        let user = UserModel::generate(seed, user_id, &index.universe);
+        ingest_user(&mut agg, &user, index);
+    }
+    agg
+}
+
+/// Fold shard states pairwise in a fixed binary tree over shard order.
+/// The pairing never depends on timing, so any worker count yields the
+/// same sequence of merges — and since `merge` is associative on these
+/// states, the same bytes.
+fn reduce_tree(mut states: Vec<PopulationAggregate>, workers: usize) -> PopulationAggregate {
+    while states.len() > 1 {
+        let pairs: Vec<&[PopulationAggregate]> = states.chunks(2).collect();
+        states = appvsweb_core::exec::run_indexed(&pairs, workers, 1, |_, pair| {
+            let mut left = pair.first().cloned().unwrap_or_default();
+            if let Some(right) = pair.get(1) {
+                left.merge(right);
+            }
+            left
+        });
+    }
+    states.into_iter().next().unwrap_or_default()
+}
+
+/// Run a population campaign over an already-measured base study.
+///
+/// Pure in `(study, cfg)`: re-running with any worker count returns a
+/// byte-identical [`PopulationReport`].
+pub fn run_campaign_on(study: &Study, cfg: &CampaignConfig) -> PopulationReport {
+    let index = CellIndex::new(study);
+    let shards = cfg.shards.max(1);
+    let ranges: Vec<(u64, u64)> = (0..shards as u64)
+        .map(|i| {
+            (
+                i * cfg.users / shards as u64,
+                (i + 1) * cfg.users / shards as u64,
+            )
+        })
+        .collect();
+    let states = appvsweb_core::exec::run_indexed(&ranges, cfg.workers.max(1), 1, |_, &range| {
+        build_shard(cfg.seed, range, &index)
+    });
+    let peak_state_bytes = states.iter().map(|s| s.approx_bytes()).max().unwrap_or(0);
+    let aggregate = reduce_tree(states, cfg.workers.max(1));
+    PopulationReport {
+        users: cfg.users,
+        shards,
+        seed: cfg.seed,
+        peak_state_bytes,
+        aggregate,
+    }
+}
+
+/// Measure the base study, then run the campaign on it.
+pub fn run_campaign(study_cfg: &StudyConfig, cfg: &CampaignConfig) -> PopulationReport {
+    run_campaign_on(&run_study(study_cfg), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appvsweb_analysis::leaks::TypeAggregate;
+    use appvsweb_netsim::FaultCounts;
+    use appvsweb_services::{Catalog, ServiceCategory};
+
+    /// A tiny synthetic two-service study — unit tests must not pay for
+    /// the real simulator (integration suites do).
+    pub(crate) fn tiny_study() -> Study {
+        let mut cells = Vec::new();
+        for (idx, service_id) in ["alpha", "beta"].iter().enumerate() {
+            for os in [Os::Android, Os::Ios] {
+                for medium in Medium::BOTH {
+                    let heavier = u64::from(medium == Medium::Web);
+                    let mut per_type = BTreeMap::new();
+                    let mut leak_domains = BTreeSet::new();
+                    let mut per_domain_leaks = BTreeMap::new();
+                    if idx == 0 {
+                        per_type.insert(
+                            PiiType::Email,
+                            TypeAggregate {
+                                count: 1 + heavier,
+                                domains: BTreeSet::from(["tracker.com".to_string()]),
+                            },
+                        );
+                        if medium == Medium::App {
+                            per_type.insert(
+                                PiiType::UniqueId,
+                                TypeAggregate {
+                                    count: 2,
+                                    domains: BTreeSet::from(["tracker.com".to_string()]),
+                                },
+                            );
+                        }
+                        leak_domains.insert("tracker.com".to_string());
+                        per_domain_leaks.insert("tracker.com".to_string(), 2 + heavier);
+                    }
+                    cells.push(CellAnalysis {
+                        service_id: service_id.to_string(),
+                        service_name: service_id.to_uppercase(),
+                        category: ServiceCategory::News,
+                        rank: 1 + idx as u32,
+                        os,
+                        medium,
+                        aa_domains: BTreeSet::from([
+                            "ads.example".to_string(),
+                            format!("cdn{heavier}.example"),
+                        ]),
+                        aa_flows: 3 + heavier,
+                        aa_bytes: 10_000 * (1 + heavier),
+                        total_flows: 9,
+                        leaks: Vec::new(),
+                        leak_domains,
+                        leaked_types: per_type.keys().copied().collect(),
+                        per_type,
+                        per_domain_leaks,
+                        per_domain_types: BTreeMap::new(),
+                        fault_counts: FaultCounts::default(),
+                        retries: 0,
+                    });
+                }
+            }
+        }
+        Study {
+            cells,
+            health: Default::default(),
+        }
+    }
+
+    #[test]
+    fn campaign_is_byte_identical_across_worker_counts() {
+        let study = tiny_study();
+        let base = CampaignConfig {
+            users: 500,
+            shards: 16,
+            workers: 1,
+            seed: 2016,
+        };
+        let one = run_campaign_on(&study, &base);
+        for workers in [2, 8] {
+            let other = run_campaign_on(
+                &study,
+                &CampaignConfig {
+                    workers,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(
+                appvsweb_json::encode(&one),
+                appvsweb_json::encode(&other),
+                "{workers} workers must match 1 worker byte for byte"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_shards_equals_one_big_shard() {
+        let study = tiny_study();
+        let cfg = CampaignConfig {
+            users: 300,
+            shards: 1,
+            workers: 1,
+            seed: 5,
+        };
+        let single = run_campaign_on(&study, &cfg);
+        let sharded = run_campaign_on(&study, &CampaignConfig { shards: 32, ..cfg });
+        // Same aggregate regardless of shard partitioning (the merge
+        // law, end to end); peak-state differs by design.
+        assert_eq!(
+            appvsweb_json::encode(&single.aggregate),
+            appvsweb_json::encode(&sharded.aggregate)
+        );
+        assert!(single.aggregate.is_exact());
+    }
+
+    #[test]
+    fn aggregate_is_plausible() {
+        let study = tiny_study();
+        let report = run_campaign_on(
+            &study,
+            &CampaignConfig {
+                users: 400,
+                shards: 8,
+                workers: 4,
+                seed: 2016,
+            },
+        );
+        let agg = &report.aggregate;
+        assert_eq!(agg.users, 400);
+        assert!(agg.sessions > 400, "multiple sessions per user");
+        assert!(agg.users_leaking > 0);
+        assert!(agg.users_leaking <= agg.users);
+        assert!(agg.leak_instances > 0);
+        assert!(agg.pii.contains_key(&PiiType::UniqueId));
+        let uid = &agg.pii[&PiiType::UniqueId];
+        assert_eq!(uid.web_instances, 0, "hardware ids leak only via apps");
+        assert!(uid.app_instances > 0);
+        assert!(agg.leak_orgs.count("tracker") > 0);
+        assert!(agg.org_reach.count("tracker") <= agg.users);
+        assert!(!agg.figures.is_empty());
+        assert!(report.peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn memory_is_constant_in_user_count() {
+        let study = tiny_study();
+        let at = |users: u64| {
+            run_campaign_on(
+                &study,
+                &CampaignConfig {
+                    users,
+                    shards: 8,
+                    workers: 4,
+                    seed: 3,
+                },
+            )
+            .peak_state_bytes
+        };
+        let small = at(1_000);
+        let large = at(8_000);
+        assert!(
+            large <= small.saturating_mul(2),
+            "8x the users must not grow shard state: {small} -> {large} bytes"
+        );
+    }
+
+    #[test]
+    fn real_catalog_universe_is_rank_ordered() {
+        // Spot-check CellIndex against the real catalog shape without
+        // running the simulator: build a study of empty cells.
+        let catalog = Catalog::paper();
+        let mut cells = Vec::new();
+        for os in [Os::Android, Os::Ios] {
+            for spec in catalog.testable_on(os) {
+                cells.push(CellAnalysis {
+                    service_id: spec.id.to_string(),
+                    service_name: spec.name.to_string(),
+                    category: spec.category,
+                    rank: spec.rank,
+                    os,
+                    medium: Medium::App,
+                    aa_domains: BTreeSet::new(),
+                    aa_flows: 0,
+                    aa_bytes: 0,
+                    total_flows: 0,
+                    leaks: Vec::new(),
+                    leak_domains: BTreeSet::new(),
+                    leaked_types: BTreeSet::new(),
+                    per_type: BTreeMap::new(),
+                    per_domain_leaks: BTreeMap::new(),
+                    per_domain_types: BTreeMap::new(),
+                    fault_counts: FaultCounts::default(),
+                    retries: 0,
+                });
+            }
+        }
+        let study = Study {
+            cells,
+            health: Default::default(),
+        };
+        let index = CellIndex::new(&study);
+        assert_eq!(index.universe.android.len(), 49);
+        assert_eq!(index.universe.ios.len(), 49);
+    }
+}

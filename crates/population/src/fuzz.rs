@@ -1,0 +1,277 @@
+//! Fuzz entry point for the population sketch codecs and merge laws.
+//!
+//! Two modes on the same byte stream:
+//!
+//! * **Codec mode** — bytes that parse as JSON and decode as a
+//!   [`PopulationReport`], [`QuantileSketch`], or [`TopKSketch`] must
+//!   re-encode to a byte-level fixed point (compact and pretty), and
+//!   every consumer (quantiles, rankings, the report renderer, merge)
+//!   must be total on whatever the decoder accepts — including
+//!   hostile states no ingestion path would build (unsorted buckets,
+//!   duplicate keys, absurd capacities).
+//! * **Op mode** — everything else is read as an operation stream
+//!   driving two sketch halves, then the merge laws are asserted on
+//!   arbitrary data: commutativity and identity byte-for-byte, and
+//!   merge-equals-sequential-ingestion for the always-exact quantile
+//!   sketch and the unbounded top-k.
+
+use appvsweb_analysis::population::render_population_report;
+use appvsweb_analysis::{PopulationReport, QuantileSketch, TopKSketch};
+
+fn check_quantile_sketch(sketch: &QuantileSketch) {
+    // Consumers are total on hostile states.
+    for q in [0.0, 0.5, 1.0] {
+        let _ = sketch.quantile(q);
+    }
+    let _ = sketch.fraction_negative();
+    let _ = sketch.approx_bytes();
+    // Merge totality, and identity on the canonical empty state.
+    let mut merged = sketch.clone();
+    merged.merge(sketch);
+    let mut with_empty = sketch.clone();
+    with_empty.merge(&QuantileSketch::new());
+    // Canonical-form states are fixed by an identity merge; hostile
+    // states at worst normalize, and normalizing must be idempotent.
+    let mut twice = with_empty.clone();
+    twice.merge(&QuantileSketch::new());
+    assert_eq!(
+        appvsweb_json::encode(&with_empty),
+        appvsweb_json::encode(&twice),
+        "identity merge must be idempotent"
+    );
+}
+
+fn check_topk_sketch(sketch: &TopKSketch) {
+    let _ = sketch.top(10);
+    let _ = sketch.total();
+    let _ = sketch.count("anything");
+    let _ = sketch.approx_bytes();
+    let mut merged = sketch.clone();
+    merged.merge(sketch);
+    let mut with_empty = sketch.clone();
+    with_empty.merge(&TopKSketch::default());
+    let mut twice = with_empty.clone();
+    twice.merge(&TopKSketch::default());
+    assert_eq!(
+        appvsweb_json::encode(&with_empty),
+        appvsweb_json::encode(&twice),
+        "identity merge must be idempotent"
+    );
+}
+
+/// Assert the JSON codec fixed point for a decoded value.
+fn check_fixed_point<T>(value: &T)
+where
+    T: appvsweb_json::ToJson + appvsweb_json::FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = appvsweb_json::encode(value);
+    let back: Result<T, _> = appvsweb_json::decode(&compact);
+    assert!(back.is_ok(), "re-encoded value must reparse: {compact}");
+    let Ok(back) = back else { return };
+    assert_eq!(&back, value, "decode(encode(x)) must equal x");
+    assert_eq!(
+        appvsweb_json::encode(&back),
+        compact,
+        "compact encoding must reach a fixed point"
+    );
+    let pretty = appvsweb_json::encode_pretty(value);
+    let repretty: Result<T, _> = appvsweb_json::decode(&pretty);
+    assert!(repretty.is_ok(), "pretty form must reparse: {pretty}");
+    let Ok(repretty) = repretty else { return };
+    assert_eq!(&repretty, value, "pretty and compact forms must agree");
+}
+
+/// Interpret bytes as sketch operations, split across two halves.
+fn op_mode(data: &[u8]) {
+    let mut qs_a = QuantileSketch::new();
+    let mut qs_b = QuantileSketch::new();
+    let mut qs_all = QuantileSketch::new();
+    let mut tk_a = TopKSketch::default();
+    let mut tk_b = TopKSketch::default();
+    let mut tk_all = TopKSketch::default();
+    let mut tk_bounded = TopKSketch::with_capacity(1 + (data.len() as u32 % 4));
+
+    let mid = data.len() / 2;
+    for (i, chunk) in data.chunks(5).enumerate() {
+        let second_half = i * 5 >= mid;
+        let tag = chunk.first().copied().unwrap_or(0);
+        let mut word = [0u8; 4];
+        for (slot, byte) in word.iter_mut().zip(chunk.iter().skip(1)) {
+            *slot = *byte;
+        }
+        let raw = u32::from_le_bytes(word);
+        match tag % 3 {
+            0 => {
+                // Arbitrary f32 bit patterns: NaN, infinities,
+                // subnormals — the sketch must stay total.
+                let value = f32::from_bits(raw) as f64;
+                let half = if second_half { &mut qs_b } else { &mut qs_a };
+                half.add(value);
+                qs_all.add(value);
+            }
+            1 => {
+                let value = raw as f64 / 7.0 - 100_000.0;
+                let half = if second_half { &mut qs_b } else { &mut qs_a };
+                half.add(value);
+                qs_all.add(value);
+            }
+            _ => {
+                let key = format!("k{}", raw % 64);
+                let count = 1 + (raw as u64 >> 6);
+                let half = if second_half { &mut tk_b } else { &mut tk_a };
+                half.add(&key, count);
+                tk_all.add(&key, count);
+                tk_bounded.add(&key, count);
+            }
+        }
+    }
+
+    // merge(a, b) == merge(b, a), byte for byte.
+    let mut ab = qs_a.clone();
+    ab.merge(&qs_b);
+    let mut ba = qs_b.clone();
+    ba.merge(&qs_a);
+    assert_eq!(
+        appvsweb_json::encode(&ab),
+        appvsweb_json::encode(&ba),
+        "quantile merge must commute"
+    );
+    // merge == sequential ingestion of both streams.
+    assert_eq!(
+        appvsweb_json::encode(&ab),
+        appvsweb_json::encode(&qs_all),
+        "quantile merge must equal sequential ingestion"
+    );
+
+    let mut tab = tk_a.clone();
+    tab.merge(&tk_b);
+    let mut tba = tk_b.clone();
+    tba.merge(&tk_a);
+    assert_eq!(
+        appvsweb_json::encode(&tab),
+        appvsweb_json::encode(&tba),
+        "top-k merge must commute"
+    );
+    assert_eq!(
+        appvsweb_json::encode(&tab),
+        appvsweb_json::encode(&tk_all),
+        "unbounded top-k merge must equal sequential ingestion"
+    );
+    // The bounded sketch only has to stay total and accounted.
+    assert!(
+        tk_bounded.entries.len() as u64 <= u64::from(tk_bounded.capacity),
+        "bounded top-k must respect its capacity"
+    );
+}
+
+/// Run the population target on raw fuzz bytes.
+pub fn run(data: &[u8]) {
+    let text = String::from_utf8_lossy(data);
+    if let Ok(report) = appvsweb_json::decode::<PopulationReport>(&text) {
+        check_fixed_point(&report);
+        // The renderer and every table builder must be total on
+        // hostile reports.
+        let rendered = render_population_report(&report);
+        assert!(rendered.contains("Population campaign"));
+        check_topk_sketch(&report.aggregate.leak_orgs);
+        for sketch in report.aggregate.figures.values() {
+            check_quantile_sketch(sketch);
+        }
+        return;
+    }
+    if let Ok(sketch) = appvsweb_json::decode::<QuantileSketch>(&text) {
+        check_fixed_point(&sketch);
+        check_quantile_sketch(&sketch);
+        return;
+    }
+    if let Ok(sketch) = appvsweb_json::decode::<TopKSketch>(&text) {
+        check_fixed_point(&sketch);
+        check_topk_sketch(&sketch);
+        return;
+    }
+    op_mode(data);
+}
+
+/// Dictionary: the sketch/report JSON vocabulary.
+pub const DICT: &[&[u8]] = &[
+    b"\"pos\"",
+    b"\"neg\"",
+    b"\"zeros\"",
+    b"\"non_finite\"",
+    b"\"capacity\"",
+    b"\"entries\"",
+    b"\"key\"",
+    b"\"count\"",
+    b"\"err\"",
+    b"\"dropped\"",
+    b"\"evictions\"",
+    b"\"users\"",
+    b"\"shards\"",
+    b"\"seed\"",
+    b"\"peak_state_bytes\"",
+    b"\"aggregate\"",
+    b"\"cohorts\"",
+    b"\"pii\"",
+    b"\"leak_orgs\"",
+    b"\"org_reach\"",
+    b"\"figures\"",
+    b"[[0,1]]",
+    b"[[-5,2]]",
+];
+
+/// Seeds: canonical sketches, a hostile unsorted sketch, a minimal
+/// report, and an op-stream.
+pub const SEEDS: &[&[u8]] = &[
+    b"{\"pos\":[],\"neg\":[],\"zeros\":0,\"non_finite\":0}",
+    b"{\"pos\":[[3,2],[90,1]],\"neg\":[[14,4]],\"zeros\":7,\"non_finite\":1}",
+    b"{\"pos\":[[5,1],[5,2],[-2,3]],\"neg\":[],\"zeros\":0,\"non_finite\":0}",
+    b"{\"capacity\":4,\"entries\":[{\"key\":\"doubleclick\",\"count\":9,\"err\":0},\
+{\"key\":\"scorecard\",\"count\":3,\"err\":1}],\"dropped\":2,\"evictions\":1}",
+    b"{\"users\":2,\"shards\":1,\"seed\":9,\"peak_state_bytes\":64,\"aggregate\":{\
+\"users\":2,\"users_leaking\":1,\"sessions\":5,\"flows\":40,\"aa_flows\":11,\"aa_bytes\":90000,\
+\"leak_instances\":3,\"cohorts\":{\"Android:App\":{\"users\":2,\"sessions\":5,\"aa_flows\":11,\
+\"aa_bytes\":90000,\"leak_instances\":3}},\"pii\":{\"Email\":{\"users\":1,\"instances\":3,\
+\"app_instances\":2,\"web_instances\":1}},\"leak_orgs\":{\"capacity\":0,\"entries\":[],\
+\"dropped\":0,\"evictions\":0},\"org_reach\":{\"capacity\":0,\"entries\":[],\"dropped\":0,\
+\"evictions\":0},\"figures\":{\"fig2:Android\":{\"pos\":[[1,2]],\"neg\":[],\"zeros\":0,\
+\"non_finite\":0}}}}",
+    b"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f\
+\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7\xf6",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_survives_the_harness() {
+        for seed in SEEDS {
+            run(seed);
+        }
+    }
+
+    #[test]
+    fn structured_seeds_actually_decode() {
+        let report = String::from_utf8_lossy(SEEDS[4]);
+        assert!(
+            appvsweb_json::decode::<PopulationReport>(&report).is_ok(),
+            "report seed must decode: {report}"
+        );
+        for seed in &SEEDS[0..3] {
+            let text = String::from_utf8_lossy(seed);
+            assert!(
+                appvsweb_json::decode::<QuantileSketch>(&text).is_ok(),
+                "sketch seed must decode: {text}"
+            );
+        }
+        let topk = String::from_utf8_lossy(SEEDS[3]);
+        assert!(appvsweb_json::decode::<TopKSketch>(&topk).is_ok());
+    }
+
+    #[test]
+    fn dict_tokens_survive() {
+        for token in DICT {
+            run(token);
+        }
+    }
+}

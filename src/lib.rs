@@ -20,6 +20,8 @@
 //! * [`analysis`] — leak rules, Tables 1–3, Figures 1a–1f, reports
 //! * [`recommend`] — the preference-based app-vs-web recommender
 //! * [`core`] — the full study driver and dataset export
+//! * [`population`] — population-scale campaigns: deterministic user
+//!   models, mergeable sketch aggregation, and the fixed reduction tree
 //! * [`json`] — zero-dependency JSON value type, parser, serializer,
 //!   and the `impl_json!` derive-style macro
 //! * [`obs`] — deterministic tracing and metrics over the whole
@@ -39,6 +41,7 @@ pub use appvsweb_mitm as mitm;
 pub use appvsweb_netsim as netsim;
 pub use appvsweb_obs as obs;
 pub use appvsweb_pii as pii;
+pub use appvsweb_population as population;
 pub use appvsweb_recommend as recommend;
 pub use appvsweb_services as services;
 pub use appvsweb_tlssim as tlssim;

@@ -52,8 +52,10 @@ fn every_corpus_entry_replays_without_crashing() {
 fn regression_pins_are_committed() {
     // The regression families from earlier PRs must stay in the
     // corpus: the PR 2 gzip-trailer truncation and DNS negative-cache
-    // fixes, the PR 3 lexer property-test edge cases, and the journal
-    // renderer's close-without-open totality case.
+    // fixes, the PR 3 lexer property-test edge cases, the journal
+    // renderer's close-without-open totality case, and the population
+    // sketch hostile-state pins (unsorted buckets, absurd capacities,
+    // non-finite op streams).
     for (target, pin) in [
         ("httpsim_gzip", "regress-trailer-truncated.bin"),
         ("httpsim_gzip", "regress-trailer-missing.bin"),
@@ -63,6 +65,10 @@ fn regression_pins_are_committed() {
         ("lint_lexer", "regress-nested-comment.bin"),
         ("lint_lexer", "regress-unterminated-raw.bin"),
         ("trace", "regress-depth-underflow.bin"),
+        ("population", "regress-report-roundtrip.bin"),
+        ("population", "regress-unsorted-buckets.bin"),
+        ("population", "regress-topk-absurd-capacity.bin"),
+        ("population", "regress-opstream-nonfinite.bin"),
     ] {
         let path = fuzz_targets::corpus_dir(target).join(pin);
         assert!(path.is_file(), "missing regression pin {}", path.display());
@@ -144,5 +150,52 @@ fn trace_corpus_journals_hit_the_codec_fixed_point() {
     assert!(
         decoded >= 2,
         "the trace corpus should contain decodable journals, got {decoded}"
+    );
+}
+
+#[test]
+fn population_corpus_sketches_hit_the_codec_fixed_point() {
+    // Differential law for the population codecs: every committed input
+    // that decodes as a report or sketch must survive decode -> encode
+    // -> decode losslessly, every consumer must be total on it (the
+    // renderer, quantiles, rankings), and an identity merge must leave
+    // the re-encoded bytes at a fixed point.
+    use appvsweb::analysis::population::render_population_report;
+    use appvsweb::analysis::{PopulationReport, QuantileSketch, TopKSketch};
+    let mut decoded = 0usize;
+    for data in corpus_for("population") {
+        let text = String::from_utf8_lossy(&data);
+        if let Ok(report) = appvsweb::json::decode::<PopulationReport>(&text) {
+            decoded += 1;
+            let compact = appvsweb::json::encode(&report);
+            let back: PopulationReport =
+                appvsweb::json::decode(&compact).expect("re-encoded report must reparse");
+            assert_eq!(back, report, "report codec fixed point");
+            let _ = render_population_report(&report);
+        } else if let Ok(sketch) = appvsweb::json::decode::<QuantileSketch>(&text) {
+            decoded += 1;
+            let mut merged = sketch.clone();
+            merged.merge(&QuantileSketch::new());
+            let canonical = appvsweb::json::encode(&merged);
+            let mut twice = merged.clone();
+            twice.merge(&QuantileSketch::new());
+            assert_eq!(
+                appvsweb::json::encode(&twice),
+                canonical,
+                "identity merge must normalize hostile sketches idempotently"
+            );
+            let _ = sketch.quantile(0.5);
+        } else if let Ok(sketch) = appvsweb::json::decode::<TopKSketch>(&text) {
+            decoded += 1;
+            let _ = sketch.top(10);
+            let compact = appvsweb::json::encode(&sketch);
+            let back: TopKSketch =
+                appvsweb::json::decode(&compact).expect("re-encoded top-k must reparse");
+            assert_eq!(back, sketch, "top-k codec fixed point");
+        }
+    }
+    assert!(
+        decoded >= 3,
+        "the population corpus should contain decodable documents, got {decoded}"
     );
 }

@@ -1,0 +1,100 @@
+//! Golden snapshot of the 10k-user population report.
+//!
+//! The population report is a pure function of `(study config, campaign
+//! config)` — so the full rendering (Tables 3–5 at population scale
+//! plus the Figure 2–7 CDF summaries) is pinned byte-for-byte against a
+//! committed snapshot, and the underlying report must be byte-identical
+//! at 1, 2, and 8 workers. Any drift in the user sampler, the ingest
+//! scaling model, the sketches, or the reduction tree shows up here as
+//! a diff.
+//!
+//! Regenerate after an intentional model change:
+//!
+//! ```bash
+//! REGEN_GOLDEN=1 cargo test --test population_golden
+//! ```
+
+use appvsweb::analysis::population::render_population_report;
+use appvsweb::analysis::{PopulationReport, Study};
+use appvsweb::core::study::run_study;
+use appvsweb::population::{run_campaign_on, CampaignConfig};
+use appvsweb_testkit::fixtures::quick_study_config;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The quick base study, measured once and shared by every test in
+/// this binary.
+fn base_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&quick_study_config()))
+}
+
+fn campaign(workers: usize) -> PopulationReport {
+    run_campaign_on(
+        base_study(),
+        &CampaignConfig {
+            users: 10_000,
+            shards: 64,
+            workers,
+            seed: 2016,
+        },
+    )
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+#[test]
+fn population_report_matches_committed_snapshot() {
+    let report = campaign(4);
+    let text = render_population_report(&report) + "\n";
+    let path = golden_path("population_10k.txt");
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &text).expect("write golden snapshot");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, committed,
+        "population report drifted from the committed snapshot; if the \
+         model change is intentional, regenerate with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn population_report_is_byte_identical_across_worker_counts() {
+    let single = appvsweb::json::encode(&campaign(1));
+    for workers in [2, 8] {
+        assert_eq!(
+            single,
+            appvsweb::json::encode(&campaign(workers)),
+            "{workers} workers must reproduce the 1-worker report byte for byte"
+        );
+    }
+}
+
+#[test]
+fn population_report_is_plausible_at_scale() {
+    // Sanity floor under the snapshot: the 10k campaign exercises the
+    // whole catalog and stays in the sketches' exact regime.
+    let report = campaign(4);
+    let agg = &report.aggregate;
+    assert_eq!(agg.users, 10_000);
+    assert!(agg.sessions > agg.users, "multiple sessions per user");
+    assert!(agg.users_leaking > 0);
+    assert!(agg.users_leaking <= agg.users);
+    assert!(agg.is_exact(), "10k users must not leave the exact regime");
+    assert!(!agg.figures.is_empty());
+    assert!(report.peak_state_bytes > 0);
+}
