@@ -29,6 +29,9 @@ cargo run -q --release -p appvsweb-bench --bin repro -- metrics --check
 echo "== repro population --smoke (1k-user campaign determinism gate) =="
 cargo run -q --release -p appvsweb-bench --bin repro -- population --smoke
 
+echo "== repro serve --smoke (submit -> crash -> recover -> diff, 1/2/8-worker determinism) =="
+cargo run -q --release -p appvsweb-bench --bin repro -- serve --smoke
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

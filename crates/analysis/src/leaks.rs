@@ -292,6 +292,13 @@ pub struct StudyHealth {
     /// label. `failed_cells` stays as the bare-label view; this is the
     /// diagnosable one.
     pub failures: Vec<CellFailure>,
+    /// Workers the supervised executor reaped for missing their
+    /// sim-clock heartbeat deadline (always 0 under the batch runner,
+    /// which has no supervisor).
+    pub supervisor_reaps: u64,
+    /// Cells quarantined as poison after exhausting their supervised
+    /// retries; each also appears in `failures` with its payload.
+    pub cells_quarantined: u64,
 }
 
 /// Why one cell exhausted its attempts: the label plus the panic payload
@@ -318,7 +325,7 @@ impl StudyHealth {
 
     /// One-line human summary for reports and CLI output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}/{} cells completed ({} retried, {} failed); {} faults injected, {} client retries",
             self.cells_completed,
             self.cells_attempted,
@@ -326,7 +333,16 @@ impl StudyHealth {
             self.cells_failed,
             self.faults.total(),
             self.session_retries
-        )
+        );
+        // Supervisor columns only exist under the serve executor; the
+        // batch runner's summaries stay exactly as they always were.
+        if self.supervisor_reaps > 0 || self.cells_quarantined > 0 {
+            line.push_str(&format!(
+                "; {} workers reaped, {} cells quarantined",
+                self.supervisor_reaps, self.cells_quarantined
+            ));
+        }
+        line
     }
 }
 
@@ -434,7 +450,7 @@ appvsweb_json::impl_json!(struct CellAnalysis {
 });
 appvsweb_json::impl_json!(struct StudyHealth {
     cells_attempted, cells_completed, cells_retried, cells_failed, faults, session_retries,
-    failed_cells, failures
+    failed_cells, failures, supervisor_reaps, cells_quarantined
 });
 appvsweb_json::impl_json!(struct CellFailure { cell, error });
 appvsweb_json::impl_json!(struct Study { cells, health });

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod figures;
 pub mod leaks;
 pub mod osdiff;
@@ -38,6 +39,9 @@ pub mod sketch;
 pub mod stats;
 pub mod tables;
 
+pub use drift::{
+    diff_profiles, headline_stats, profiles_of, DriftAlarm, DriftKind, HeadlineStats, LeakProfile,
+};
 pub use leaks::{
     analyze_trace, CellAnalysis, CellFailure, LeakEvent, ServiceComparison, Study, StudyHealth,
 };

@@ -1,0 +1,101 @@
+//! Resident-service benches: job throughput through the queue/worker
+//! substrate, WAL replay/recovery latency, and the HTTP surface.
+//!
+//! Emits `BENCH_serve.json` at the repo root. The metadata records the
+//! journal geometry (records, bytes) for the standard smoke workload so
+//! successive PRs can spot WAL-format growth, plus the admission split
+//! under queue pressure.
+
+use appvsweb_bench::repo_root;
+use appvsweb_core::CellId;
+use appvsweb_netsim::Os;
+use appvsweb_serve::{recover, JobSpec, MemWal, QueueConfig, Server};
+use appvsweb_services::{Catalog, Medium};
+use appvsweb_testkit::BenchRunner;
+
+fn small_spec(name: &str, seed: u64, services: usize) -> JobSpec {
+    let catalog = Catalog::paper();
+    let cells = catalog
+        .testable_on(Os::Android)
+        .take(services)
+        .flat_map(|s| {
+            [
+                CellId::new(s.id, Os::Android, Medium::App),
+                CellId::new(s.id, Os::Android, Medium::Web),
+            ]
+        })
+        .collect();
+    JobSpec {
+        name: name.to_string(),
+        seed,
+        minutes: 1,
+        use_recon: false,
+        cells,
+        ..JobSpec::default()
+    }
+}
+
+fn run_jobs(workers: usize, jobs: u64) -> Server<MemWal> {
+    let mut server = Server::new(MemWal::default(), QueueConfig::default(), workers);
+    for seed in 0..jobs {
+        // Interleave submit/run so the queue never sheds: this bench
+        // measures the execution path, not admission control.
+        server.submit(small_spec("bench", seed, 2)).expect("submit");
+        server.run_pending().expect("run");
+    }
+    server
+}
+
+fn main() {
+    let mut runner = BenchRunner::new("serve").with_samples(1, 3);
+
+    runner.bench("job_2_services_1_worker", || run_jobs(1, 1));
+    runner.bench("job_2_services_4_workers", || run_jobs(4, 1));
+    runner.bench("four_jobs_4_workers", || run_jobs(4, 4));
+
+    // Recovery latency: replay a prebuilt journal (the 4-job workload)
+    // from scratch. This is the crash-restart path users actually wait
+    // on, so it gets its own series.
+    let golden = run_jobs(4, 4);
+    let wal = golden.sink().text.clone();
+    runner.meta("wal_records_4_jobs", wal.lines().count() as u64);
+    runner.meta("wal_bytes_4_jobs", wal.len() as u64);
+    runner.meta("revisions_4_jobs", golden.state.revisions.len() as u64);
+    runner.bench("recover_4_job_wal", || {
+        recover(&wal, None).expect("recover")
+    });
+
+    // Admission split under pressure: submit 8 jobs with no drain and
+    // record how many were admitted / shed / rejected.
+    let mut pressured = Server::new(MemWal::default(), QueueConfig::default(), 1);
+    for seed in 0..8 {
+        pressured
+            .submit(small_spec("pressure", seed, 1))
+            .expect("submit");
+    }
+    let shed = pressured
+        .state
+        .jobs
+        .iter()
+        .filter(|j| j.shed_stride > 1)
+        .count();
+    let rejected = pressured
+        .state
+        .jobs
+        .iter()
+        .filter(|j| j.status == appvsweb_serve::JobStatus::Rejected)
+        .count();
+    runner.meta("pressure_shed_of_8", shed as u64);
+    runner.meta("pressure_rejected_of_8", rejected as u64);
+
+    // The HTTP surface: request parse + route + render on a status hit.
+    let mut http_server = run_jobs(1, 1);
+    let request = b"GET /status HTTP/1.1\r\ncontent-length: 0\r\n\r\n";
+    runner.bench("http_status_roundtrip", || {
+        appvsweb_serve::http::handle(&mut http_server, request)
+    });
+
+    runner
+        .write_json(&repo_root())
+        .expect("write bench artifact");
+}

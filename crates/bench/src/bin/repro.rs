@@ -16,6 +16,8 @@
 //! repro metrics --check       # metrics dump / conservation-law gate
 //! repro population --users 100000         # population-scale campaign (Tables 3-5 at scale)
 //! repro population --smoke    # 1k-user determinism gate (CI)
+//! repro serve --listen 8080   # supervised resident service (submit/status/report/drift)
+//! repro serve --smoke         # crash/recover/drift determinism gate (CI)
 //! ```
 
 use appvsweb_analysis::figures::{self, FigureId};
@@ -75,7 +77,8 @@ fn parse_args() -> Args {
                      [--iters N] [--seed N] [--smoke] [--minimize]\n       repro trace \
                      [--cell SERVICE/OS/MEDIUM]\n       repro metrics [--check]\n       \
                      repro population [--users N] [--shards N] [--workers N] [--seed N] \
-                     [--minutes N] [--smoke] [--json FILE]"
+                     [--minutes N] [--smoke] [--json FILE]\n       repro serve [--smoke] \
+                     [--demo] [--listen PORT] [--dir PATH] [--workers N] [--max-requests N]"
                 );
                 std::process::exit(0);
             }
@@ -182,6 +185,11 @@ fn main() {
     // `repro population` scales the measured study to 10k-1M users.
     if argv.first().map(String::as_str) == Some("population") {
         std::process::exit(appvsweb_bench::population_cli::run(&argv[1..]));
+    }
+    // `repro serve` runs the supervised resident service (or its
+    // crash/recover smoke gate and drift-alarm demo).
+    if argv.first().map(String::as_str) == Some("serve") {
+        std::process::exit(appvsweb_bench::serve_cli::run(&argv[1..]));
     }
     let args = parse_args();
     let faults = match args.faults.as_deref() {

@@ -82,6 +82,13 @@ pub fn all() -> Vec<FuzzTarget> {
             seeds: appvsweb_population::fuzz::SEEDS,
             max_len: 1024,
         },
+        FuzzTarget {
+            name: "serve",
+            run: appvsweb_serve::fuzz::run,
+            dict: appvsweb_serve::fuzz::DICT,
+            seeds: appvsweb_serve::fuzz::SEEDS,
+            max_len: 1024,
+        },
     ]
 }
 
@@ -106,7 +113,7 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate target name");
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 11);
     }
 
     #[test]

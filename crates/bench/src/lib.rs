@@ -7,6 +7,7 @@ pub mod fuzz_cli;
 pub mod fuzz_targets;
 pub mod obs_cli;
 pub mod population_cli;
+pub mod serve_cli;
 
 use appvsweb_analysis::Study;
 use appvsweb_core::study::StudyConfig;

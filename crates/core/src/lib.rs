@@ -29,5 +29,7 @@ pub mod exec;
 pub mod study;
 pub mod testbed;
 
-pub use study::{run_study, StudyConfig};
+pub use study::{
+    run_study, run_study_checked, CellId, CellSelection, StudyConfig, StudyConfigError,
+};
 pub use testbed::Testbed;

@@ -17,12 +17,133 @@ use crate::testbed::Testbed;
 use appvsweb_adblock::Categorizer;
 use appvsweb_analysis::{analyze_trace, CellAnalysis, CellFailure, Study, StudyHealth};
 use appvsweb_httpsim::Host;
+use appvsweb_json::JsonKey;
 use appvsweb_netsim::{rng_labels, FaultKind, FaultPlan, Os, SimDuration, SimRng};
 use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
 use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
 use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
 use std::collections::BTreeSet;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One (service, OS, medium) coordinate of the campaign grid.
+///
+/// The canonical text form is the `service/Os/Medium` label the health
+/// ledger, the obs journal, and the `repro trace --cell` flag already
+/// use (e.g. `yelp/Android/App`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellId {
+    /// Service slug from the catalog.
+    pub service: String,
+    /// Test phone OS.
+    pub os: Os,
+    /// App or Web.
+    pub medium: Medium,
+}
+
+impl CellId {
+    /// Build a cell id from its parts.
+    pub fn new(service: &str, os: Os, medium: Medium) -> Self {
+        CellId {
+            service: service.to_string(),
+            os,
+            medium,
+        }
+    }
+
+    /// Parse the canonical `service/Os/Medium` label.
+    pub fn parse(label: &str) -> Result<CellId, StudyConfigError> {
+        let mut parts = label.splitn(3, '/');
+        let (Some(service), Some(os), Some(medium)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(StudyConfigError::BadCellLabel(label.to_string()));
+        };
+        if service.is_empty() {
+            return Err(StudyConfigError::BadCellLabel(label.to_string()));
+        }
+        let os = Os::from_key(os).map_err(|_| StudyConfigError::BadCellLabel(label.to_string()))?;
+        let medium = Medium::from_key(medium)
+            .map_err(|_| StudyConfigError::BadCellLabel(label.to_string()))?;
+        Ok(CellId {
+            service: service.to_string(),
+            os,
+            medium,
+        })
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{:?}/{:?}", self.service, self.os, self.medium)
+    }
+}
+
+appvsweb_json::impl_json!(struct CellId { service, os, medium });
+
+/// Which cells of the catalog a campaign covers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum CellSelection {
+    /// Every testable (service, OS, medium) cell — the paper's grid.
+    #[default]
+    All,
+    /// An explicit cell list (validated: known services, available on
+    /// the requested OS, and duplicate-free).
+    Explicit(Vec<CellId>),
+    /// Every n-th cell of the full grid, in grid order. This is the
+    /// load-shedding degradation: an overloaded queue runs a thinner,
+    /// still OS/medium-balanced sample instead of refusing the job.
+    Strided(u32),
+}
+
+/// Why a [`StudyConfig`] was rejected before any cell ran. Silent
+/// degeneracies (duplicate cells double-counting a service, zero-length
+/// sessions producing empty-but-plausible reports) are structured
+/// errors instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StudyConfigError {
+    /// The session duration is zero; every trace would be empty.
+    ZeroDuration,
+    /// A strided selection with stride 0 selects nothing meaningfully.
+    ZeroStride,
+    /// The same (service, OS, medium) cell appears twice.
+    DuplicateCell(String),
+    /// No such service slug in the catalog.
+    UnknownService(String),
+    /// The service exists but is not testable on the requested OS.
+    UnavailableCell(String),
+    /// A cell label did not parse as `service/Os/Medium`.
+    BadCellLabel(String),
+    /// A named fault-plan preset does not exist.
+    BadFaultPreset(String),
+}
+
+impl fmt::Display for StudyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyConfigError::ZeroDuration => {
+                write!(f, "zero-duration campaign: sessions would capture nothing")
+            }
+            StudyConfigError::ZeroStride => write!(f, "cell stride must be at least 1"),
+            StudyConfigError::DuplicateCell(cell) => {
+                write!(f, "duplicate cell in campaign spec: {cell}")
+            }
+            StudyConfigError::UnknownService(id) => {
+                write!(f, "unknown service in campaign spec: {id}")
+            }
+            StudyConfigError::UnavailableCell(cell) => {
+                write!(f, "cell not testable on that OS: {cell}")
+            }
+            StudyConfigError::BadCellLabel(label) => {
+                write!(f, "cell label must be service/Os/Medium: {label:?}")
+            }
+            StudyConfigError::BadFaultPreset(name) => {
+                write!(f, "no such fault-plan preset: {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyConfigError {}
 
 /// Study parameters.
 #[derive(Clone, Debug)]
@@ -42,6 +163,8 @@ pub struct StudyConfig {
     pub faults: FaultPlan,
     /// Attempts per cell before recording it failed (1 = no retry).
     pub cell_attempts: u32,
+    /// Which cells of the grid to run (default: all of them).
+    pub cells: CellSelection,
 }
 
 impl Default for StudyConfig {
@@ -53,6 +176,60 @@ impl Default for StudyConfig {
             use_recon: true,
             faults: FaultPlan::none(),
             cell_attempts: 2,
+            cells: CellSelection::All,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Reject configurations that would silently produce degenerate
+    /// reports: zero-duration campaigns and duplicate or unknown cells.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), StudyConfigError> {
+        if self.duration == SimDuration::ZERO {
+            return Err(StudyConfigError::ZeroDuration);
+        }
+        campaign_cells(catalog, &self.cells).map(|_| ())
+    }
+}
+
+/// Resolve a [`CellSelection`] against the catalog into the concrete
+/// work list, in grid order (OS-major, catalog order, then medium for
+/// `All`/`Strided`; spec order for `Explicit`).
+pub fn campaign_cells<'a>(
+    catalog: &'a Catalog,
+    selection: &CellSelection,
+) -> Result<Vec<(&'a ServiceSpec, Os, Medium)>, StudyConfigError> {
+    let grid = |stride: usize| -> Vec<(&ServiceSpec, Os, Medium)> {
+        let mut work = Vec::new();
+        for os in [Os::Android, Os::Ios] {
+            for spec in catalog.testable_on(os) {
+                for medium in Medium::BOTH {
+                    work.push((spec, os, medium));
+                }
+            }
+        }
+        work.into_iter().step_by(stride).collect()
+    };
+    match selection {
+        CellSelection::All => Ok(grid(1)),
+        CellSelection::Strided(0) => Err(StudyConfigError::ZeroStride),
+        CellSelection::Strided(n) => Ok(grid(*n as usize)),
+        CellSelection::Explicit(cells) => {
+            let mut seen = BTreeSet::new();
+            let mut work = Vec::with_capacity(cells.len());
+            for cell in cells {
+                if !seen.insert(cell.clone()) {
+                    return Err(StudyConfigError::DuplicateCell(cell.to_string()));
+                }
+                let spec = catalog
+                    .get(&cell.service)
+                    .ok_or_else(|| StudyConfigError::UnknownService(cell.service.clone()))?;
+                if !catalog.testable_on(cell.os).any(|s| s.id == spec.id) {
+                    return Err(StudyConfigError::UnavailableCell(cell.to_string()));
+                }
+                work.push((spec, cell.os, cell.medium));
+            }
+            Ok(work)
         }
     }
 }
@@ -157,13 +334,23 @@ fn run_cell_attempt(
 }
 
 /// Outcome of one cell, including the attempts its isolation loop spent.
-struct CellOutcome {
-    label: String,
-    cell: Option<CellAnalysis>,
-    attempts: u32,
-    panics: u64,
+///
+/// Public so external supervisors (the `appvsweb-serve` queue/worker
+/// substrate) can run cells attempt-by-attempt with their own retry
+/// policy and still fold results through [`fold_outcomes`] into the
+/// same ledger the batch runner produces.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Cell label, `service/Os/Medium`.
+    pub label: String,
+    /// The analysis, when any attempt survived.
+    pub cell: Option<CellAnalysis>,
+    /// Attempts spent (completed + panicked).
+    pub attempts: u32,
+    /// Panicked attempts.
+    pub panics: u64,
     /// Payload string of the last panic, when any attempt panicked.
-    panic_msg: Option<String>,
+    pub panic_msg: Option<String>,
 }
 
 /// Best-effort string form of a `catch_unwind` payload. Panics raised
@@ -177,6 +364,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// One isolated attempt at a cell: the panic boundary without the retry
+/// loop. `Err` carries the panic payload. This is the worker primitive
+/// the supervised queue executor schedules; [`run_cell_guarded`] is the
+/// batch runner's bounded-retry loop over it.
+pub fn run_cell_caught(
+    spec: &ServiceSpec,
+    os: Os,
+    medium: Medium,
+    cfg: &StudyConfig,
+    recon: Option<&ReconClassifier>,
+    attempt: u32,
+) -> Result<CellAnalysis, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_cell_attempt(spec, os, medium, cfg, recon, attempt)
+    }))
+    .map_err(|payload| panic_message(payload.as_ref()))
 }
 
 /// Run a cell inside a panic boundary with bounded retry. A cell that
@@ -203,9 +408,7 @@ fn run_cell_guarded(
         if attempt > 0 {
             appvsweb_obs::counter!("study.cell_retries");
         }
-        match catch_unwind(AssertUnwindSafe(|| {
-            run_cell_attempt(spec, os, medium, cfg, recon, attempt)
-        })) {
+        match run_cell_caught(spec, os, medium, cfg, recon, attempt) {
             Ok(cell) => {
                 return CellOutcome {
                     label,
@@ -215,9 +418,8 @@ fn run_cell_guarded(
                     panic_msg,
                 }
             }
-            Err(payload) => {
+            Err(msg) => {
                 panics += 1;
-                let msg = panic_message(payload.as_ref());
                 appvsweb_obs::counter!("study.cell_panics");
                 appvsweb_obs::event!("study.cell_panic", "attempt={attempt} {msg}");
                 panic_msg = Some(msg);
@@ -252,40 +454,13 @@ pub fn run_cell_journal(
     (outcome.cell, appvsweb_obs::capture_end())
 }
 
-/// Run the full study over the paper catalog.
-pub fn run_study(cfg: &StudyConfig) -> Study {
-    let catalog = Catalog::paper();
-    let recon = if cfg.use_recon {
-        Some(train_recon(&catalog, cfg))
-    } else {
-        None
-    };
-
-    // Work list: every testable (service, OS, medium) cell, respecting
-    // per-OS availability (48 Android / 50 iOS, Table 1).
-    let mut work: Vec<(&ServiceSpec, Os, Medium)> = Vec::new();
-    for os in [Os::Android, Os::Ios] {
-        for spec in catalog.testable_on(os) {
-            for medium in Medium::BOTH {
-                work.push((spec, os, medium));
-            }
-        }
-    }
-
-    // Work-stealing over cells (chunk = 1: cells are ragged — a heavy
-    // web cell can cost several light app cells — so fine-grained
-    // stealing beats the old static partition). Results come back in
-    // work-list order, and the fold below is order-independent anyway.
-    let outcomes: Vec<CellOutcome> =
-        crate::exec::run_indexed(&work, cfg.workers.max(1), 1, |_, (spec, os, medium)| {
-            run_cell_guarded(spec, *os, *medium, cfg, recon.as_ref())
-        });
-
-    // Fold the outcomes into the dataset + ledger. Every aggregate here
-    // is order-independent (sums and a sorted list), so the result is
-    // identical no matter how workers interleaved.
+/// Fold per-cell outcomes into the dataset + ledger. Every aggregate
+/// here is order-independent (sums and sorted lists), so the result is
+/// identical no matter how workers interleaved. Shared by the batch
+/// runner and the supervised `appvsweb-serve` executor.
+pub fn fold_outcomes(outcomes: Vec<CellOutcome>) -> Study {
     let mut health = StudyHealth {
-        cells_attempted: work.len() as u64,
+        cells_attempted: outcomes.len() as u64,
         ..StudyHealth::default()
     };
     let mut cells: Vec<CellAnalysis> = Vec::with_capacity(outcomes.len());
@@ -321,6 +496,45 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
         (a.service_id.clone(), a.os, a.medium).cmp(&(b.service_id.clone(), b.os, b.medium))
     });
     Study { cells, health }
+}
+
+/// Run the study with the configuration validated first: duplicate
+/// cells, unknown services, and zero-duration campaigns come back as
+/// structured errors instead of degenerate reports.
+pub fn run_study_checked(cfg: &StudyConfig) -> Result<Study, StudyConfigError> {
+    let catalog = Catalog::paper();
+    if cfg.duration == SimDuration::ZERO {
+        return Err(StudyConfigError::ZeroDuration);
+    }
+    // Work list: the selected cells of the full grid (48 Android / 50
+    // iOS services × 2 media, Table 1), validated against the catalog.
+    let work = campaign_cells(&catalog, &cfg.cells)?;
+    let recon = if cfg.use_recon {
+        Some(train_recon(&catalog, cfg))
+    } else {
+        None
+    };
+
+    // Work-stealing over cells (chunk = 1: cells are ragged — a heavy
+    // web cell can cost several light app cells — so fine-grained
+    // stealing beats the old static partition). Results come back in
+    // work-list order, and the fold below is order-independent anyway.
+    let outcomes: Vec<CellOutcome> =
+        crate::exec::run_indexed(&work, cfg.workers.max(1), 1, |_, (spec, os, medium)| {
+            run_cell_guarded(spec, *os, *medium, cfg, recon.as_ref())
+        });
+    Ok(fold_outcomes(outcomes))
+}
+
+/// Run the full study over the paper catalog.
+pub fn run_study(cfg: &StudyConfig) -> Study {
+    match run_study_checked(cfg) {
+        Ok(study) => study,
+        // Reviewed invariant: every in-tree caller passes a validated
+        // config; programmatic misuse should fail loudly here.
+        // lint:allow(R1) checked delegation to run_study_checked
+        Err(err) => panic!("invalid StudyConfig: {err}"),
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +612,143 @@ mod tests {
         let catalog = Catalog::paper();
         let clf = train_recon(&catalog, &quick_cfg());
         assert!(clf.domain_model_count() > 0, "per-domain models expected");
+    }
+
+    #[test]
+    fn duplicate_cells_are_rejected_with_a_structured_error() {
+        let cell = CellId::new("yelp", Os::Android, Medium::App);
+        let cfg = StudyConfig {
+            cells: CellSelection::Explicit(vec![cell.clone(), cell.clone()]),
+            ..quick_cfg()
+        };
+        let err = run_study_checked(&cfg).expect_err("duplicate cell must be rejected");
+        assert_eq!(err, StudyConfigError::DuplicateCell(cell.to_string()));
+        assert_eq!(
+            cfg.validate(&Catalog::paper()),
+            Err(StudyConfigError::DuplicateCell("yelp/Android/App".into()))
+        );
+    }
+
+    #[test]
+    fn zero_duration_campaigns_are_rejected() {
+        let cfg = StudyConfig {
+            duration: SimDuration::ZERO,
+            ..quick_cfg()
+        };
+        assert_eq!(
+            run_study_checked(&cfg).expect_err("zero duration must be rejected"),
+            StudyConfigError::ZeroDuration
+        );
+        assert_eq!(
+            cfg.validate(&Catalog::paper()),
+            Err(StudyConfigError::ZeroDuration)
+        );
+    }
+
+    #[test]
+    fn unknown_and_unavailable_cells_are_rejected() {
+        let unknown = StudyConfig {
+            cells: CellSelection::Explicit(vec![CellId::new("no-such", Os::Ios, Medium::Web)]),
+            ..quick_cfg()
+        };
+        assert_eq!(
+            run_study_checked(&unknown).expect_err("unknown service"),
+            StudyConfigError::UnknownService("no-such".into())
+        );
+        // big-medical is the paper's iOS-only service (Table 1: 48
+        // Android / 50 iOS).
+        let catalog = Catalog::paper();
+        let ios_only = catalog
+            .all()
+            .iter()
+            .find(|s| !catalog.testable_on(Os::Android).any(|a| a.id == s.id))
+            .expect("one iOS-only service exists");
+        let unavailable = StudyConfig {
+            cells: CellSelection::Explicit(vec![CellId::new(
+                ios_only.id,
+                Os::Android,
+                Medium::App,
+            )]),
+            ..quick_cfg()
+        };
+        assert!(matches!(
+            run_study_checked(&unavailable),
+            Err(StudyConfigError::UnavailableCell(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_selection_runs_exactly_those_cells_in_spec_order() {
+        let cells = vec![
+            CellId::new("yelp", Os::Ios, Medium::Web),
+            CellId::new("yelp", Os::Ios, Medium::App),
+            CellId::new("grubhub", Os::Android, Medium::App),
+        ];
+        let study = run_study_checked(&StudyConfig {
+            cells: CellSelection::Explicit(cells.clone()),
+            ..quick_cfg()
+        })
+        .expect("explicit selection runs");
+        assert_eq!(study.cells.len(), 3);
+        assert_eq!(study.health.cells_attempted, 3);
+        // Output order is the deterministic sorted order, not spec order.
+        let got: Vec<String> = study
+            .cells
+            .iter()
+            .map(|c| format!("{}/{:?}/{:?}", c.service_id, c.os, c.medium))
+            .collect();
+        let mut expect: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn strided_selection_thins_the_grid_deterministically() {
+        let catalog = Catalog::paper();
+        let full = campaign_cells(&catalog, &CellSelection::All).unwrap();
+        let thin = campaign_cells(&catalog, &CellSelection::Strided(4)).unwrap();
+        assert_eq!(thin.len(), full.len().div_ceil(4));
+        for (i, cell) in thin.iter().enumerate() {
+            assert_eq!(cell.0.id, full[i * 4].0.id);
+        }
+        assert_eq!(
+            campaign_cells(&catalog, &CellSelection::Strided(0)).unwrap_err(),
+            StudyConfigError::ZeroStride
+        );
+    }
+
+    #[test]
+    fn cell_id_labels_roundtrip() {
+        for label in ["yelp/Android/App", "bbc-news/Ios/Web"] {
+            let cell = CellId::parse(label).expect("label parses");
+            assert_eq!(cell.to_string(), label);
+        }
+        for bad in ["", "yelp", "yelp/Android", "yelp/Linux/App", "/Android/App"] {
+            assert!(matches!(
+                CellId::parse(bad),
+                Err(StudyConfigError::BadCellLabel(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn run_cell_caught_surfaces_panic_payloads() {
+        let catalog = Catalog::paper();
+        let spec = catalog.get("yelp").unwrap();
+        let cfg = StudyConfig {
+            faults: FaultPlan {
+                cell_panic: 1.0,
+                ..FaultPlan::none()
+            },
+            ..quick_cfg()
+        };
+        // Silence the backtrace of the deliberate panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = run_cell_caught(spec, Os::Android, Medium::App, &cfg, None, 0);
+        std::panic::set_hook(prev);
+        let err = result.expect_err("pinned cell_panic must fire");
+        assert!(err.contains("injected"), "payload preserved: {err}");
     }
 
     #[test]

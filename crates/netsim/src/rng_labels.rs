@@ -47,6 +47,9 @@ pub const FUZZ_PREFIX: &str = "fuzz";
 /// Prefix of per-user population-campaign streams; see
 /// [`population_user`].
 pub const POPULATION_PREFIX: &str = "population";
+/// Prefix of per-job serve-mode retry-jitter streams; see
+/// [`serve_retry`].
+pub const SERVE_RETRY_PREFIX: &str = "serve-retry";
 
 /// Every static label, for exhaustiveness checks. Keep sorted.
 pub const STATIC: &[&str] = &[
@@ -65,6 +68,7 @@ pub const DYNAMIC_PREFIXES: &[&str] = &[
     DEVICE_IDS_PREFIX,
     FUZZ_PREFIX,
     POPULATION_PREFIX,
+    SERVE_RETRY_PREFIX,
     SESSION_PREFIX,
 ];
 
@@ -92,6 +96,14 @@ pub fn device_ids(os: impl Display) -> String {
 /// shard boundaries and worker counts can never re-key a user.
 pub fn population_user(user_id: u64, cell: &str) -> String {
     format!("{POPULATION_PREFIX}:{user_id}:{cell}")
+}
+
+/// The per-job retry-jitter stream of the resident service's
+/// supervisor: each submitted job draws its cell-retry backoff jitter
+/// from its own stream keyed by the stable job id, so queue order and
+/// worker count can never re-key another job's backoff schedule.
+pub fn serve_retry(job_id: u64) -> String {
+    format!("{SERVE_RETRY_PREFIX}:{job_id}")
 }
 
 /// The per-target mutation-scheduling stream of the fuzzing engine:
@@ -137,6 +149,7 @@ mod tests {
             "population:7:svc/Android/App"
         );
         assert_eq!(population_user(0, "profile"), "population:0:profile");
+        assert_eq!(serve_retry(3), "serve-retry:3");
     }
 
     #[test]

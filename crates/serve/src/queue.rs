@@ -1,0 +1,90 @@
+//! Admission control for the job queue.
+//!
+//! The queue is bounded twice over: up to `depth` jobs are admitted at
+//! full coverage; between `depth` and `hard_cap` the service *degrades
+//! instead of refusing* — jobs are admitted load-shed, running every
+//! `shed_stride`-th cell of their selection; at `hard_cap` submissions
+//! are rejected outright. The decision is a pure function of the
+//! current queue length, is journaled in the admission record, and is
+//! therefore replay-stable.
+
+/// Queue bounds and the load-shed degradation factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Jobs admitted at full coverage while the queue is shorter than
+    /// this.
+    pub depth: usize,
+    /// Absolute queue bound; submissions at or past it are rejected.
+    pub hard_cap: usize,
+    /// Coverage stride applied to load-shed admissions.
+    pub shed_stride: u32,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            depth: 4,
+            hard_cap: 8,
+            shed_stride: 4,
+        }
+    }
+}
+
+appvsweb_json::impl_json!(struct QueueConfig { depth, hard_cap, shed_stride });
+
+/// The admission controller's verdict for one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Run at full coverage.
+    Admit,
+    /// Run with coverage thinned by this stride.
+    Shed(u32),
+    /// Refuse: queue at hard cap.
+    Reject,
+}
+
+impl QueueConfig {
+    /// Decide admission given the current queue length.
+    pub fn admit(&self, queue_len: usize) -> Admission {
+        if queue_len >= self.hard_cap.max(1) {
+            Admission::Reject
+        } else if queue_len >= self.depth {
+            Admission::Shed(self.shed_stride.max(2))
+        } else {
+            Admission::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_degrades_then_refuses() {
+        let q = QueueConfig {
+            depth: 2,
+            hard_cap: 4,
+            shed_stride: 3,
+        };
+        assert_eq!(q.admit(0), Admission::Admit);
+        assert_eq!(q.admit(1), Admission::Admit);
+        assert_eq!(q.admit(2), Admission::Shed(3));
+        assert_eq!(q.admit(3), Admission::Shed(3));
+        assert_eq!(q.admit(4), Admission::Reject);
+        assert_eq!(q.admit(100), Admission::Reject);
+    }
+
+    #[test]
+    fn degenerate_configs_stay_total() {
+        let q = QueueConfig {
+            depth: 0,
+            hard_cap: 0,
+            shed_stride: 0,
+        };
+        // hard_cap clamps to 1, shed stride to 2: never a divide-by-zero
+        // or an admit-everything hole.
+        assert_eq!(q.admit(0), Admission::Shed(2));
+        assert_eq!(q.admit(1), Admission::Reject);
+    }
+}

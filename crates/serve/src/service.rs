@@ -1,0 +1,371 @@
+//! The resident server: WAL-first orchestration of submit → run →
+//! revision → drift, plus file-backed recovery.
+//!
+//! Every state change follows the same two-step: **append the record,
+//! then apply it** ([`Server::log`]). The journal sink is pluggable
+//! ([`WalSink`]) — the crash-point suite uses the in-memory
+//! [`MemWal`] and truncates it at every boundary; `repro serve` uses
+//! [`FileWal`] under a state directory managed by [`ServeDir`].
+
+use crate::job::JobSpec;
+use crate::queue::{Admission, QueueConfig};
+use crate::runner::{self, JobRunResult};
+use crate::state::{Checkpoint, JobEntry, Revision, ServeState};
+use crate::wal::{replay_lines, WalError, WalKind, WalRecord};
+use appvsweb_analysis::drift::{headline_stats, profiles_of};
+use appvsweb_analysis::Study;
+use appvsweb_core::study::StudyConfigError;
+use appvsweb_json::{FromJson, ToJson};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Why a server operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submitted spec does not validate.
+    Config(StudyConfigError),
+    /// The journal is unreadable.
+    Wal(WalError),
+    /// Filesystem failure, stringified.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid job spec: {e}"),
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+/// Where journal lines go. Appends must be durable before `apply` —
+/// that ordering is the whole crash-safety argument.
+pub trait WalSink {
+    /// Append one record line (no trailing newline in `line`).
+    fn append_line(&mut self, line: &str) -> Result<(), ServeError>;
+}
+
+/// In-memory journal for tests and the smoke gate: the accumulated
+/// text is exactly what a [`FileWal`] would hold on disk.
+#[derive(Clone, Debug, Default)]
+pub struct MemWal {
+    /// The journal text, one record per line.
+    pub text: String,
+}
+
+impl WalSink for MemWal {
+    fn append_line(&mut self, line: &str) -> Result<(), ServeError> {
+        self.text.push_str(line);
+        self.text.push('\n');
+        Ok(())
+    }
+}
+
+/// File-backed journal: append + flush per record.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+}
+
+impl FileWal {
+    /// Open (creating if absent) the journal at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> FileWal {
+        FileWal { path: path.into() }
+    }
+}
+
+impl WalSink for FileWal {
+    fn append_line(&mut self, line: &str) -> Result<(), ServeError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush())
+            .map_err(|e| ServeError::Io(e.to_string()))
+    }
+}
+
+/// Replay a journal (plus optional checkpoint) into recovered state.
+///
+/// Returns the state with in-flight jobs re-queued, and the last
+/// applied sequence number (0 when the journal is empty).
+pub fn recover(
+    wal_text: &str,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<(ServeState, u64), WalError> {
+    let records = replay_lines(wal_text)?;
+    let (mut state, from_seq) = match checkpoint {
+        Some(cp) => (cp.state.clone(), cp.wal_seq),
+        None => (ServeState::default(), 0),
+    };
+    let mut last = from_seq;
+    for rec in records.iter().filter(|r| r.seq > from_seq) {
+        state.apply(rec);
+        last = rec.seq;
+    }
+    state.requeue_inflight();
+    Ok((state, last))
+}
+
+/// The resident service.
+pub struct Server<S: WalSink> {
+    /// Materialized state (pure fold of the journal).
+    pub state: ServeState,
+    /// Admission bounds.
+    pub queue: QueueConfig,
+    /// Worker threads for campaign execution.
+    pub workers: usize,
+    sink: S,
+    last_seq: u64,
+}
+
+impl<S: WalSink> Server<S> {
+    /// A fresh server over an empty journal.
+    pub fn new(sink: S, queue: QueueConfig, workers: usize) -> Server<S> {
+        Server {
+            state: ServeState::default(),
+            queue,
+            workers: workers.max(1),
+            sink,
+            last_seq: 0,
+        }
+    }
+
+    /// A server resuming from recovered state; `last_seq` is the last
+    /// sequence number already in the journal.
+    pub fn recovered(
+        sink: S,
+        state: ServeState,
+        last_seq: u64,
+        queue: QueueConfig,
+        workers: usize,
+    ) -> Server<S> {
+        Server {
+            state,
+            queue,
+            workers: workers.max(1),
+            sink,
+            last_seq,
+        }
+    }
+
+    /// The underlying journal sink (tests inspect [`MemWal::text`]).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Last journal sequence number written.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.last_seq = self.last_seq.saturating_add(1);
+        self.last_seq
+    }
+
+    /// Append-then-apply: the only way state changes.
+    fn log(&mut self, rec: WalRecord) -> Result<(), ServeError> {
+        self.sink.append_line(&rec.encode())?;
+        self.state.apply(&rec);
+        Ok(())
+    }
+
+    /// Admit (possibly shedding) or reject one submission. Invalid
+    /// specs error out before anything is journaled.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(u64, Admission), ServeError> {
+        spec.to_study_config(self.workers, 1)
+            .map_err(ServeError::Config)?;
+        let admission = self.queue.admit(self.state.queued.len());
+        let job = self.state.next_job;
+        let seq = self.next_seq();
+        let mut rec = match admission {
+            Admission::Admit => WalRecord::new(seq, WalKind::Submit, job),
+            Admission::Shed(stride) => {
+                let mut r = WalRecord::new(seq, WalKind::Shed, job);
+                r.stride = stride;
+                r
+            }
+            Admission::Reject => {
+                let mut r = WalRecord::new(seq, WalKind::Reject, job);
+                r.detail = "queue at hard cap".to_string();
+                r
+            }
+        };
+        rec.spec = Some(spec);
+        self.log(rec)?;
+        appvsweb_obs::counter!("serve.jobs_submitted");
+        if admission == Admission::Reject {
+            appvsweb_obs::counter!("serve.jobs_rejected");
+        }
+        appvsweb_obs::histogram!("serve.queue_depth", self.state.queued.len() as u64);
+        Ok((job, admission))
+    }
+
+    /// Run the next queued job to completion. `Ok(None)` when idle.
+    pub fn run_next(&mut self) -> Result<Option<u64>, ServeError> {
+        let Some(&job_id) = self.state.queued.first() else {
+            return Ok(None);
+        };
+        let seq = self.next_seq();
+        self.log(WalRecord::new(seq, WalKind::Start, job_id))?;
+        let Some(entry) = self.state.job(job_id).cloned() else {
+            // Queue/ledger disagreement can only come from a corrupt
+            // journal that still replayed; fail the job explicitly.
+            let mut rec = WalRecord::new(self.next_seq(), WalKind::JobFail, job_id);
+            rec.detail = "job entry missing from ledger".to_string();
+            self.log(rec)?;
+            return Ok(Some(job_id));
+        };
+        let result = runner::run_job(&entry, self.workers);
+        self.finish_job(job_id, &entry, result)?;
+        appvsweb_obs::counter!("serve.jobs_completed");
+        Ok(Some(job_id))
+    }
+
+    fn finish_job(
+        &mut self,
+        job_id: u64,
+        entry: &JobEntry,
+        result: JobRunResult,
+    ) -> Result<(), ServeError> {
+        for ev in &result.events {
+            let mut rec = WalRecord::new(self.next_seq(), ev.kind, job_id);
+            rec.detail = ev.detail.clone();
+            rec.attempt = ev.attempt;
+            rec.count = ev.count;
+            self.log(rec)?;
+        }
+        match result.study {
+            Some(study) => {
+                let revision = build_revision(entry, &study);
+                let mut rec = WalRecord::new(self.next_seq(), WalKind::Finish, job_id);
+                rec.cost_ms = result.cost_ms;
+                rec.revision = Some(revision);
+                self.log(rec)
+            }
+            None => {
+                let mut rec = WalRecord::new(self.next_seq(), WalKind::JobFail, job_id);
+                rec.detail = result.error;
+                rec.cost_ms = result.cost_ms;
+                self.log(rec)
+            }
+        }
+    }
+
+    /// Drain the queue; returns how many jobs ran.
+    pub fn run_pending(&mut self) -> Result<u32, ServeError> {
+        let mut ran = 0u32;
+        while self.run_next()?.is_some() {
+            ran = ran.saturating_add(1);
+        }
+        Ok(ran)
+    }
+
+    /// Snapshot the current state for a checkpoint.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            wal_seq: self.last_seq,
+            state: self.state.clone(),
+        }
+    }
+}
+
+/// Build the durable revision a finished study becomes. `id`, `job`,
+/// and `at_ms` are assigned by [`ServeState::apply`] when the `Finish`
+/// record folds in, keeping the construction replay-stable.
+pub fn build_revision(entry: &JobEntry, study: &Study) -> Revision {
+    let profiles = profiles_of(study);
+    let profile_json = profiles.to_json().to_compact();
+    Revision {
+        id: 0,
+        job: entry.id,
+        name: entry.spec.name.clone(),
+        seed: entry.spec.seed,
+        at_ms: 0,
+        headlines: headline_stats(study),
+        profiles,
+        health: study.health.clone(),
+        digest: appvsweb_pii::hash::md5_hex(profile_json.as_bytes()),
+    }
+}
+
+/// A state directory holding `wal.jsonl` + `checkpoint.json`.
+#[derive(Clone, Debug)]
+pub struct ServeDir {
+    dir: PathBuf,
+}
+
+impl ServeDir {
+    /// Manage state under `dir` (created on first append/checkpoint).
+    pub fn new(dir: impl Into<PathBuf>) -> ServeDir {
+        ServeDir { dir: dir.into() }
+    }
+
+    /// Path of the journal file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.jsonl")
+    }
+
+    /// Path of the checkpoint file.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+
+    /// Open the directory's server: recover from checkpoint + journal
+    /// when present, start fresh otherwise.
+    pub fn open(&self, queue: QueueConfig, workers: usize) -> Result<Server<FileWal>, ServeError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| ServeError::Io(e.to_string()))?;
+        let checkpoint = match read_optional(&self.checkpoint_path())? {
+            Some(text) => {
+                let value = appvsweb_json::parse(&text)
+                    .map_err(|e| ServeError::Wal(WalError::Codec(e.to_string())))?;
+                Some(
+                    Checkpoint::from_json(&value)
+                        .map_err(|e| ServeError::Wal(WalError::Codec(e.to_string())))?,
+                )
+            }
+            None => None,
+        };
+        let wal_text = read_optional(&self.wal_path())?.unwrap_or_default();
+        let (state, last_seq) = recover(&wal_text, checkpoint.as_ref())?;
+        Ok(Server::recovered(
+            FileWal::new(self.wal_path()),
+            state,
+            last_seq,
+            queue,
+            workers,
+        ))
+    }
+
+    /// Write a checkpoint atomically (temp file + rename).
+    pub fn write_checkpoint(&self, cp: &Checkpoint) -> Result<(), ServeError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| ServeError::Io(e.to_string()))?;
+        let tmp = self.dir.join("checkpoint.json.tmp");
+        std::fs::write(&tmp, cp.to_json().to_pretty())
+            .and_then(|()| std::fs::rename(&tmp, self.checkpoint_path()))
+            .map_err(|e| ServeError::Io(e.to_string()))
+    }
+}
+
+fn read_optional(path: &Path) -> Result<Option<String>, ServeError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(ServeError::Io(e.to_string())),
+    }
+}

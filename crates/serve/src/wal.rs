@@ -1,0 +1,274 @@
+//! The append-only write-ahead journal of job state transitions.
+//!
+//! Every change the resident service makes to its [`ServeState`] is
+//! first appended here as one compact-JSON line, then applied; recovery
+//! replays the same lines through the same pure
+//! [`ServeState::apply`](crate::state::ServeState::apply) fold, so live
+//! state and recovered state agree **by construction** — the argument
+//! DESIGN §9 spells out. Records are self-delimiting (one per line), so
+//! a crash can only ever lose a *suffix*: replay tolerates a torn final
+//! line (no trailing newline, or an unparseable tail) and treats a
+//! malformed *interior* line as corruption.
+//!
+//! [`ServeState`]: crate::state::ServeState
+
+use crate::job::JobSpec;
+use crate::state::Revision;
+use appvsweb_json::{FromJson, ToJson};
+use std::fmt;
+
+/// What kind of transition a [`WalRecord`] logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WalKind {
+    /// A job was admitted at full coverage.
+    Submit,
+    /// A job was admitted with load-shed (reduced) coverage.
+    Shed,
+    /// A job was refused: the queue hit its hard cap.
+    Reject,
+    /// A worker began executing the job.
+    Start,
+    /// The supervisor reaped a worker whose sim-clock heartbeat went
+    /// stale and rescheduled its cell.
+    Reap,
+    /// A cell exhausted its supervised retries and was quarantined as
+    /// poison; `detail` preserves the panic payload.
+    Quarantine,
+    /// Cells skipped because the job's deadline budget ran out.
+    DeadlineSkip,
+    /// The job completed and produced the embedded [`Revision`].
+    Finish,
+    /// The job failed as a whole (e.g. its spec no longer validates).
+    JobFail,
+}
+
+appvsweb_json::impl_json!(
+    enum WalKind {
+        Submit,
+        Shed,
+        Reject,
+        Start,
+        Reap,
+        Quarantine,
+        DeadlineSkip,
+        Finish,
+        JobFail,
+    }
+);
+
+/// One journal line: a job state transition.
+///
+/// The record is the unit of atomicity — the crash-point suite
+/// truncates the journal at every record boundary and proves recovery
+/// is byte-identical. Optional fields are elided as `null` by
+/// `appvsweb-json`, so small transitions stay small.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (checkpoints refer to it).
+    pub seq: u64,
+    /// Which transition this is.
+    pub kind: WalKind,
+    /// The job the transition belongs to.
+    pub job: u64,
+    /// Cell label, panic payload, or failure reason — kind-specific.
+    pub detail: String,
+    /// The submitted spec (`Submit`/`Shed`/`Reject` only).
+    pub spec: Option<JobSpec>,
+    /// Effective coverage stride after load-shedding (`Shed` only).
+    pub stride: u32,
+    /// Cell attempt the transition refers to (`Reap`/`Quarantine`).
+    pub attempt: u32,
+    /// Cells affected (`DeadlineSkip`).
+    pub count: u32,
+    /// Simulated cost of the whole job; advances the service clock
+    /// (`Finish`/`JobFail` only — mid-job records cost nothing, which
+    /// is what makes crash-resume converge).
+    pub cost_ms: u64,
+    /// The completed revision (`Finish` only).
+    pub revision: Option<Revision>,
+}
+
+appvsweb_json::impl_json!(struct WalRecord {
+    seq,
+    kind,
+    job,
+    detail,
+    spec,
+    stride,
+    attempt,
+    count,
+    cost_ms,
+    revision,
+});
+
+impl WalRecord {
+    /// A minimal record of `kind` for `job`; callers fill the
+    /// kind-specific fields.
+    pub fn new(seq: u64, kind: WalKind, job: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            kind,
+            job,
+            detail: String::new(),
+            spec: None,
+            stride: 1,
+            attempt: 0,
+            count: 0,
+            cost_ms: 0,
+            revision: None,
+        }
+    }
+
+    /// Encode as one journal line (compact JSON, no newline).
+    pub fn encode(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Decode one journal line.
+    pub fn decode(line: &str) -> Result<WalRecord, WalError> {
+        appvsweb_cover::cover!();
+        let value = appvsweb_json::parse(line).map_err(|e| WalError::Codec(e.to_string()))?;
+        WalRecord::from_json(&value).map_err(|e| WalError::Codec(e.to_string()))
+    }
+}
+
+/// Why the journal could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// A record failed to parse or validate.
+    Codec(String),
+    /// An interior line (not the torn tail) is malformed.
+    Corrupt {
+        /// 1-based journal line number.
+        line: usize,
+        /// What the codec rejected.
+        error: String,
+    },
+    /// Filesystem failure, stringified.
+    Io(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Codec(e) => write!(f, "journal codec error: {e}"),
+            WalError::Corrupt { line, error } => {
+                write!(f, "journal corrupt at line {line}: {error}")
+            }
+            WalError::Io(e) => write!(f, "journal io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Decode a whole journal, tolerating a torn tail.
+///
+/// A crash can only tear the *final* record (appends are sequential),
+/// so: a last line with no trailing `\n`, or a last line that fails to
+/// parse, is dropped silently; any malformed line *before* the last is
+/// real corruption and comes back as [`WalError::Corrupt`]. Sequence
+/// numbers must be strictly increasing — a regression means interleaved
+/// journals and is also corruption.
+pub fn replay_lines(text: &str) -> Result<Vec<WalRecord>, WalError> {
+    let complete: Vec<&str> = match text.rfind('\n') {
+        Some(end) => text[..end].split('\n').collect(),
+        // No newline at all: the only line ever written is torn.
+        None => Vec::new(),
+    };
+    let mut records = Vec::with_capacity(complete.len());
+    let mut last_seq: Option<u64> = None;
+    let last_idx = complete.len().saturating_sub(1);
+    for (idx, line) in complete.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match WalRecord::decode(line) {
+            Ok(rec) => {
+                if let Some(prev) = last_seq {
+                    if rec.seq <= prev {
+                        return Err(WalError::Corrupt {
+                            line: idx + 1,
+                            error: format!("seq {} after {}", rec.seq, prev),
+                        });
+                    }
+                }
+                last_seq = Some(rec.seq);
+                records.push(rec);
+            }
+            // The final complete line can still be torn *within* its
+            // bytes if the newline made it to disk first; treat exactly
+            // like the missing-newline case. Anything earlier is
+            // corruption.
+            Err(err) if idx == last_idx => {
+                let _ = err;
+                break;
+            }
+            Err(WalError::Codec(error)) => {
+                return Err(WalError::Corrupt {
+                    line: idx + 1,
+                    error,
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> WalRecord {
+        let mut r = WalRecord::new(seq, WalKind::Start, 7);
+        r.detail = format!("job-{seq}");
+        r
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_line_codec() {
+        let r = rec(3);
+        let back = WalRecord::decode(&r.encode()).expect("roundtrip");
+        assert_eq!(back, r);
+        // Fixed point: encode(decode(encode(x))) == encode(x).
+        assert_eq!(back.encode(), r.encode());
+    }
+
+    #[test]
+    fn replay_tolerates_a_torn_tail() {
+        let full = format!("{}\n{}\n", rec(1).encode(), rec(2).encode());
+        assert_eq!(replay_lines(&full).expect("full").len(), 2);
+
+        // Torn: half of record 2, no newline.
+        let torn = format!("{}\n{}", rec(1).encode(), &rec(2).encode()[..10]);
+        assert_eq!(replay_lines(&torn).expect("torn").len(), 1);
+
+        // Torn but the newline hit disk first.
+        let torn_nl = format!("{}\n{}\n", rec(1).encode(), &rec(2).encode()[..10]);
+        assert_eq!(replay_lines(&torn_nl).expect("torn-nl").len(), 1);
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let text = format!("{}\ngarbage\n{}\n", rec(1).encode(), rec(3).encode());
+        match replay_lines(&text) {
+            Err(WalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_regressions_are_corruption() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            rec(1).encode(),
+            rec(2).encode(),
+            rec(2).encode()
+        );
+        assert!(matches!(
+            replay_lines(&text),
+            Err(WalError::Corrupt { line: 3, .. })
+        ));
+    }
+}

@@ -38,6 +38,6 @@ pub mod trackers;
 pub mod world;
 
 pub use catalog::{Catalog, Medium, ServiceCategory, ServiceSpec};
-pub use session::{SessionConfig, SessionRunner};
+pub use session::{RetryPolicy, SessionConfig, SessionRunner};
 pub use trackers::{PayloadStyle, TrackerSpec};
 pub use world::OriginWorld;

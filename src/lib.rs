@@ -22,6 +22,9 @@
 //! * [`core`] — the full study driver and dataset export
 //! * [`population`] — population-scale campaigns: deterministic user
 //!   models, mergeable sketch aggregation, and the fixed reduction tree
+//! * [`serve`] — the supervised resident service: crash-recoverable
+//!   queue/worker campaign execution, WAL-checkpointed revision store,
+//!   drift alarms, and a std-only HTTP surface
 //! * [`json`] — zero-dependency JSON value type, parser, serializer,
 //!   and the `impl_json!` derive-style macro
 //! * [`obs`] — deterministic tracing and metrics over the whole
@@ -43,5 +46,6 @@ pub use appvsweb_obs as obs;
 pub use appvsweb_pii as pii;
 pub use appvsweb_population as population;
 pub use appvsweb_recommend as recommend;
+pub use appvsweb_serve as serve;
 pub use appvsweb_services as services;
 pub use appvsweb_tlssim as tlssim;

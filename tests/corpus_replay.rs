@@ -53,9 +53,11 @@ fn regression_pins_are_committed() {
     // The regression families from earlier PRs must stay in the
     // corpus: the PR 2 gzip-trailer truncation and DNS negative-cache
     // fixes, the PR 3 lexer property-test edge cases, the journal
-    // renderer's close-without-open totality case, and the population
+    // renderer's close-without-open totality case, the population
     // sketch hostile-state pins (unsorted buckets, absurd capacities,
-    // non-finite op streams).
+    // non-finite op streams), and the serve pins (bare-LF request
+    // heads, oversized content-length, torn WAL tails, sequence
+    // regressions, supervisor records with no enclosing Start).
     for (target, pin) in [
         ("httpsim_gzip", "regress-trailer-truncated.bin"),
         ("httpsim_gzip", "regress-trailer-missing.bin"),
@@ -69,6 +71,11 @@ fn regression_pins_are_committed() {
         ("population", "regress-unsorted-buckets.bin"),
         ("population", "regress-topk-absurd-capacity.bin"),
         ("population", "regress-opstream-nonfinite.bin"),
+        ("serve", "regress-http-bare-lf.bin"),
+        ("serve", "regress-http-length-overflow.bin"),
+        ("serve", "regress-wal-torn-tail.bin"),
+        ("serve", "regress-wal-seq-regression.bin"),
+        ("serve", "regress-wal-orphan-supervisor-records.bin"),
     ] {
         let path = fuzz_targets::corpus_dir(target).join(pin);
         assert!(path.is_file(), "missing regression pin {}", path.display());
@@ -150,6 +157,48 @@ fn trace_corpus_journals_hit_the_codec_fixed_point() {
     assert!(
         decoded >= 2,
         "the trace corpus should contain decodable journals, got {decoded}"
+    );
+}
+
+#[test]
+fn serve_corpus_wal_lines_hit_the_codec_fixed_point() {
+    // Differential law for the revision journal: every committed fuzz
+    // input in WAL mode (odd first byte) that replays must have each
+    // record survive encode -> decode -> encode at a byte-level fixed
+    // point, and the replayed fold must produce a state whose JSON
+    // codec roundtrips.
+    use appvsweb::json::{FromJson, ToJson};
+    use appvsweb::serve::{ServeState, WalRecord};
+    let mut replayed = 0usize;
+    for data in corpus_for("serve") {
+        let Some((mode, rest)) = data.split_first() else {
+            continue;
+        };
+        if mode % 2 == 0 {
+            continue;
+        }
+        let text = String::from_utf8_lossy(rest);
+        let Ok(records) = appvsweb::serve::replay_lines(&text) else {
+            continue;
+        };
+        if records.is_empty() {
+            continue;
+        }
+        replayed += 1;
+        let mut state = ServeState::default();
+        for rec in &records {
+            let line = rec.encode();
+            let back = WalRecord::decode(&line).expect("re-encoded record must decode");
+            assert_eq!(back.encode(), line, "WAL codec fixed point");
+            state.apply(rec);
+        }
+        state.requeue_inflight();
+        let back = ServeState::from_json(&state.to_json()).expect("state JSON reparses");
+        assert_eq!(back, state, "state codec fixed point");
+    }
+    assert!(
+        replayed >= 3,
+        "the serve corpus should contain replayable journals, got {replayed}"
     );
 }
 
