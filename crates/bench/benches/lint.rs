@@ -1,13 +1,19 @@
-//! Benchmarks the `appvsweb-lint` analyzer over the real workspace:
-//! lexing alone, then the full pipeline (annotations, test regions,
-//! every rule, cross-file D3). The artifact's `meta` block records scan
-//! size, derived throughput, and the finding counts per rule, so the
-//! lint's cost and the workspace's debt are both tracked per PR.
+//! Benchmarks the `appvsweb-lint` analyzer over the real workspace,
+//! phase by phase: lexing alone, the per-file parse (item tables), the
+//! call-graph build, the interprocedural passes, and the full pipeline
+//! both cold (no cache) and warm (content-hash cache hit on every
+//! file). The artifact's `meta` block records scan size, derived
+//! throughput, and the per-rule finding counts — open *and*
+//! suppressed-by-allow — so the lint's cost and the workspace's debt
+//! are both tracked per PR.
 
 use appvsweb_bench::repo_root;
 use appvsweb_json::Json;
-use appvsweb_lint::{analyze_files, collect_workspace, lex};
+use appvsweb_lint::{
+    analyze_files, analyze_files_with, analyze_one, collect_workspace, lex, AnalysisOptions,
+};
 use appvsweb_testkit::BenchRunner;
+use std::collections::BTreeMap;
 
 fn main() {
     let root = repo_root();
@@ -21,15 +27,42 @@ fn main() {
         report.labels.len()
     );
 
+    // Shared inputs for the phase benches.
+    let analyses: Vec<_> = files.iter().map(analyze_one).collect();
+    let tables: Vec<_> = analyses.iter().map(|a| a.table.clone()).collect();
+    let cache_dir = root.join("target").join("lint-cache-bench");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let warm_opts = AnalysisOptions {
+        workers: 1,
+        cache_dir: Some(cache_dir.clone()),
+    };
+    analyze_files_with(&files, &warm_opts); // prime the cache
+
     let mut runner = BenchRunner::new("lint").with_samples(2, 10);
     runner.bench("lex_workspace", || {
         files.iter().map(|f| lex(&f.text).len()).sum::<usize>()
     });
+    runner.bench("parse_workspace", || {
+        files
+            .iter()
+            .map(|f| analyze_one(f).table.fns.len())
+            .sum::<usize>()
+    });
+    runner.bench("callgraph", || {
+        appvsweb_lint::callgraph::CallGraph::build(&tables)
+            .fns
+            .len()
+    });
     runner.bench("analyze_workspace", || analyze_files(&files));
+    runner.bench("analyze_workspace_warm", || {
+        analyze_files_with(&files, &warm_opts)
+    });
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     runner.meta("files_scanned", report.files);
     runner.meta("tokens", report.tokens);
     runner.meta("labels", report.labels.len() as u64);
+    runner.meta("allows", report.allows);
     let analyze_ns = runner
         .results()
         .iter()
@@ -40,13 +73,30 @@ fn main() {
         "tokens_per_sec",
         (report.tokens as f64 / (analyze_ns / 1e9)).round(),
     );
+
+    // Per-rule debt: open findings and allow-suppressed sites, in one
+    // object so a PR that trades one for the other is visible.
+    let mut by_rule: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (rule, n) in report.counts_by_rule() {
+        by_rule.entry(rule).or_default().0 = n;
+    }
+    for rc in &report.suppressed {
+        by_rule.entry(rc.rule.clone()).or_default().1 = rc.count;
+    }
     runner.meta(
         "findings_by_rule",
         Json::Obj(
-            report
-                .counts_by_rule()
+            by_rule
                 .into_iter()
-                .map(|(rule, n)| (rule, Json::Uint(n)))
+                .map(|(rule, (open, suppressed))| {
+                    (
+                        rule,
+                        Json::Obj(vec![
+                            ("open".to_string(), Json::Uint(open)),
+                            ("suppressed".to_string(), Json::Uint(suppressed)),
+                        ]),
+                    )
+                })
                 .collect(),
         ),
     );

@@ -48,6 +48,13 @@ pub fn all() -> Vec<FuzzTarget> {
             max_len: 512,
         },
         FuzzTarget {
+            name: "lint_parse",
+            run: appvsweb_lint::fuzz::run_parse,
+            dict: appvsweb_lint::fuzz::PARSE_DICT,
+            seeds: appvsweb_lint::fuzz::PARSE_SEEDS,
+            max_len: 1024,
+        },
+        FuzzTarget {
             name: "tlssim_record",
             run: appvsweb_tlssim::fuzz::run,
             dict: appvsweb_tlssim::fuzz::DICT,
@@ -113,7 +120,7 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate target name");
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 12);
     }
 
     #[test]

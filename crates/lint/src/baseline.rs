@@ -3,9 +3,29 @@
 //! steps instead of one giant cleanup.
 //!
 //! Entries match findings by fingerprint (rule + path + a token window
-//! at the site), not by line number, so unrelated edits above a
-//! baselined site don't churn the file. Matching is multiset-aware:
-//! two identical sites need two entries.
+//! at the site, or qualified names for the interprocedural passes), not
+//! by line number, so unrelated edits above a baselined site don't
+//! churn the file. Matching is multiset-aware: two identical sites need
+//! two entries.
+//!
+//! Two schemas exist on disk. **v1** was a flat `findings` array;
+//! **v2** (current) groups entries by rule so a review can see the
+//! per-rule debt at a glance and diffs stay local to the rule that
+//! changed:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "rules": [
+//!     { "rule": "R1",
+//!       "entries": [ { "path": "…", "fingerprint": "…", "message": "…" } ] }
+//!   ]
+//! }
+//! ```
+//!
+//! [`Baseline::from_json_text`] reads both; every write path
+//! ([`Baseline::to_json_text`]) emits v2. `appvsweb-lint
+//! --migrate-baseline` rewrites a committed v1 file in place.
 
 use crate::engine::{Finding, Report};
 use appvsweb_json::{encode_pretty, impl_json, parse, FromJson, JsonError};
@@ -26,16 +46,50 @@ pub struct BaselineEntry {
 
 impl_json!(struct BaselineEntry { rule, path, fingerprint, message });
 
-/// The committed baseline document.
+/// v1 wire form: flat entry list under `findings`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct BaselineV1 {
+    version: u64,
+    findings: Vec<BaselineEntry>,
+}
+
+impl_json!(struct BaselineV1 { version, findings });
+
+/// v2 wire form: one entry, rule implied by the enclosing group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct EntryV2 {
+    path: String,
+    fingerprint: String,
+    message: String,
+}
+
+impl_json!(struct EntryV2 { path, fingerprint, message });
+
+/// v2 wire form: all accepted findings of one rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RuleGroupV2 {
+    rule: String,
+    entries: Vec<EntryV2>,
+}
+
+impl_json!(struct RuleGroupV2 { rule, entries });
+
+/// v2 wire form: the document.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct BaselineV2 {
+    version: u64,
+    rules: Vec<RuleGroupV2>,
+}
+
+impl_json!(struct BaselineV2 { version, rules });
+
+/// The in-memory baseline: a flat multiset of accepted findings,
+/// independent of which wire schema it was read from.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Baseline {
-    /// Schema version.
-    pub version: u64,
     /// Accepted findings.
     pub findings: Vec<BaselineEntry>,
 }
-
-impl_json!(struct Baseline { version, findings });
 
 /// Result of diffing a report against a baseline.
 #[derive(Debug, Default)]
@@ -51,7 +105,6 @@ impl Baseline {
     /// Build a baseline that accepts every finding of `report`.
     pub fn from_report(report: &Report) -> Baseline {
         Baseline {
-            version: 1,
             findings: report
                 .findings
                 .iter()
@@ -65,14 +118,67 @@ impl Baseline {
         }
     }
 
-    /// Parse a baseline document.
+    /// Parse a baseline document, accepting both the v1 flat schema and
+    /// the v2 grouped schema (dispatched on the `version` field).
     pub fn from_json_text(text: &str) -> Result<Baseline, JsonError> {
-        Baseline::from_json(&parse(text)?)
+        let value = parse(text)?;
+        if let Ok(v2) = BaselineV2::from_json(&value) {
+            if v2.version == 2 {
+                return Ok(Baseline {
+                    findings: v2
+                        .rules
+                        .into_iter()
+                        .flat_map(|group| {
+                            let rule = group.rule;
+                            group
+                                .entries
+                                .into_iter()
+                                .map(move |e| BaselineEntry {
+                                    rule: rule.clone(),
+                                    path: e.path,
+                                    fingerprint: e.fingerprint,
+                                    message: e.message,
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                });
+            }
+        }
+        let v1 = BaselineV1::from_json(&value)?;
+        Ok(Baseline {
+            findings: v1.findings,
+        })
     }
 
-    /// Serialize for committing.
+    /// Serialize for committing — always the v2 grouped schema, with
+    /// rule groups sorted by rule and entries by (path, fingerprint) so
+    /// regeneration is deterministic.
     pub fn to_json_text(&self) -> String {
-        encode_pretty(self) + "\n"
+        let mut groups: BTreeMap<&str, Vec<EntryV2>> = BTreeMap::new();
+        for entry in &self.findings {
+            groups.entry(&entry.rule).or_default().push(EntryV2 {
+                path: entry.path.clone(),
+                fingerprint: entry.fingerprint.clone(),
+                message: entry.message.clone(),
+            });
+        }
+        let doc = BaselineV2 {
+            version: 2,
+            rules: groups
+                .into_iter()
+                .map(|(rule, mut entries)| {
+                    entries.sort_by(|a, b| {
+                        a.path.cmp(&b.path).then(a.fingerprint.cmp(&b.fingerprint))
+                    });
+                    RuleGroupV2 {
+                        rule: rule.to_string(),
+                        entries,
+                    }
+                })
+                .collect(),
+        };
+        encode_pretty(&doc) + "\n"
     }
 
     /// Multiset-diff `report` against this baseline.
@@ -99,5 +205,81 @@ impl Baseline {
             }
         }
         diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, path: &str, fp: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            fingerprint: fp.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        let v1 = r#"{
+            "version": 1,
+            "findings": [
+                {"rule": "R1", "path": "a.rs", "fingerprint": "R1|a.rs|x", "message": "m"}
+            ]
+        }"#;
+        let baseline = Baseline::from_json_text(v1).unwrap();
+        assert_eq!(baseline.findings, vec![entry("R1", "a.rs", "R1|a.rs|x")]);
+    }
+
+    #[test]
+    fn v2_roundtrip_groups_by_rule_sorted() {
+        let baseline = Baseline {
+            findings: vec![
+                entry("T1", "b.rs", "T1|b.rs|y"),
+                entry("R1", "a.rs", "R1|a.rs|x"),
+                entry("R1", "a.rs", "R1|a.rs|w"),
+            ],
+        };
+        let text = baseline.to_json_text();
+        assert!(text.contains("\"version\": 2"));
+        let reread = Baseline::from_json_text(&text).unwrap();
+        // Reading a v2 document yields entries rule-grouped and sorted.
+        assert_eq!(
+            reread.findings,
+            vec![
+                entry("R1", "a.rs", "R1|a.rs|w"),
+                entry("R1", "a.rs", "R1|a.rs|x"),
+                entry("T1", "b.rs", "T1|b.rs|y"),
+            ]
+        );
+        // Regeneration is a fixed point.
+        assert_eq!(reread.to_json_text(), text);
+    }
+
+    #[test]
+    fn v1_to_v2_migration_preserves_the_multiset() {
+        let v1 = BaselineV1 {
+            version: 1,
+            findings: vec![
+                entry("R1", "a.rs", "R1|a.rs|x"),
+                entry("R1", "a.rs", "R1|a.rs|x"),
+                entry("D2", "c.rs", "D2|c.rs|z"),
+            ],
+        };
+        let migrated = Baseline::from_json_text(&(encode_pretty(&v1) + "\n")).unwrap();
+        let text = migrated.to_json_text();
+        let reread = Baseline::from_json_text(&text).unwrap();
+        // The duplicate R1 entry survives the round trip (multiset).
+        assert_eq!(
+            reread
+                .findings
+                .iter()
+                .filter(|e| e.fingerprint == "R1|a.rs|x")
+                .count(),
+            2
+        );
+        assert_eq!(reread.findings.len(), 3);
     }
 }

@@ -1,0 +1,104 @@
+//! Content-hash cache for per-file analysis results.
+//!
+//! Lexing + parsing + file-local rules dominate the analyzer's cost and
+//! are a pure function of one file's bytes, so each file's
+//! [`FileAnalysis`] is cached under `target/lint-cache/` keyed on an
+//! FNV-1a hash of its contents. A warm run loads tables from JSON and
+//! goes straight to the cross-file passes; CI asserts the cold and warm
+//! runs are finding-identical (`ci.sh`), and the cache can be disabled
+//! wholesale with `--no-cache`.
+//!
+//! Entries self-invalidate two ways: the file name embeds the content
+//! hash (edited file → new key), and the payload embeds
+//! [`crate::parse::TABLE_SCHEMA`] (analyzer upgrade → schema mismatch →
+//! recompute). Stale entries are left behind — `target/` is disposable
+//! and `cargo clean` reclaims them.
+
+use crate::engine::FileAnalysis;
+use appvsweb_json::{encode_pretty, parse, FromJson};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit, the same construction the workspace uses elsewhere
+/// for content addressing: tiny, stable, and plenty for cache keys
+/// (a collision would need two different source files with equal hash
+/// *and* equal path).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache file for `path` (workspace-relative) with `hash` of its text.
+fn entry_path(dir: &Path, path: &str, hash: u64) -> PathBuf {
+    let safe: String = path
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}-{hash:016x}.json"))
+}
+
+/// Load a cached analysis for (`path`, content `hash`), if present,
+/// parseable, and schema-current. Any failure is a miss, never an
+/// error: the caller recomputes.
+pub fn load(dir: &Path, path: &str, hash: u64) -> Option<FileAnalysis> {
+    let text = std::fs::read_to_string(entry_path(dir, path, hash)).ok()?;
+    let value = parse(&text).ok()?;
+    let analysis = FileAnalysis::from_json(&value).ok()?;
+    (analysis.schema == crate::parse::TABLE_SCHEMA && analysis.path == path).then_some(analysis)
+}
+
+/// Store a freshly computed analysis; best-effort (a read-only target
+/// dir degrades to cold runs, it never fails the analyzer). The write
+/// goes through a temp file + rename so concurrent workers and
+/// interrupted runs can't leave a torn entry behind.
+pub fn store(dir: &Path, hash: u64, analysis: &FileAnalysis) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let dest = entry_path(dir, &analysis.path, hash);
+    let tmp = dest.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, encode_pretty(analysis)).is_ok() {
+        let _ = std::fs::rename(&tmp, &dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a64(b"fn main() {}"), fnv1a64(b"fn main() { }"));
+    }
+
+    #[test]
+    fn roundtrip_and_schema_gate() {
+        let dir = std::env::temp_dir().join(format!("lint-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let analysis = crate::engine::analyze_one(&crate::engine::SourceFile {
+            path: "crates/demo/src/lib.rs".to_string(),
+            text: "pub fn f() { x.unwrap(); }".to_string(),
+        });
+        let hash = fnv1a64(b"pub fn f() { x.unwrap(); }");
+        assert!(load(&dir, &analysis.path, hash).is_none(), "cold miss");
+        store(&dir, hash, &analysis);
+        let warm = load(&dir, &analysis.path, hash).expect("warm hit");
+        assert_eq!(warm, analysis);
+        assert!(
+            load(&dir, &analysis.path, hash ^ 1).is_none(),
+            "hash mismatch misses"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

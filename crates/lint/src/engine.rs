@@ -1,24 +1,39 @@
 //! The analysis engine: file classification, `#[cfg(test)]` region
-//! detection, `lint:allow` annotations, and the per-file rule driver.
+//! detection, `lint:allow` annotations, the per-file rule driver, and
+//! the cross-file phase (D3 label table, call graph, interprocedural
+//! passes).
 //!
-//! The engine works on the lossless token stream from [`crate::lexer`].
-//! Comments and whitespace are stripped into a *significant* token view
-//! for rule matching, but comments are first mined for `lint:allow`
-//! annotations, which is how reviewed violations are suppressed inline:
+//! The pipeline has two halves:
+//!
+//! 1. **Per-file** (embarrassingly parallel, fanned out over
+//!    `core::exec::run_indexed`, content-hash cached): lex, mine
+//!    annotations, find test regions, run the file-local rules, and
+//!    parse the item table ([`crate::parse`]). The result is a
+//!    [`FileAnalysis`] — a pure function of one file's bytes.
+//! 2. **Cross-file** (sequential, cheap): D3 label uniqueness, the
+//!    workspace call graph ([`crate::callgraph`]), and the T1/R1x/D3x
+//!    passes ([`crate::taint`]), folded over the ordered per-file
+//!    results so worker count can never reorder anything.
+//!
+//! `lint:allow` annotations are mined from comments and suppress
+//! findings on their own line and the line directly below:
 //!
 //! ```text
 //! // lint:allow(R1) slice is exactly 4 bytes by construction
 //! ```
 //!
-//! An annotation covers findings on its own line and the line directly
-//! below it, must name known rules, and must carry a non-empty reason —
+//! An annotation must name known rules and carry a non-empty reason —
 //! a reason-less or unknown-rule annotation is itself a finding (rule
-//! `LINT`).
+//! `LINT`). Suppressed sites are tallied per rule in
+//! [`Report::suppressed`] so the debt stays visible in the bench meta.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::FileTable;
 use crate::rules;
+use crate::taint;
 use appvsweb_json::impl_json;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// One source file handed to the analyzer. `path` is workspace-relative
 /// with `/` separators; classification keys off it.
@@ -36,8 +51,8 @@ pub enum FileClass {
     /// Library code: every rule applies.
     Lib,
     /// Benches, example binaries, and the bench/CLI crate: wall-clock
-    /// timing and startup panics are part of the job, so `D1`/`R1` are
-    /// waived while the determinism rules still apply.
+    /// timing and startup panics are part of the job, so `D1`/`R1`/the
+    /// reachability passes are waived while determinism rules apply.
     Tool,
     /// Test code: exempt (tests may reuse fork labels, unwrap freely,
     /// and construct adversarial inputs).
@@ -64,7 +79,7 @@ pub fn classify(path: &str) -> FileClass {
 pub fn rule_applies(rule: &str, class: FileClass) -> bool {
     match class {
         FileClass::Test => false,
-        FileClass::Tool => matches!(rule, "D2" | "D3" | "R2" | "S1"),
+        FileClass::Tool => matches!(rule, "D2" | "D3" | "D3x" | "R2" | "S1"),
         FileClass::Lib => true,
     }
 }
@@ -72,7 +87,8 @@ pub fn rule_applies(rule: &str, class: FileClass) -> bool {
 /// One violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D1`…`S1`, or `LINT` for malformed annotations).
+    /// Rule id (`D1`…`S1`, `T1`/`R1x`/`D3x`, or `LINT` for malformed
+    /// annotations).
     pub rule: String,
     /// Workspace-relative file path.
     pub path: String,
@@ -81,7 +97,8 @@ pub struct Finding {
     /// Human-readable description.
     pub message: String,
     /// Line-independent identity used for baseline matching: the rule,
-    /// the path, and a short window of tokens at the match site.
+    /// the path, and a short window of tokens (or qualified names for
+    /// the workspace passes) at the match site.
     pub fingerprint: String,
 }
 
@@ -100,6 +117,29 @@ pub struct LabelSite {
 
 impl_json!(struct LabelSite { label, path, line });
 
+/// Per-rule counter, used for suppressed-site tallies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleCount {
+    /// Rule id.
+    pub rule: String,
+    /// Number of sites.
+    pub count: u64,
+}
+
+impl_json!(struct RuleCount { rule, count });
+
+/// One valid `lint:allow` annotation, serialized into the cache so the
+/// cross-file passes can honor per-line suppressions on warm runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowSpan {
+    /// 1-based line the annotation sits on.
+    pub line: u64,
+    /// Rules it waives.
+    pub rules: Vec<String>,
+}
+
+impl_json!(struct AllowSpan { line, rules });
+
 /// The full analysis result.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -113,9 +153,11 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// The workspace fork-label table (D3), sorted by label.
     pub labels: Vec<LabelSite>,
+    /// Sites a `lint:allow` suppressed, per rule, sorted by rule.
+    pub suppressed: Vec<RuleCount>,
 }
 
-impl_json!(struct Report { files, tokens, allows, findings, labels });
+impl_json!(struct Report { files, tokens, allows, findings, labels, suppressed });
 
 impl Report {
     /// Finding counts per rule, sorted by rule id.
@@ -129,21 +171,52 @@ impl Report {
 }
 
 /// A significant (non-trivia) token plus its source line.
-pub(crate) struct Sig {
+pub struct Sig {
+    /// Token class.
     pub kind: TokKind,
+    /// Exact source text.
     pub text: String,
+    /// 1-based line.
     pub line: u32,
 }
 
 /// Indexed view over significant tokens with total accessors, so rule
-/// code can look ahead/behind without bounds anxiety.
-pub(crate) struct SigView {
+/// and parser code can look ahead/behind without bounds anxiety.
+pub struct SigView {
+    /// The significant tokens, in source order.
     pub toks: Vec<Sig>,
 }
 
+/// Build the significant-token view of a source text: lex, then strip
+/// whitespace and comments.
+pub fn sig_view_of(source: &str) -> SigView {
+    SigView {
+        toks: lex(source)
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|t| Sig {
+                kind: t.kind,
+                text: t.text,
+                line: t.line,
+            })
+            .collect(),
+    }
+}
+
 impl SigView {
+    /// Number of significant tokens.
     pub fn len(&self) -> usize {
         self.toks.len()
+    }
+
+    /// True when the view holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
     }
 
     /// Token text at `i`, or `""` out of bounds.
@@ -222,57 +295,120 @@ impl FileCtx<'_> {
     }
 }
 
-/// Rule ids the annotation parser accepts.
-pub const RULES: &[&str] = &["D1", "D2", "D3", "R1", "R2", "S1"];
+/// Per-file rule output: findings, the D3 label table contribution, and
+/// the suppressed-site tally.
+#[derive(Default)]
+pub(crate) struct FileSink {
+    pub findings: Vec<Finding>,
+    pub labels: Vec<LabelSite>,
+    pub suppressed: BTreeMap<String, u64>,
+}
 
-/// Analyze a set of in-memory files. This is the whole pipeline: lex,
-/// mine annotations, find test regions, run every rule, then resolve
-/// cross-file D3 label uniqueness.
+/// Rule ids the annotation parser accepts.
+pub const RULES: &[&str] = &["D1", "D2", "D3", "D3x", "R1", "R1x", "R2", "S1", "T1"];
+
+/// The complete per-file analysis: everything downstream phases need,
+/// serialized into the content-hash cache (see [`crate::cache`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// [`crate::parse::TABLE_SCHEMA`] at computation time; a mismatch
+    /// on load invalidates the entry.
+    pub schema: u64,
+    /// Workspace-relative path (cache-entry identity check).
+    pub path: String,
+    /// Findings from the file-local rules.
+    pub findings: Vec<Finding>,
+    /// D3 label-table contributions.
+    pub labels: Vec<LabelSite>,
+    /// Suppressed sites per rule (file-local rules only).
+    pub suppressed: Vec<RuleCount>,
+    /// Valid allow annotations, for the cross-file passes.
+    pub allow_spans: Vec<AllowSpan>,
+    /// Tokens lexed.
+    pub tokens: u64,
+    /// Valid allow annotations seen.
+    pub allows: u64,
+    /// The parsed item table.
+    pub table: FileTable,
+}
+
+impl_json!(struct FileAnalysis {
+    schema, path, findings, labels, suppressed, allow_spans, tokens, allows, table
+});
+
+/// Tuning for [`analyze_files_with`].
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisOptions {
+    /// Worker threads for the per-file phase (`0`/`1` = inline). The
+    /// report is byte-identical for every worker count.
+    pub workers: usize,
+    /// Cache directory (`target/lint-cache/`); `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Analyze a set of in-memory files with default options (single
+/// worker, no cache) — the path unit tests and fuzz harnesses use.
 pub fn analyze_files(files: &[SourceFile]) -> Report {
+    analyze_files_with(files, &AnalysisOptions::default())
+}
+
+/// The whole pipeline: the parallel per-file phase, then the sequential
+/// cross-file phase. See the module docs for the determinism argument.
+pub fn analyze_files_with(files: &[SourceFile], opts: &AnalysisOptions) -> Report {
+    let analyses: Vec<FileAnalysis> =
+        appvsweb_core::exec::run_indexed(files, opts.workers.max(1), 4, |_, file| {
+            match &opts.cache_dir {
+                Some(dir) => {
+                    let hash = crate::cache::fnv1a64(file.text.as_bytes());
+                    crate::cache::load(dir, &file.path, hash).unwrap_or_else(|| {
+                        let analysis = analyze_one(file);
+                        crate::cache::store(dir, hash, &analysis);
+                        analysis
+                    })
+                }
+                None => analyze_one(file),
+            }
+        });
+
+    // Sequential fold over the ordered per-file results.
     let mut findings: Vec<Finding> = Vec::new();
     let mut labels: Vec<LabelSite> = Vec::new();
+    let mut suppressed: BTreeMap<String, u64> = BTreeMap::new();
     let mut tokens = 0u64;
     let mut allows = 0u64;
-
-    for file in files {
-        let toks = lex(&file.text);
-        tokens += toks.len() as u64;
-        let class = classify(&file.path);
-
-        let (allow_map, valid, mut annotation_findings) = parse_annotations(&file.path, &toks);
-        allows += valid;
-        if class != FileClass::Test {
-            findings.append(&mut annotation_findings);
+    let mut tables: Vec<FileTable> = Vec::with_capacity(analyses.len());
+    let mut classes: Vec<FileClass> = Vec::with_capacity(analyses.len());
+    let mut allow_maps: Vec<BTreeMap<u32, Vec<String>>> = Vec::with_capacity(analyses.len());
+    for analysis in analyses {
+        findings.extend(analysis.findings);
+        labels.extend(analysis.labels);
+        for rc in analysis.suppressed {
+            *suppressed.entry(rc.rule).or_insert(0) += rc.count;
         }
-
-        let sig = SigView {
-            toks: toks
+        tokens += analysis.tokens;
+        allows += analysis.allows;
+        classes.push(classify(&analysis.table.path));
+        allow_maps.push(
+            analysis
+                .allow_spans
                 .into_iter()
-                .filter(|t| {
-                    !matches!(
-                        t.kind,
-                        TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
-                    )
-                })
-                .map(|t| Sig {
-                    kind: t.kind,
-                    text: t.text,
-                    line: t.line,
-                })
+                .map(|s| (s.line as u32, s.rules))
                 .collect(),
-        };
-        let test_regions = find_test_regions(&sig);
-        let ctx = FileCtx {
-            path: &file.path,
-            class,
-            sig,
-            test_regions,
-            allows: allow_map,
-        };
-        rules::run_file_rules(&ctx, &mut findings, &mut labels);
+        );
+        tables.push(analysis.table);
     }
 
     rules::check_label_uniqueness(&labels, &mut findings);
+
+    let graph = crate::callgraph::CallGraph::build(&tables);
+    let ctx = taint::PassCtx {
+        tables: &tables,
+        classes: &classes,
+        allows: &allow_maps,
+        graph: &graph,
+    };
+    taint::run_workspace_passes(&ctx, &mut findings, &mut suppressed);
+    drop(graph);
 
     findings.sort_by(|a, b| {
         a.path
@@ -290,6 +426,73 @@ pub fn analyze_files(files: &[SourceFile]) -> Report {
         allows,
         findings,
         labels,
+        suppressed: suppressed
+            .into_iter()
+            .map(|(rule, count)| RuleCount { rule, count })
+            .collect(),
+    }
+}
+
+/// The per-file half of the pipeline, a pure function of one file.
+pub fn analyze_one(file: &SourceFile) -> FileAnalysis {
+    let toks = lex(&file.text);
+    let tokens = toks.len() as u64;
+    let class = classify(&file.path);
+
+    let (allow_map, valid, annotation_findings) = parse_annotations(&file.path, &toks);
+
+    let sig = SigView {
+        toks: toks
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|t| Sig {
+                kind: t.kind,
+                text: t.text,
+                line: t.line,
+            })
+            .collect(),
+    };
+    let test_regions = find_test_regions(&sig);
+    let table = crate::parse::parse_file(&file.path, &sig, &test_regions, &allow_map);
+    let ctx = FileCtx {
+        path: &file.path,
+        class,
+        sig,
+        test_regions,
+        allows: allow_map,
+    };
+    let mut sink = FileSink::default();
+    if class != FileClass::Test {
+        sink.findings.extend(annotation_findings);
+    }
+    rules::run_file_rules(&ctx, &mut sink);
+
+    FileAnalysis {
+        schema: crate::parse::TABLE_SCHEMA,
+        path: file.path.clone(),
+        findings: sink.findings,
+        labels: sink.labels,
+        suppressed: sink
+            .suppressed
+            .into_iter()
+            .map(|(rule, count)| RuleCount { rule, count })
+            .collect(),
+        allow_spans: ctx
+            .allows
+            .iter()
+            .map(|(&line, rules)| AllowSpan {
+                line: line as u64,
+                rules: rules.clone(),
+            })
+            .collect(),
+        tokens,
+        allows: valid,
+        table,
     }
 }
 

@@ -12,18 +12,23 @@
 //! | `R2` | no hand-rolled `ToJson`/`FromJson` impls outside `crates/json` (use `impl_json!`) |
 //! | `S1` | float comparisons in `appvsweb-analysis` use total-order helpers, not `partial_cmp` |
 
-use crate::engine::{rule_applies, FileCtx, Finding, LabelSite};
+use crate::engine::{rule_applies, FileCtx, FileSink, Finding, LabelSite};
 use crate::lexer::TokKind;
 use std::collections::BTreeSet;
 
 /// Append a finding unless the file class, a test region, or an inline
-/// annotation waives it.
-fn emit(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, rule: &str, i: usize, message: String) {
+/// annotation waives it. Annotation-waived sites are tallied per rule in
+/// the sink so the suppression debt stays visible.
+fn emit(ctx: &FileCtx<'_>, sink: &mut FileSink, rule: &str, i: usize, message: String) {
     let line = ctx.sig.line(i);
-    if !rule_applies(rule, ctx.class) || ctx.in_test_region(line) || ctx.allowed(rule, line) {
+    if !rule_applies(rule, ctx.class) || ctx.in_test_region(line) {
         return;
     }
-    findings.push(Finding {
+    if ctx.allowed(rule, line) {
+        *sink.suppressed.entry(rule.to_string()).or_insert(0) += 1;
+        return;
+    }
+    sink.findings.push(Finding {
         rule: rule.to_string(),
         path: ctx.path.to_string(),
         line: line as u64,
@@ -33,24 +38,20 @@ fn emit(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, rule: &str, i: usize, me
 }
 
 /// Run every single-file rule over one file.
-pub(crate) fn run_file_rules(
-    ctx: &FileCtx<'_>,
-    findings: &mut Vec<Finding>,
-    labels: &mut Vec<LabelSite>,
-) {
-    rule_d1_wall_clock(ctx, findings);
-    rule_d2_hash_iteration(ctx, findings);
-    rule_d3_fork_labels(ctx, findings, labels);
-    rule_r1_panic_paths(ctx, findings);
-    rule_r2_hand_rolled_json(ctx, findings);
-    rule_s1_total_order(ctx, findings);
+pub(crate) fn run_file_rules(ctx: &FileCtx<'_>, sink: &mut FileSink) {
+    rule_d1_wall_clock(ctx, sink);
+    rule_d2_hash_iteration(ctx, sink);
+    rule_d3_fork_labels(ctx, sink);
+    rule_r1_panic_paths(ctx, sink);
+    rule_r2_hand_rolled_json(ctx, sink);
+    rule_s1_total_order(ctx, sink);
 }
 
 // ---------------------------------------------------------------- D1 --
 
 /// D1: simulated time comes from `SimClock`; wall clocks would make two
 /// runs of the same seed diverge, so they are confined to bench code.
-fn rule_d1_wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+fn rule_d1_wall_clock(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     let sig = &ctx.sig;
     for i in 0..sig.len() {
         let t = sig.text(i);
@@ -67,7 +68,7 @@ fn rule_d1_wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
         if let Some(why) = hit {
             emit(
                 ctx,
-                findings,
+                sink,
                 "D1",
                 i,
                 format!("{why}; use SimClock/SimTime (or move to bench code)"),
@@ -98,7 +99,7 @@ const D2_WINDOW: usize = 60;
 /// within the next few statements. `HashMap` lookups (`get`/`insert`)
 /// are order-free and stay legal; only *iteration order* can leak into
 /// aggregates or serialized output.
-fn rule_d2_hash_iteration(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+fn rule_d2_hash_iteration(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     let sig = &ctx.sig;
     // Pass 1: names bound to hash collections.
     let mut bindings: BTreeSet<String> = BTreeSet::new();
@@ -140,7 +141,7 @@ fn rule_d2_hash_iteration(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
         if !mitigated {
             emit(
                 ctx,
-                findings,
+                sink,
                 "D2",
                 i,
                 format!(
@@ -159,11 +160,7 @@ fn rule_d2_hash_iteration(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 /// the `rng_labels` module, so the workspace label table is closed and
 /// reviewable. Literal labels are collected into the table here;
 /// uniqueness is resolved across files by [`check_label_uniqueness`].
-fn rule_d3_fork_labels(
-    ctx: &FileCtx<'_>,
-    findings: &mut Vec<Finding>,
-    labels: &mut Vec<LabelSite>,
-) {
+fn rule_d3_fork_labels(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     let sig = &ctx.sig;
     // Constants in the rng_labels module define the canonical table.
     if ctx.path.ends_with("/rng_labels.rs") {
@@ -175,7 +172,7 @@ fn rule_d3_fork_labels(
                 && sig.text(i + 5) == "="
                 && sig.kind(i + 6) == TokKind::Lit
             {
-                labels.push(LabelSite {
+                sink.labels.push(LabelSite {
                     label: unquote(sig.text(i + 6)),
                     path: ctx.path.to_string(),
                     line: sig.line(i) as u64,
@@ -212,7 +209,7 @@ fn rule_d3_fork_labels(
                 .is_some_and(|&a| sig.kind(a) == TokKind::Lit && sig.text(a).starts_with('"'));
         if single_literal {
             if let Some(&a) = arg.first() {
-                labels.push(LabelSite {
+                sink.labels.push(LabelSite {
                     label: unquote(sig.text(a)),
                     path: ctx.path.to_string(),
                     line: sig.line(a) as u64,
@@ -221,7 +218,7 @@ fn rule_d3_fork_labels(
         } else if !arg.iter().any(|&a| sig.text(a) == "rng_labels") {
             emit(
                 ctx,
-                findings,
+                sink,
                 "D3",
                 i + 1,
                 "fork label must be a string literal or come from the rng_labels \
@@ -273,7 +270,7 @@ pub(crate) fn check_label_uniqueness(labels: &[LabelSite], findings: &mut Vec<Fi
 /// `.unwrap()`, `.expect("…")` (a string argument distinguishes
 /// `Option::expect` from unrelated `expect` methods), `panic!`, and
 /// indexing by an integer literal.
-fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+fn rule_r1_panic_paths(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     let sig = &ctx.sig;
     for i in 0..sig.len() {
         match sig.text(i) {
@@ -282,7 +279,7 @@ fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             {
                 emit(
                     ctx,
-                    findings,
+                    sink,
                     "R1",
                     i,
                     "unwrap() in library code; return a typed error, provide a \
@@ -297,7 +294,7 @@ fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             {
                 emit(
                     ctx,
-                    findings,
+                    sink,
                     "R1",
                     i,
                     "expect() in library code; return a typed error instead of \
@@ -308,7 +305,7 @@ fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             "panic" if sig.text(i + 1) == "!" => {
                 emit(
                     ctx,
-                    findings,
+                    sink,
                     "R1",
                     i,
                     "panic! in library code; bubble a typed error up instead".to_string(),
@@ -321,7 +318,7 @@ fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             {
                 emit(
                     ctx,
-                    findings,
+                    sink,
                     "R1",
                     i,
                     format!(
@@ -341,7 +338,7 @@ fn rule_r1_panic_paths(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 /// R2: serialization goes through `impl_json!` so every type shares the
 /// canonical-form guarantees (stable key order, fixed-point reparse).
 /// A hand-rolled `impl ToJson for …` outside `crates/json` drifts.
-fn rule_r2_hand_rolled_json(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+fn rule_r2_hand_rolled_json(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     if ctx.path.starts_with("crates/json/") {
         return;
     }
@@ -357,7 +354,7 @@ fn rule_r2_hand_rolled_json(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
                 "for" if saw_trait => {
                     emit(
                         ctx,
-                        findings,
+                        sink,
                         "R2",
                         i,
                         "hand-rolled ToJson/FromJson impl; use impl_json! so the \
@@ -378,7 +375,7 @@ fn rule_r2_hand_rolled_json(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 /// S1: `partial_cmp` on floats panics or misorders on NaN; the analysis
 /// crate must use `f64::total_cmp` / `stats::sort_floats` so aggregate
 /// ordering is total and deterministic.
-fn rule_s1_total_order(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+fn rule_s1_total_order(ctx: &FileCtx<'_>, sink: &mut FileSink) {
     if !ctx.path.starts_with("crates/analysis/") {
         return;
     }
@@ -387,7 +384,7 @@ fn rule_s1_total_order(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
         if sig.text(i) == "partial_cmp" {
             emit(
                 ctx,
-                findings,
+                sink,
                 "S1",
                 i,
                 "partial_cmp in the analysis crate; use f64::total_cmp or \

@@ -85,6 +85,7 @@ pub struct Evaluation {
 /// encoding chain) pair the corpus contains one positive flow; plus
 /// `clean_flows` PII-free flows and one decoy flow per type carrying a
 /// different identity's values (which a correct detector must NOT flag).
+// lint:allow(T1) corpus synthesis deliberately embeds encoded PII in labelled eval flows; no transport involved
 pub fn build_corpus(truth: &GroundTruth, clean_flows: usize) -> Vec<LabelledFlow> {
     let mut corpus = Vec::new();
     let decoy = GroundTruth::synthetic(0xDEC0).with_device(

@@ -68,6 +68,7 @@ pub struct GroundTruthMatcher {
 
 impl GroundTruthMatcher {
     /// Precompute the search index for `truth`.
+    // lint:allow(T1) matcher-side index construction: encodes ground truth to SEARCH for it; nothing leaves the process
     pub fn new(truth: &GroundTruth) -> Self {
         let chains = search_chains();
         let mut candidates = Vec::new();

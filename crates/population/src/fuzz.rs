@@ -165,6 +165,7 @@ fn op_mode(data: &[u8]) {
 }
 
 /// Run the population target on raw fuzz bytes.
+// lint:allow(T1) fuzz harness round-trips synthetic reports through canonical JSON; no network sink downstream
 pub fn run(data: &[u8]) {
     let text = String::from_utf8_lossy(data);
     if let Ok(report) = appvsweb_json::decode::<PopulationReport>(&text) {

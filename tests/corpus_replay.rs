@@ -55,9 +55,11 @@ fn regression_pins_are_committed() {
     // fixes, the PR 3 lexer property-test edge cases, the journal
     // renderer's close-without-open totality case, the population
     // sketch hostile-state pins (unsorted buckets, absurd capacities,
-    // non-finite op streams), and the serve pins (bare-LF request
+    // non-finite op streams), the serve pins (bare-LF request
     // heads, oversized content-length, torn WAL tails, sequence
-    // regressions, supervisor records with no enclosing Start).
+    // regressions, supervisor records with no enclosing Start), and the
+    // lint item-parser pins (macro bodies skipped wholesale, unclosed
+    // generics bounded, torn fork-label argument lists).
     for (target, pin) in [
         ("httpsim_gzip", "regress-trailer-truncated.bin"),
         ("httpsim_gzip", "regress-trailer-missing.bin"),
@@ -66,6 +68,9 @@ fn regression_pins_are_committed() {
         ("lint_lexer", "regress-raw-string-hashes.bin"),
         ("lint_lexer", "regress-nested-comment.bin"),
         ("lint_lexer", "regress-unterminated-raw.bin"),
+        ("lint_parse", "regress-macro-body-allow.bin"),
+        ("lint_parse", "regress-unclosed-generics.bin"),
+        ("lint_parse", "regress-torn-fork-args.bin"),
         ("trace", "regress-depth-underflow.bin"),
         ("population", "regress-report-roundtrip.bin"),
         ("population", "regress-unsorted-buckets.bin"),
