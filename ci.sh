@@ -30,6 +30,9 @@ rm -f target/lint-cold.json target/lint-warm.json target/lint-nocache.json
 echo "== lint bench (emits BENCH_lint.json: scan size, tokens/sec, findings by rule) =="
 cargo bench -q -p appvsweb-bench --bench lint
 
+echo "== pipeline bench + perf gate (full-campaign median >25% over committed fails) =="
+BENCH_GATE=1 cargo bench -q -p appvsweb-bench --bench study_pipeline
+
 echo "== repro fuzz --smoke (corpus replay + short mutation burst; emits BENCH_testkit.json) =="
 cargo run -q --release -p appvsweb-bench --bin repro -- fuzz --smoke
 

@@ -13,6 +13,7 @@
 
 use crate::engine::FilterEngine;
 use appvsweb_httpsim::Host;
+use std::sync::Arc;
 
 /// Category assigned to a destination domain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,7 +84,7 @@ const ANALYTICS_ORGS: &[&str] = &[
 /// Categorizes destination hosts for one service under test.
 #[derive(Clone, Debug)]
 pub struct Categorizer {
-    engine: FilterEngine,
+    engine: Arc<FilterEngine>,
     first_party_domains: Vec<String>,
 }
 
@@ -93,7 +94,7 @@ impl Categorizer {
     /// `["weather.com", "imwx.com"]`).
     pub fn new(engine: FilterEngine, first_party_domains: &[&str]) -> Self {
         Categorizer {
-            engine,
+            engine: Arc::new(engine),
             first_party_domains: first_party_domains
                 .iter()
                 .map(|d| d.to_ascii_lowercase())
@@ -101,9 +102,16 @@ impl Categorizer {
         }
     }
 
-    /// With the bundled A&A list.
+    /// With the bundled A&A list (compiled once per process and shared
+    /// across categorizers via [`crate::engine::bundled_shared`]).
     pub fn bundled(first_party_domains: &[&str]) -> Self {
-        Categorizer::new(FilterEngine::with_bundled_list(), first_party_domains)
+        Categorizer {
+            engine: crate::engine::bundled_shared(),
+            first_party_domains: first_party_domains
+                .iter()
+                .map(|d| d.to_ascii_lowercase())
+                .collect(),
+        }
     }
 
     /// Whether `host` is first-party for this service.

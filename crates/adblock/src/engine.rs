@@ -1,7 +1,17 @@
 //! The filter engine: list loading and request classification.
+//!
+//! Classification is pre-filtered: each loaded list compiles a
+//! [`Prefilter`] dispatch index, so a request tests only the rules
+//! whose indexed 4-gram occurs in the URL (plus the short-pattern
+//! `always` set) instead of walking the whole list. The pre-filter is
+//! a strict superset filter — zero false negatives by construction
+//! (see [`crate::prefilter`]) — and candidates are verified in load
+//! order, so decisions are bit-identical to the retained linear
+//! reference walk ([`FilterEngine::check_reference`]).
 
 use crate::filter::{parse_line, Filter, ParsedLine, ResourceType};
 use crate::is_third_party;
+use crate::prefilter::Prefilter;
 use appvsweb_httpsim::Host;
 
 /// The request context a classification decision needs.
@@ -53,6 +63,8 @@ pub struct LoadStats {
 pub struct FilterEngine {
     blocking: Vec<Filter>,
     exceptions: Vec<Filter>,
+    blocking_pre: Prefilter,
+    exceptions_pre: Prefilter,
 }
 
 impl FilterEngine {
@@ -69,7 +81,8 @@ impl FilterEngine {
         e
     }
 
-    /// Load a filter list, returning what was parsed.
+    /// Load a filter list, returning what was parsed. Recompiles the
+    /// pre-filter dispatch indexes over the accumulated rules.
     pub fn load_list(&mut self, text: &str) -> LoadStats {
         let mut stats = LoadStats::default();
         for line in text.lines() {
@@ -88,6 +101,8 @@ impl FilterEngine {
                 ParsedLine::Unsupported(_) => stats.unsupported += 1,
             }
         }
+        self.blocking_pre = Prefilter::build(&self.blocking);
+        self.exceptions_pre = Prefilter::build(&self.exceptions);
         stats
     }
 
@@ -96,44 +111,89 @@ impl FilterEngine {
         self.blocking.len() + self.exceptions.len()
     }
 
-    /// Classify a request.
+    /// Does `f`'s full rule (options + pattern) match the request?
+    /// `url` must already be lowercase.
+    fn filter_applies(
+        &self,
+        f: &Filter,
+        url: &str,
+        third_party: bool,
+        req: &RequestInfo<'_>,
+    ) -> bool {
+        if let Some(wants_tp) = f.third_party {
+            if wants_tp != third_party {
+                return false;
+            }
+        }
+        if !f.include_domains.is_empty()
+            && !f
+                .include_domains
+                .iter()
+                .any(|d| domain_covers(d, req.origin_host))
+        {
+            return false;
+        }
+        if f.exclude_domains
+            .iter()
+            .any(|d| domain_covers(d, req.origin_host))
+        {
+            return false;
+        }
+        if !f.resource_types.is_empty() {
+            match req.resource_type {
+                Some(rt) if f.resource_types.contains(&rt) => {}
+                _ => return false,
+            }
+        }
+        f.pattern_matches(url)
+    }
+
+    /// Classify a request. Pre-filtered: only candidate rules whose
+    /// indexed gram occurs in the URL are verified, in load order.
     pub fn check(&self, req: &RequestInfo<'_>) -> Decision {
         let url = req.url.to_ascii_lowercase();
         let request_host = host_of(&url);
         let third_party = is_third_party(&request_host, req.origin_host);
 
-        let matches = |f: &Filter| -> bool {
-            if let Some(wants_tp) = f.third_party {
-                if wants_tp != third_party {
-                    return false;
-                }
-            }
-            if !f.include_domains.is_empty()
-                && !f
-                    .include_domains
-                    .iter()
-                    .any(|d| domain_covers(d, req.origin_host))
-            {
-                return false;
-            }
-            if f.exclude_domains
-                .iter()
-                .any(|d| domain_covers(d, req.origin_host))
-            {
-                return false;
-            }
-            if !f.resource_types.is_empty() {
-                match req.resource_type {
-                    Some(rt) if f.resource_types.contains(&rt) => {}
-                    _ => return false,
-                }
-            }
-            f.pattern_matches(&url)
-        };
-
-        let blocked = self.blocking.iter().find(|f| matches(f));
+        let blocked = self
+            .blocking_pre
+            .candidates(&url)
+            .into_iter()
+            .map(|i| &self.blocking[i as usize])
+            .find(|f| self.filter_applies(f, &url, third_party, req));
         if let Some(rule) = blocked {
-            if let Some(exc) = self.exceptions.iter().find(|f| matches(f)) {
+            let exception = self
+                .exceptions_pre
+                .candidates(&url)
+                .into_iter()
+                .map(|i| &self.exceptions[i as usize])
+                .find(|f| self.filter_applies(f, &url, third_party, req));
+            if let Some(exc) = exception {
+                return Decision::Allowed(exc.raw.clone());
+            }
+            return Decision::Blocked(rule.raw.clone());
+        }
+        Decision::NoMatch
+    }
+
+    /// Reference classification: the naive full walk over every rule,
+    /// kept alive as the differential oracle for [`FilterEngine::check`].
+    #[cfg(any(test, feature = "reference"))]
+    pub fn check_reference(&self, req: &RequestInfo<'_>) -> Decision {
+        let url = req.url.to_ascii_lowercase();
+        let request_host = host_of(&url);
+        let third_party = is_third_party(&request_host, req.origin_host);
+
+        let blocked = self
+            .blocking
+            .iter()
+            .find(|f| self.filter_applies(f, &url, third_party, req));
+        if let Some(rule) = blocked {
+            if let Some(exc) = self
+                .exceptions
+                .iter()
+                .find(|f| self.filter_applies(f, &url, third_party, req))
+            {
                 return Decision::Allowed(exc.raw.clone());
             }
             return Decision::Blocked(rule.raw.clone());
@@ -150,6 +210,16 @@ impl FilterEngine {
         })
         .is_blocked()
     }
+}
+
+/// The bundled-list engine, compiled once per process and shared. The
+/// list is a static snapshot and the compiled engine is immutable, so
+/// per-cell categorizers clone an `Arc` instead of reparsing ~100 rules
+/// and rebuilding the dispatch index.
+pub fn bundled_shared() -> std::sync::Arc<FilterEngine> {
+    use std::sync::{Arc, OnceLock};
+    static SHARED: OnceLock<Arc<FilterEngine>> = OnceLock::new();
+    Arc::clone(SHARED.get_or_init(|| Arc::new(FilterEngine::with_bundled_list())))
 }
 
 /// Extract the hostname from a lowercase URL string.
@@ -257,6 +327,48 @@ mod tests {
         ));
         assert!(e.is_ad_or_tracking("https://ads.amobee.com/bid", "jetblue.com"));
         assert!(!e.is_ad_or_tracking("https://www.weather.com/today", "www.weather.com"));
+    }
+
+    #[test]
+    fn prefiltered_check_equals_reference_on_bundled_list() {
+        let e = FilterEngine::with_bundled_list();
+        let urls = [
+            "https://www.google-analytics.com/collect?v=1",
+            "https://ads.amobee.com/bid",
+            "https://www.weather.com/today",
+            "https://securepubads.googlesyndication.com/tag/js/gpt.js",
+            "https://cdn.taplytics.com/sdk.min.js",
+            "https://api.payments.example/charge",
+            "https://x.com/loads/banner.png",
+            "https://tracker.example",
+        ];
+        for url in urls {
+            for origin in ["www.weather.com", "jetblue.com", "stats.com"] {
+                for rt in [None, Some(ResourceType::Script), Some(ResourceType::Image)] {
+                    let req = RequestInfo {
+                        url,
+                        origin_host: origin,
+                        resource_type: rt,
+                    };
+                    assert_eq!(
+                        e.check(&req),
+                        e.check_reference(&req),
+                        "fast/reference divergence for {url} from {origin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundled_shared_is_one_engine() {
+        let a = bundled_shared();
+        let b = bundled_shared();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            a.rule_count(),
+            FilterEngine::with_bundled_list().rule_count()
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod filter;
 pub mod fuzz;
 pub mod lists;
+pub mod prefilter;
 
 pub use category::{Categorizer, Category};
 pub use engine::{Decision, FilterEngine, RequestInfo};

@@ -131,12 +131,17 @@ pub fn analyze_trace(
         retries: trace.retries,
     };
 
+    // Hosts repeat heavily within a trace (every beacon to the same
+    // endpoint); memoize the registrable-domain split and the EasyList
+    // categorization per host. Categorization is a pure function of the
+    // host, so this is observationally identical to recomputing.
+    let mut host_memo: HashMap<&str, (String, Category)> = HashMap::new();
+
     // --- Connection-level accounting (works even for opaque flows). ---
     for conn in &trace.connections {
-        let domain = Host::new(&conn.host).registrable_domain();
-        let category = categorizer.categorize_host(&conn.host);
+        let (domain, category) = memoized_host(&mut host_memo, &conn.host, categorizer);
         if category.is_aa() {
-            cell.aa_domains.insert(domain);
+            cell.aa_domains.insert(domain.clone());
             cell.aa_flows += 1;
             cell.aa_bytes += conn.stats.total_bytes();
         }
@@ -151,7 +156,8 @@ pub fn analyze_trace(
         text.hash(&mut hasher);
         txn.host.hash(&mut hasher);
         let key = hasher.finish();
-        let domain_label = Host::new(&txn.host).registrable_domain();
+        let (domain_label, category) = memoized_host(&mut host_memo, &txn.host, categorizer);
+        let domain_label = domain_label.clone();
         let types = cache
             .entry(key)
             .or_insert_with(|| detector.scan(&domain_label, &text).types())
@@ -160,12 +166,11 @@ pub fn analyze_trace(
         if types.is_empty() {
             continue;
         }
-        let category = categorizer.categorize_host(&txn.host);
         for t in types {
             if !is_leak(t, category, txn.plaintext) {
                 continue;
             }
-            let domain = Host::new(&txn.host).registrable_domain();
+            let domain = domain_label.clone();
             appvsweb_obs::counter!("analysis.leaks");
             appvsweb_obs::event!(
                 "analysis.leak",
@@ -200,6 +205,23 @@ pub fn analyze_trace(
     cell
 }
 
+/// Memoized `host -> (registrable domain, EasyList category)`; both are
+/// pure functions of the host string, recomputed once per distinct host
+/// per trace instead of once per connection/transaction.
+fn memoized_host<'a>(
+    memo: &mut HashMap<&'a str, (String, Category)>,
+    host: &'a str,
+    categorizer: &Categorizer,
+) -> (String, Category) {
+    let entry = memo.entry(host).or_insert_with(|| {
+        (
+            Host::new(host).registrable_domain(),
+            categorizer.categorize_host(host),
+        )
+    });
+    (entry.0.clone(), entry.1)
+}
+
 /// The flow text the detectors scan: the raw request wire bytes with the
 /// `User-Agent` header redacted. Every browser UA carries the hardware
 /// model ("Nexus 5 Build/KTU84P"); the paper does not count that ambient
@@ -223,7 +245,7 @@ pub fn scan_text(request_bytes: &[u8]) -> String {
 /// plaintext is only visible after decompression, exactly as mitmproxy
 /// exposes it.
 pub fn scan_text_of(request: &appvsweb_httpsim::Request) -> String {
-    use appvsweb_httpsim::compress::gzip_decompress;
+    use appvsweb_httpsim::compress::gzip_decompress_into;
     let mut out = String::with_capacity(256 + request.body.len());
     out.push_str(request.method.as_str());
     out.push(' ');
@@ -244,8 +266,12 @@ pub fn scan_text_of(request: &appvsweb_httpsim::Request) -> String {
     }
     out.push('\n');
     if gzipped {
-        match gzip_decompress(&request.body.bytes) {
-            Ok(plain) => out.push_str(&String::from_utf8_lossy(&plain)),
+        // Decompress into a pooled scratch buffer; the plaintext only
+        // lives long enough to be appended to the scan text, and the
+        // guard scrubs it before the buffer is recycled.
+        let mut plain = appvsweb_netsim::pool::take_with_capacity(request.body.len() * 3);
+        match gzip_decompress_into(&request.body.bytes, &mut plain) {
+            Ok(()) => out.push_str(&String::from_utf8_lossy(&plain)),
             // Broken compression: fall back to the raw (opaque) bytes.
             Err(_) => out.push_str(&request.body.as_text()),
         }

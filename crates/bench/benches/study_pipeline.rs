@@ -2,8 +2,14 @@
 //!
 //! Emits `BENCH_pipeline.json` at the repo root with median/p95 ns per
 //! stage, so PRs can diff the perf trajectory of the whole pipeline.
+//!
+//! With `BENCH_GATE=1` in the environment (ci.sh sets it), the run
+//! doubles as a perf-regression gate: the freshly measured
+//! `full_campaign_1min_sessions` median is compared against the
+//! committed artifact *before* it is overwritten, and a regression of
+//! more than 25% fails the process.
 
-use appvsweb_bench::{quick_config, repo_root};
+use appvsweb_bench::{committed_median_ns, quick_config, repo_root};
 use appvsweb_core::study::{run_cell, run_study};
 use appvsweb_netsim::Os;
 use appvsweb_services::{Catalog, Medium};
@@ -28,9 +34,39 @@ fn main() {
     });
 
     // The full 196-cell campaign at 1 simulated minute per session.
-    runner.bench("full_campaign_1min_sessions", || run_study(&cfg));
+    const CAMPAIGN: &str = "full_campaign_1min_sessions";
+    let baseline = committed_median_ns(&repo_root().join("BENCH_pipeline.json"), CAMPAIGN);
+    runner.bench(CAMPAIGN, || run_study(&cfg));
 
+    let fresh = runner
+        .results()
+        .iter()
+        .find(|r| r.name == CAMPAIGN)
+        .map(|r| r.median_ns);
     runner
         .write_json(&repo_root())
         .expect("write bench artifact");
+
+    if std::env::var_os("BENCH_GATE").is_some() {
+        match (baseline, fresh) {
+            (Some(base), Some(now)) if now > base * 1.25 => {
+                eprintln!(
+                    "BENCH GATE: {CAMPAIGN} median regressed {:.1}% \
+                     ({:.1}ms -> {:.1}ms, threshold 25%)",
+                    (now / base - 1.0) * 100.0,
+                    base / 1e6,
+                    now / 1e6,
+                );
+                std::process::exit(1);
+            }
+            (Some(base), Some(now)) => {
+                eprintln!(
+                    "BENCH GATE: {CAMPAIGN} median {:.1}ms vs committed {:.1}ms — ok",
+                    now / 1e6,
+                    base / 1e6,
+                );
+            }
+            _ => eprintln!("BENCH GATE: no committed baseline for {CAMPAIGN}; skipping"),
+        }
+    }
 }

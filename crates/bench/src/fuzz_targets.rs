@@ -34,6 +34,15 @@ pub fn all() -> Vec<FuzzTarget> {
             max_len: 512,
         },
         FuzzTarget {
+            name: "httpsim_wire",
+            run: appvsweb_httpsim::fuzz::run_wire,
+            dict: appvsweb_httpsim::fuzz::WIRE_DICT,
+            seeds: appvsweb_httpsim::fuzz::WIRE_SEEDS,
+            // Large enough to keep the 1024-byte chunk-boundary pins
+            // inside the mutable range.
+            max_len: 2048,
+        },
+        FuzzTarget {
             name: "pii_tokenize",
             run: appvsweb_pii::fuzz::run,
             dict: appvsweb_pii::fuzz::DICT,
@@ -120,7 +129,7 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate target name");
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
     }
 
     #[test]

@@ -34,3 +34,19 @@ pub fn repo_root() -> std::path::PathBuf {
         .expect("crates/bench sits two levels below the repo root")
         .to_path_buf()
 }
+
+/// Read one benchmark's committed median from a `BENCH_<suite>.json`
+/// artifact. `None` when the file, the entry, or the field is missing —
+/// a fresh checkout without artifacts must not trip the regression
+/// gate.
+pub fn committed_median_ns(path: &std::path::Path, name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = appvsweb_json::parse(&text).ok()?;
+    json.get("results")?
+        .items()
+        .ok()?
+        .iter()
+        .find(|r| matches!(r.get("name"), Some(appvsweb_json::Json::Str(s)) if s == name))?
+        .field::<f64>("median_ns")
+        .ok()
+}

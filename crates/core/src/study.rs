@@ -20,7 +20,7 @@ use appvsweb_httpsim::Host;
 use appvsweb_json::JsonKey;
 use appvsweb_netsim::{rng_labels, FaultKind, FaultPlan, Os, SimDuration, SimRng};
 use appvsweb_pii::recon::{ReconClassifier, ReconTrainer, TrainingFlow, TreeConfig};
-use appvsweb_pii::{CombinedDetector, GroundTruthMatcher};
+use appvsweb_pii::CombinedDetector;
 use appvsweb_services::{Catalog, Medium, ServiceSpec, SessionConfig};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -262,7 +262,8 @@ pub fn train_recon(catalog: &Catalog, cfg: &StudyConfig) -> ReconClassifier {
         };
         for os in [Os::Android, Os::Ios] {
             let mut tb = Testbed::for_cell(spec, os, session_cfg.seed);
-            let matcher = GroundTruthMatcher::new(&tb.truth);
+            let dict = appvsweb_pii::cache::compiled(&tb.truth);
+            let matcher = &dict.matcher;
             for medium in Medium::BOTH {
                 // Training sessions journal under a `train/` pseudo-cell
                 // id; they run on the main thread before any worker.

@@ -10,6 +10,11 @@
 //!   dynamic-Huffman blocks
 //! * [`gzip_compress`] / [`gzip_decompress`] — the gzip member framing
 //!   with CRC-32 integrity checking
+//!
+//! Each codec also has an `_into` variant appending to a caller-owned
+//! buffer, so the per-exchange hot path can target pooled wire buffers
+//! ([`appvsweb_netsim::pool`]) with no intermediate allocations; the
+//! LZ77 hash-chain table is itself a reused thread-local scratch.
 
 /// Error from the decompressors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,17 +83,16 @@ impl<'a> BitReader<'a> {
     }
 }
 
-struct BitWriter {
-    out: Vec<u8>,
+/// Bit writer appending to a caller-owned buffer, so compression can
+/// target a pooled buffer without an intermediate allocation.
+struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
     bit: u32,
 }
 
-impl BitWriter {
-    fn new() -> Self {
-        BitWriter {
-            out: Vec::new(),
-            bit: 0,
-        }
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter { out, bit: 0 }
     }
 
     fn put_bits(&mut self, value: u32, n: u32) {
@@ -109,10 +113,6 @@ impl BitWriter {
         for i in (0..len).rev() {
             self.put_bits((code >> i) & 1, 1);
         }
-    }
-
-    fn finish(self) -> Vec<u8> {
-        self.out
     }
 }
 
@@ -207,8 +207,26 @@ fn fixed_literal_lengths() -> Vec<u8> {
 
 /// Decompress a raw DEFLATE stream.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
-    let mut bits = BitReader::new(data);
     let mut out = Vec::with_capacity(data.len() * 3);
+    inflate_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a raw DEFLATE stream, appending to `out` (pooled-buffer
+/// entry point). Atomic: on error, `out` is truncated back to its
+/// original length so a corrupt stream never hands back half-written
+/// output.
+pub fn inflate_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), InflateError> {
+    let base = out.len();
+    let result = inflate_into_inner(data, out, base);
+    if result.is_err() {
+        out.truncate(base);
+    }
+    result
+}
+
+fn inflate_into_inner(data: &[u8], out: &mut Vec<u8>, base: usize) -> Result<(), InflateError> {
+    let mut bits = BitReader::new(data);
     loop {
         let final_block = bits.take_bit()? == 1;
         let btype = bits.take_bits(2)?;
@@ -236,17 +254,17 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
                 appvsweb_cover::cover!();
                 let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
                 let dist = Huffman::from_lengths(&[5u8; 30])?;
-                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+                inflate_block(&mut bits, &lit, &dist, out, base)?;
             }
             2 => {
                 appvsweb_cover::cover!();
                 let (lit, dist) = read_dynamic_tables(&mut bits)?;
-                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+                inflate_block(&mut bits, &lit, &dist, out, base)?;
             }
             _ => return Err(InflateError::Corrupt("reserved block type")),
         }
         if final_block {
-            return Ok(out);
+            return Ok(());
         }
     }
 }
@@ -305,6 +323,7 @@ fn inflate_block(
     lit: &Huffman,
     dist: &Huffman,
     out: &mut Vec<u8>,
+    base: usize,
 ) -> Result<(), InflateError> {
     loop {
         let sym = lit.decode(bits)?;
@@ -322,7 +341,9 @@ fn inflate_block(
                 }
                 let distance =
                     DIST_BASE[dsym] as usize + bits.take_bits(DIST_EXTRA[dsym] as u32)? as usize;
-                if distance > out.len() {
+                // Back-references may not reach past this stream's own
+                // output into a pooled buffer's pre-existing bytes.
+                if distance > out.len() - base {
                     return Err(InflateError::Corrupt("distance beyond output"));
                 }
                 let start = out.len() - distance;
@@ -338,9 +359,36 @@ fn inflate_block(
 
 // ------------------------------------------------------------- deflate
 
+thread_local! {
+    /// Reused LZ77 hash-chain table (256 KiB); allocating it fresh per
+    /// call dominated small-payload compression (one table per gzipped
+    /// beacon). Reset with `fill(-1)` on each take.
+    static HEAD_SCRATCH: std::cell::RefCell<Vec<i64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Compress with greedy LZ77 + fixed-Huffman coding.
 pub fn deflate(data: &[u8]) -> Vec<u8> {
-    let mut w = BitWriter::new();
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    deflate_into(data, &mut out);
+    out
+}
+
+/// Compress with greedy LZ77 + fixed-Huffman coding, appending to `out`
+/// (pooled-buffer entry point). The hash-chain scratch table is reused
+/// from a thread-local, so repeated calls allocate nothing.
+pub fn deflate_into(data: &[u8], out: &mut Vec<u8>) {
+    let mut head = HEAD_SCRATCH.with(|h| std::mem::take(&mut *h.borrow_mut()));
+    if head.len() != 1 << 15 {
+        head = vec![-1i64; 1 << 15];
+    } else {
+        head.fill(-1);
+    }
+    deflate_with_scratch(data, out, &mut head);
+    HEAD_SCRATCH.with(|h| *h.borrow_mut() = head);
+}
+
+fn deflate_with_scratch(data: &[u8], out: &mut Vec<u8>, head: &mut [i64]) {
+    let mut w = BitWriter::new(out);
     // Single final block, fixed Huffman.
     w.put_bits(1, 1); // BFINAL
     w.put_bits(1, 2); // BTYPE = fixed
@@ -358,7 +406,6 @@ pub fn deflate(data: &[u8]) -> Vec<u8> {
     const WINDOW: usize = 32 * 1024;
     const MIN_MATCH: usize = 3;
     const MAX_MATCH: usize = 258;
-    let mut head: Vec<i64> = vec![-1; 1 << 15];
     let hash = |a: u8, b: u8, c: u8| -> usize {
         ((a as usize) << 7 ^ (b as usize) << 3 ^ c as usize) & 0x7fff
     };
@@ -430,25 +477,28 @@ pub fn deflate(data: &[u8]) -> Vec<u8> {
     }
     let (eob, eob_bits) = fixed_code(256);
     w.put_huffman(eob, eob_bits);
-    w.finish()
 }
 
 // ---------------------------------------------------------------- gzip
 
-/// CRC-32 (IEEE 802.3), byte-at-a-time with a lazily built table.
+/// CRC-32 (IEEE 802.3), byte-at-a-time with a once-built shared table.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut table = [0u32; 256];
-    for (n, entry) in table.iter_mut().enumerate() {
-        let mut c = n as u32;
-        for _ in 0..8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, entry) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
         }
-        *entry = c;
-    }
+        table
+    });
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
@@ -458,22 +508,47 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Wrap `data` as a gzip member.
 pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
-    let mut out = vec![
+    let mut out = Vec::with_capacity(18 + data.len() / 2);
+    gzip_compress_into(data, &mut out);
+    out
+}
+
+/// Wrap `data` as a gzip member, appending to `out` with no
+/// intermediate deflate buffer (pooled-buffer entry point).
+pub fn gzip_compress_into(data: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&[
         0x1f, 0x8b, // magic
         8,    // deflate
         0,    // flags
         0, 0, 0, 0,   // mtime (deterministic simulation: epoch)
         0,   // extra flags
         255, // OS: unknown
-    ];
-    out.extend_from_slice(&deflate(data));
+    ]);
+    deflate_into(data, out);
     out.extend_from_slice(&crc32(data).to_le_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    out
 }
 
 /// Unwrap and decompress a gzip member, verifying the CRC.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    gzip_decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Unwrap and decompress a gzip member into `out` (pooled-buffer entry
+/// point), verifying the CRC over the appended bytes. On error, `out`
+/// is restored to its original length.
+pub fn gzip_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), InflateError> {
+    let base = out.len();
+    let result = gzip_decompress_inner(data, out, base);
+    if result.is_err() {
+        out.truncate(base);
+    }
+    result
+}
+
+fn gzip_decompress_inner(data: &[u8], out: &mut Vec<u8>, base: usize) -> Result<(), InflateError> {
     if data.len() < 18 {
         return Err(InflateError::BadGzip("too short"));
     }
@@ -517,7 +592,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
         return Err(InflateError::Truncated);
     }
     let body = &data[offset..data.len() - 8];
-    let out = inflate(body)?;
+    inflate_into(body, out)?;
     let trailer = |range: std::ops::Range<usize>| -> Result<u32, InflateError> {
         let bytes = data.get(range).ok_or(InflateError::Truncated)?;
         Ok(u32::from_le_bytes(
@@ -526,13 +601,13 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     };
     let expected_crc = trailer(data.len() - 8..data.len() - 4)?;
     let expected_size = trailer(data.len() - 4..data.len())?;
-    if crc32(&out) != expected_crc {
+    if crc32(&out[base..]) != expected_crc {
         return Err(InflateError::BadGzip("crc mismatch"));
     }
-    if out.len() as u32 != expected_size {
+    if (out.len() - base) as u32 != expected_size {
         return Err(InflateError::BadGzip("size mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -658,6 +733,45 @@ mod tests {
             gzip_decompress(&bad),
             Err(InflateError::BadGzip("bad magic"))
         );
+    }
+
+    #[test]
+    fn into_variants_append_without_clearing() {
+        let payload = b"pooled-buffer payload payload payload";
+        let mut buf = b"prefix".to_vec();
+        gzip_compress_into(payload, &mut buf);
+        assert!(buf.starts_with(b"prefix"));
+        assert_eq!(&buf[6..], gzip_compress(payload).as_slice());
+
+        let gz = gzip_compress(payload);
+        let mut out = b"earlier".to_vec();
+        gzip_decompress_into(&gz, &mut out).unwrap();
+        assert_eq!(&out[..7], b"earlier");
+        assert_eq!(&out[7..], payload);
+    }
+
+    #[test]
+    fn decompress_into_restores_length_on_error() {
+        let mut gz = gzip_compress(b"will be corrupted soon enough");
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0xFF;
+        let mut out = b"keep".to_vec();
+        assert!(gzip_decompress_into(&gz, &mut out).is_err());
+        assert_eq!(out, b"keep", "partial output must be rolled back");
+    }
+
+    #[test]
+    fn inflate_into_cannot_reference_preexisting_bytes() {
+        // A back-reference at stream start (distance 1 before any
+        // output) is corrupt even when the target buffer is non-empty:
+        // the pooled buffer's earlier contents are out of bounds.
+        let text = b"abcdabcdabcdabcd";
+        let stream = deflate(text);
+        let mut fresh = Vec::new();
+        inflate_into(&stream, &mut fresh).unwrap();
+        let mut appended = b"XXXX".to_vec();
+        inflate_into(&stream, &mut appended).unwrap();
+        assert_eq!(&appended[4..], fresh.as_slice());
     }
 
     #[test]

@@ -182,16 +182,13 @@ impl CookieJar {
                 return;
             }
         }
-        let key = |c: &StoredCookie| {
+        fn key(c: &StoredCookie) -> (&str, &str, &str) {
             (
-                c.set.cookie.name.clone(),
-                c.set
-                    .domain
-                    .clone()
-                    .unwrap_or_else(|| c.origin_host.clone()),
-                c.set.path.clone(),
+                &c.set.cookie.name,
+                c.set.domain.as_deref().unwrap_or(&c.origin_host),
+                &c.set.path,
             )
-        };
+        }
         let new = StoredCookie {
             set,
             origin_host: origin_host.clone(),
@@ -206,13 +203,19 @@ impl CookieJar {
     /// Cookies to attach to a request for `host` + `path` over the given
     /// scheme security (`secure_channel` = HTTPS).
     pub fn matching(&self, host: &str, path: &str, secure_channel: bool) -> Vec<Cookie> {
-        let host = host.to_ascii_lowercase();
+        // Hosts are almost always lowercase already; only allocate when
+        // the fold actually changes something.
+        let host: std::borrow::Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            host.to_ascii_lowercase().into()
+        } else {
+            host.into()
+        };
         self.cookies
             .iter()
             .filter(|c| {
                 let domain_ok = match &c.set.domain {
                     Some(d) => domain_matches(&host, d),
-                    None => host == c.origin_host,
+                    None => host.as_ref() == c.origin_host,
                 };
                 let path_ok = path_matches(path, &c.set.path);
                 let secure_ok = !c.set.secure || secure_channel;
@@ -252,7 +255,10 @@ impl CookieJar {
 /// RFC 6265 domain-match: `host` equals `domain` or is a dot-separated
 /// subdomain of it.
 fn domain_matches(host: &str, domain: &str) -> bool {
-    host == domain || host.ends_with(&format!(".{domain}"))
+    host == domain
+        || (host.len() > domain.len()
+            && host.ends_with(domain)
+            && host.as_bytes()[host.len() - domain.len() - 1] == b'.')
 }
 
 /// RFC 6265 path-match (prefix with `/` boundary).

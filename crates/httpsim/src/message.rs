@@ -276,9 +276,10 @@ impl Request {
         out
     }
 
-    /// Approximate size of this request on the wire, in bytes.
+    /// Exact size of this request on the wire, in bytes (computed
+    /// arithmetically; equals `serialize_request(self).len()`).
     pub fn wire_len(&self) -> usize {
-        crate::wire::serialize_request(self).len()
+        crate::wire::request_wire_len(self)
     }
 }
 
@@ -357,9 +358,10 @@ impl Response {
             .and_then(|l| Url::parse(l).ok())
     }
 
-    /// Approximate size of this response on the wire, in bytes.
+    /// Exact size of this response on the wire, in bytes (computed
+    /// arithmetically; equals `serialize_response(self).len()`).
     pub fn wire_len(&self) -> usize {
-        crate::wire::serialize_response(self).len()
+        crate::wire::response_wire_len(self)
     }
 }
 

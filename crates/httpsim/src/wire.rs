@@ -36,42 +36,130 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Chunk size used when a response declares `Transfer-Encoding: chunked`.
+pub const CHUNK_SIZE: usize = 1024;
+
 /// Serialize a request to HTTP/1.1 wire bytes (origin-form target).
 pub fn serialize_request(req: &Request) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(256 + req.body.len());
+    let mut buf = Vec::with_capacity(request_wire_len(req));
+    serialize_request_into(req, &mut buf);
+    buf
+}
+
+/// Append a request's wire bytes to `buf` (pooled-buffer entry point;
+/// the caller owns clearing). Appends exactly [`request_wire_len`] bytes.
+pub fn serialize_request_into(req: &Request, buf: &mut Vec<u8>) {
     buf.extend_from_slice(req.method.as_str().as_bytes());
     buf.push(b' ');
     buf.extend_from_slice(req.url.request_target().as_bytes());
     buf.push(b' ');
     buf.extend_from_slice(req.version.as_str().as_bytes());
     buf.extend_from_slice(b"\r\n");
-    put_headers(&mut buf, &req.headers);
+    put_headers(buf, &req.headers);
     buf.extend_from_slice(b"\r\n");
     buf.extend_from_slice(&req.body.bytes);
-    buf
 }
 
 /// Serialize a response to HTTP/1.1 wire bytes.
 pub fn serialize_response(resp: &Response) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(256 + resp.body.len());
+    let mut buf = Vec::with_capacity(response_wire_len(resp));
+    serialize_response_into(resp, &mut buf);
+    buf
+}
+
+/// Append a response's wire bytes to `buf`. Appends exactly
+/// [`response_wire_len`] bytes; chunked framing is written in place
+/// (no intermediate chunk buffer).
+pub fn serialize_response_into(resp: &Response, buf: &mut Vec<u8>) {
     buf.extend_from_slice(resp.version.as_str().as_bytes());
     buf.push(b' ');
     buf.extend_from_slice(resp.status.0.to_string().as_bytes());
     buf.push(b' ');
     buf.extend_from_slice(resp.status.reason().as_bytes());
     buf.extend_from_slice(b"\r\n");
-    put_headers(&mut buf, &resp.headers);
+    put_headers(buf, &resp.headers);
     buf.extend_from_slice(b"\r\n");
-    if resp
-        .headers
-        .get("Transfer-Encoding")
-        .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
-    {
-        buf.extend_from_slice(&chunk_body(&resp.body.bytes, 1024));
+    if is_chunked(&resp.headers) {
+        chunk_body_into(&resp.body.bytes, CHUNK_SIZE, buf);
     } else {
         buf.extend_from_slice(&resp.body.bytes);
     }
-    buf
+}
+
+/// Exact length of [`serialize_request`]'s output, computed without
+/// serializing. The MITM proxy logs per-exchange `bytes=` figures that
+/// are pinned by trace goldens; this must equal the serialized length
+/// to the byte (the differential suite proves it).
+pub fn request_wire_len(req: &Request) -> usize {
+    req.method.as_str().len()
+        + 1
+        + req.url.request_target().len()
+        + 1
+        + req.version.as_str().len()
+        + 2
+        + headers_wire_len(&req.headers)
+        + 2
+        + req.body.len()
+}
+
+/// Exact length of [`serialize_response`]'s output, computed without
+/// serializing (chunked framing included).
+pub fn response_wire_len(resp: &Response) -> usize {
+    let body = if is_chunked(&resp.headers) {
+        chunked_wire_len(resp.body.len(), CHUNK_SIZE)
+    } else {
+        resp.body.len()
+    };
+    resp.version.as_str().len()
+        + 1
+        + decimal_digits(resp.status.0 as usize)
+        + 1
+        + resp.status.reason().len()
+        + 2
+        + headers_wire_len(&resp.headers)
+        + 2
+        + body
+}
+
+fn is_chunked(headers: &HeaderMap) -> bool {
+    headers
+        .get("Transfer-Encoding")
+        .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+}
+
+fn headers_wire_len(headers: &HeaderMap) -> usize {
+    headers.iter().map(|(n, v)| n.len() + 2 + v.len() + 2).sum()
+}
+
+/// Exact length of [`chunk_body`]'s framing for a body of `body_len`
+/// bytes: per chunk `hex_digits(len) + 2 + len + 2`, plus the 5-byte
+/// `0\r\n\r\n` terminator.
+pub fn chunked_wire_len(body_len: usize, chunk_size: usize) -> usize {
+    let chunk_size = chunk_size.max(1);
+    let full = body_len / chunk_size;
+    let rem = body_len % chunk_size;
+    let mut n = full * (hex_digits(chunk_size) + 4 + chunk_size);
+    if rem > 0 {
+        n += hex_digits(rem) + 4 + rem;
+    }
+    n + 5
+}
+
+fn hex_digits(n: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        ((usize::BITS - n.leading_zeros()).div_ceil(4)) as usize
+    }
+}
+
+fn decimal_digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
 }
 
 fn put_headers(buf: &mut Vec<u8>, headers: &HeaderMap) {
@@ -85,15 +173,39 @@ fn put_headers(buf: &mut Vec<u8>, headers: &HeaderMap) {
 
 /// Frame `body` as chunked transfer encoding with the given chunk size.
 pub fn chunk_body(body: &[u8], chunk_size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(chunked_wire_len(body.len(), chunk_size));
+    chunk_body_into(body, chunk_size, &mut out);
+    out
+}
+
+/// Append chunked framing for `body` to `out`, with no intermediate
+/// allocation per chunk.
+pub fn chunk_body_into(body: &[u8], chunk_size: usize, out: &mut Vec<u8>) {
     let chunk_size = chunk_size.max(1);
-    let mut out = Vec::with_capacity(body.len() + 32);
     for chunk in body.chunks(chunk_size) {
-        out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        push_hex(chunk.len(), out);
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(chunk);
         out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"0\r\n\r\n");
-    out
+}
+
+/// Append `n` as lowercase hex (a chunk-size line), bypassing `fmt` —
+/// this runs once per chunk on the origin's serialization path.
+fn push_hex(mut n: usize, out: &mut Vec<u8>) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut buf = [0u8; 2 * std::mem::size_of::<usize>()];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = DIGITS[n & 0xf];
+        n >>= 4;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
 }
 
 /// Decode a chunked-encoded body back to its plain bytes.
@@ -123,12 +235,74 @@ fn find_crlf(data: &[u8]) -> Option<usize> {
     data.windows(2).position(|w| w == b"\r\n")
 }
 
+/// Borrowed view of a raw HTTP/1.1 message: start line, header
+/// name/value slices, and body bytes, all pointing into the input.
+/// Nothing is copied until the caller materializes owned structures
+/// (the MITM recording boundary) via [`MessageView::to_header_map`].
+#[derive(Debug)]
+pub struct MessageView<'a> {
+    /// The request or status line, without its CRLF.
+    pub start: &'a str,
+    /// Header `(name, value)` slices in wire order, values trimmed.
+    pub headers: Vec<(&'a str, &'a str)>,
+    /// Raw body bytes (still chunked/encoded as on the wire).
+    pub body: &'a [u8],
+}
+
+impl<'a> MessageView<'a> {
+    /// First header value matching `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&'a str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|&(_, v)| v)
+    }
+
+    /// Materialize the borrowed headers into an owned [`HeaderMap`].
+    pub fn to_header_map(&self) -> HeaderMap {
+        let mut map = HeaderMap::new();
+        for &(n, v) in &self.headers {
+            map.append(n, v);
+        }
+        map
+    }
+}
+
+/// Split raw bytes into a zero-copy [`MessageView`].
+pub fn split_message_view(data: &[u8]) -> Result<MessageView<'_>, WireError> {
+    let header_end = data
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(WireError::Truncated)?;
+    let head = std::str::from_utf8(&data[..header_end]).map_err(|_| WireError::BadHeader)?;
+    let body = &data[header_end + 4..];
+
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(WireError::BadStartLine)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(WireError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::BadHeader);
+        }
+        headers.push((name, value.trim()));
+    }
+    Ok(MessageView {
+        start,
+        headers,
+        body,
+    })
+}
+
 /// Parse request wire bytes. `secure` tells the parser which scheme the
 /// bytes travelled over (the request line carries only the origin-form
 /// target; the scheme is a property of the connection).
 pub fn parse_request(data: &[u8], secure: bool) -> Result<Request, WireError> {
-    let (start, headers, body_bytes) = split_message(data)?;
-    let mut parts = start.split(' ');
+    let view = split_message_view(data)?;
+    let mut parts = view.start.split(' ');
     let method = parts
         .next()
         .and_then(Method::parse)
@@ -136,35 +310,35 @@ pub fn parse_request(data: &[u8], secure: bool) -> Result<Request, WireError> {
     let target = parts.next().ok_or(WireError::BadStartLine)?;
     let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
 
-    let host = headers.get("Host").ok_or(WireError::BadStartLine)?;
+    let host = view.header("Host").ok_or(WireError::BadStartLine)?;
     let scheme = if secure { Scheme::Https } else { Scheme::Http };
     let url = Url::parse(&format!("{}://{}{}", scheme.as_str(), host, target))
         .map_err(|_| WireError::BadStartLine)?;
 
-    let body = read_body(&headers, body_bytes)?;
+    let body = read_body_view(&view)?;
     Ok(Request {
         method,
         url,
         version,
-        headers,
+        headers: view.to_header_map(),
         body,
     })
 }
 
 /// Parse response wire bytes.
 pub fn parse_response(data: &[u8]) -> Result<Response, WireError> {
-    let (start, headers, body_bytes) = split_message(data)?;
-    let mut parts = start.splitn(3, ' ');
+    let view = split_message_view(data)?;
+    let mut parts = view.start.splitn(3, ' ');
     let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
     let code: u16 = parts
         .next()
         .and_then(|c| c.parse().ok())
         .ok_or(WireError::BadStartLine)?;
-    let body = read_body(&headers, body_bytes)?;
+    let body = read_body_view(&view)?;
     Ok(Response {
         status: StatusCode(code),
         version,
-        headers,
+        headers: view.to_header_map(),
         body,
     })
 }
@@ -177,51 +351,160 @@ fn parse_version(s: &str) -> Result<Version, WireError> {
     }
 }
 
-/// Split raw bytes into (start line, headers, body bytes).
-fn split_message(data: &[u8]) -> Result<(String, HeaderMap, &[u8]), WireError> {
-    let header_end = data
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or(WireError::Truncated)?;
-    let head = std::str::from_utf8(&data[..header_end]).map_err(|_| WireError::BadHeader)?;
-    let body = &data[header_end + 4..];
-
-    let mut lines = head.split("\r\n");
-    let start = lines.next().ok_or(WireError::BadStartLine)?.to_string();
-    let mut headers = HeaderMap::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let (name, value) = line.split_once(':').ok_or(WireError::BadHeader)?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(WireError::BadHeader);
-        }
-        headers.append(name, value.trim());
-    }
-    Ok((start, headers, body))
-}
-
-fn read_body(headers: &HeaderMap, body_bytes: &[u8]) -> Result<Body, WireError> {
-    let content_type = headers.get("Content-Type").map(|s| s.to_string());
-    let bytes = if headers
-        .get("Transfer-Encoding")
+/// Decode the body of a zero-copy view (dechunking or slicing to
+/// `Content-Length`); this is the first point bytes are copied.
+fn read_body_view(view: &MessageView<'_>) -> Result<Body, WireError> {
+    let content_type = view.header("Content-Type").map(|s| s.to_string());
+    let bytes = if view
+        .header("Transfer-Encoding")
         .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
     {
-        dechunk_body(body_bytes)?
-    } else if let Some(cl) = headers.get("Content-Length") {
+        dechunk_body(view.body)?
+    } else if let Some(cl) = view.header("Content-Length") {
         let len: usize = cl.parse().map_err(|_| WireError::BadHeader)?;
-        if body_bytes.len() < len {
+        if view.body.len() < len {
             return Err(WireError::Truncated);
         }
-        body_bytes[..len].to_vec()
+        view.body[..len].to_vec()
     } else {
-        body_bytes.to_vec()
+        view.body.to_vec()
     };
     Ok(Body {
         bytes,
         content_type,
     })
+}
+
+/// Eager-copy reference parsers, retained as differential oracles for
+/// the zero-copy paths (`tests/fastpath_differential.rs`). These are
+/// the pre-optimization implementations, kept verbatim.
+#[cfg(any(test, feature = "reference"))]
+pub mod reference {
+    use super::*;
+
+    /// Reference twin of [`parse_request`] built on the eager splitter.
+    pub fn parse_request_reference(data: &[u8], secure: bool) -> Result<Request, WireError> {
+        let (start, headers, body_bytes) = split_message(data)?;
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or(WireError::BadStartLine)?;
+        let target = parts.next().ok_or(WireError::BadStartLine)?;
+        let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
+
+        let host = headers.get("Host").ok_or(WireError::BadStartLine)?;
+        let scheme = if secure { Scheme::Https } else { Scheme::Http };
+        let url = Url::parse(&format!("{}://{}{}", scheme.as_str(), host, target))
+            .map_err(|_| WireError::BadStartLine)?;
+
+        let body = read_body(&headers, body_bytes)?;
+        Ok(Request {
+            method,
+            url,
+            version,
+            headers,
+            body,
+        })
+    }
+
+    /// Reference twin of [`parse_response`].
+    pub fn parse_response_reference(data: &[u8]) -> Result<Response, WireError> {
+        let (start, headers, body_bytes) = split_message(data)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parse_version(parts.next().ok_or(WireError::BadStartLine)?)?;
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(WireError::BadStartLine)?;
+        let body = read_body(&headers, body_bytes)?;
+        Ok(Response {
+            status: StatusCode(code),
+            version,
+            headers,
+            body,
+        })
+    }
+
+    /// Eagerly split raw bytes into (start line, headers, body bytes),
+    /// copying the head into owned strings.
+    fn split_message(data: &[u8]) -> Result<(String, HeaderMap, &[u8]), WireError> {
+        let header_end = data
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or(WireError::Truncated)?;
+        let head = std::str::from_utf8(&data[..header_end]).map_err(|_| WireError::BadHeader)?;
+        let body = &data[header_end + 4..];
+
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(WireError::BadStartLine)?.to_string();
+        let mut headers = HeaderMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(WireError::BadHeader)?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(WireError::BadHeader);
+            }
+            headers.append(name, value.trim());
+        }
+        Ok((start, headers, body))
+    }
+
+    fn read_body(headers: &HeaderMap, body_bytes: &[u8]) -> Result<Body, WireError> {
+        let content_type = headers.get("Content-Type").map(|s| s.to_string());
+        let bytes = if headers
+            .get("Transfer-Encoding")
+            .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+        {
+            dechunk_body(body_bytes)?
+        } else if let Some(cl) = headers.get("Content-Length") {
+            let len: usize = cl.parse().map_err(|_| WireError::BadHeader)?;
+            if body_bytes.len() < len {
+                return Err(WireError::Truncated);
+            }
+            body_bytes[..len].to_vec()
+        } else {
+            body_bytes.to_vec()
+        };
+        Ok(Body {
+            bytes,
+            content_type,
+        })
+    }
+
+    /// Reference twin of [`serialize_response`]: builds the chunk
+    /// framing through an intermediate buffer exactly as the
+    /// pre-optimization serializer did.
+    pub fn serialize_response_reference(resp: &Response) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256 + resp.body.len());
+        buf.extend_from_slice(resp.version.as_str().as_bytes());
+        buf.push(b' ');
+        buf.extend_from_slice(resp.status.0.to_string().as_bytes());
+        buf.push(b' ');
+        buf.extend_from_slice(resp.status.reason().as_bytes());
+        buf.extend_from_slice(b"\r\n");
+        put_headers(&mut buf, &resp.headers);
+        buf.extend_from_slice(b"\r\n");
+        if resp
+            .headers
+            .get("Transfer-Encoding")
+            .is_some_and(|te| te.eq_ignore_ascii_case("chunked"))
+        {
+            let mut chunked = Vec::new();
+            for chunk in resp.body.bytes.chunks(CHUNK_SIZE) {
+                chunked.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+                chunked.extend_from_slice(chunk);
+                chunked.extend_from_slice(b"\r\n");
+            }
+            chunked.extend_from_slice(b"0\r\n\r\n");
+            buf.extend_from_slice(&chunked);
+        } else {
+            buf.extend_from_slice(&resp.body.bytes);
+        }
+        buf
+    }
 }
 
 #[cfg(test)]
@@ -317,5 +600,120 @@ mod tests {
     fn bad_header_line_detected() {
         let raw = b"GET / HTTP/1.1\r\nHost: a.com\r\nBadHeaderNoColon\r\n\r\n";
         assert_eq!(parse_request(raw, false), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn request_wire_len_is_exact() {
+        let cases = [
+            Request::get(url("https://example.com/")),
+            Request::get(url("http://a.b.c/path/deep?q=1&r=2")).with_user_agent("UA/1.0"),
+            Request::post(
+                url("https://api.example.com/v1/login"),
+                Body::form(&[("user", "jane"), ("password", "s3cret!")]),
+            ),
+        ];
+        for req in &cases {
+            assert_eq!(
+                request_wire_len(req),
+                serialize_request(req).len(),
+                "wire_len diverged for {}",
+                req.url.request_target()
+            );
+        }
+    }
+
+    #[test]
+    fn response_wire_len_is_exact_plain_and_chunked() {
+        for body_len in [0usize, 1, 1023, 1024, 1025, 5000] {
+            let mut resp = Response::new(StatusCode::OK);
+            resp.body = Body::binary(vec![b'x'; body_len], "application/octet-stream");
+            resp.headers.set("Content-Type", "application/octet-stream");
+            assert_eq!(response_wire_len(&resp), serialize_response(&resp).len());
+            resp.headers.set("Transfer-Encoding", "chunked");
+            assert_eq!(
+                response_wire_len(&resp),
+                serialize_response(&resp).len(),
+                "chunked wire_len diverged at body_len={body_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_wire_len_matches_chunk_body() {
+        for (body_len, size) in [(0usize, 16usize), (1, 1), (15, 16), (16, 16), (2500, 1024)] {
+            let body = vec![0u8; body_len];
+            assert_eq!(
+                chunked_wire_len(body_len, size),
+                chunk_body(&body, size).len()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_copy_parse_matches_reference() {
+        let good: &[&[u8]] = &[
+            b"GET /p?x=1 HTTP/1.1\r\nHost: example.com\r\nCookie: sid=42\r\n\r\n",
+            b"POST /l HTTP/1.1\r\nHost: a.com\r\nContent-Length: 5\r\n\r\nhello",
+        ];
+        let bad: &[&[u8]] = &[
+            b"GET /x HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nHost: a.com\r\nNoColon\r\n\r\n",
+            b"truncated head",
+        ];
+        for raw in good.iter().chain(bad) {
+            for secure in [false, true] {
+                assert_eq!(
+                    parse_request(raw, secure),
+                    reference::parse_request_reference(raw, secure)
+                );
+            }
+            assert_eq!(
+                parse_response(raw),
+                reference::parse_response_reference(raw)
+            );
+        }
+        let resp = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        assert_eq!(
+            parse_response(resp),
+            reference::parse_response_reference(resp)
+        );
+    }
+
+    #[test]
+    fn serialize_response_matches_reference() {
+        let mut resp = Response::ok(Body::json(r#"{"ok":true}"#));
+        resp.headers.set("Server", "nginx");
+        assert_eq!(
+            serialize_response(&resp),
+            reference::serialize_response_reference(&resp)
+        );
+        let mut chunked = Response::new(StatusCode::OK);
+        chunked.body = Body::binary(vec![b'y'; 3000], "application/octet-stream");
+        chunked.headers.set("Transfer-Encoding", "chunked");
+        assert_eq!(
+            serialize_response(&chunked),
+            reference::serialize_response_reference(&chunked)
+        );
+    }
+
+    #[test]
+    fn serialize_into_appends_without_clearing() {
+        let req = Request::get(url("https://example.com/a"));
+        let mut buf = b"prefix".to_vec();
+        serialize_request_into(&req, &mut buf);
+        assert!(buf.starts_with(b"prefix"));
+        assert_eq!(buf.len(), 6 + request_wire_len(&req));
+    }
+
+    #[test]
+    fn message_view_borrows_and_materializes() {
+        let raw = b"GET /v HTTP/1.1\r\nHost: h.com\r\nX-A: 1\r\nX-A: 2\r\n\r\nbody";
+        let view = split_message_view(raw).unwrap();
+        assert_eq!(view.start, "GET /v HTTP/1.1");
+        assert_eq!(view.header("host"), Some("h.com"));
+        assert_eq!(view.header("x-a"), Some("1"), "first value wins");
+        assert_eq!(view.body, b"body");
+        let map = view.to_header_map();
+        assert_eq!(map.get_all("X-A").collect::<Vec<_>>(), vec!["1", "2"]);
     }
 }

@@ -11,11 +11,20 @@ use appvsweb_netsim::Os;
 /// Whether `host` belongs to an OS background service for `os`, or to an
 /// extra caller-supplied service domain.
 pub fn is_background_host(host: &str, os: Os, extra: &[&str]) -> bool {
-    let host = host.to_ascii_lowercase();
+    let host: std::borrow::Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+        host.to_ascii_lowercase().into()
+    } else {
+        host.into()
+    };
+    let dot_suffix_of = |bg: &str| {
+        host.len() > bg.len()
+            && host.ends_with(bg)
+            && host.as_bytes()[host.len() - bg.len() - 1] == b'.'
+    };
     os.background_hosts()
         .iter()
         .chain(extra.iter())
-        .any(|bg| host == *bg || host.ends_with(&format!(".{bg}")))
+        .any(|bg| host == *bg || dot_suffix_of(bg))
 }
 
 /// Remove background-service traffic from a trace, returning the number

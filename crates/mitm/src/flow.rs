@@ -101,8 +101,12 @@ pub struct HttpTransaction {
 
 impl HttpTransaction {
     /// Raw wire bytes of the request — what the PII detectors scan.
+    /// The flow record is the materialization boundary: bytes become
+    /// owned here, sized exactly via the arithmetic wire length.
     pub fn request_bytes(&self) -> Vec<u8> {
-        appvsweb_httpsim::wire::serialize_request(&self.request)
+        let mut buf = Vec::with_capacity(self.request.wire_len());
+        appvsweb_httpsim::wire::serialize_request_into(&self.request, &mut buf);
+        buf
     }
 }
 

@@ -364,7 +364,9 @@ impl Meddle {
         let conn_index = entry.conn_index;
         let tls_session = entry.tls_session.clone();
 
-        let req_bytes = wire::serialize_request(&req).len();
+        // Exact arithmetic length — no serialization on the hot path;
+        // equality with serialize_request().len() is a differential law.
+        let req_bytes = wire::request_wire_len(&req);
         appvsweb_obs::counter!("httpsim.codec_bytes", req_bytes);
         appvsweb_obs::event!("http.request", "{host} bytes={req_bytes}");
 
@@ -400,7 +402,7 @@ impl Meddle {
 
         // Move the request to the origin and the response back.
         let response = origin.handle(&req, now);
-        let resp_bytes = wire::serialize_response(&response).len();
+        let resp_bytes = wire::response_wire_len(&response);
         appvsweb_obs::counter!("httpsim.codec_bytes", resp_bytes);
         appvsweb_obs::event!(
             "http.response",

@@ -166,8 +166,8 @@ impl DnsResolver {
     /// network — the behaviour that keeps injected DNS faults from
     /// turning into retry storms.
     pub fn resolve(&mut self, host: &str, now: SimTime) -> Result<DnsAnswer, DnsError> {
-        let host = host.to_ascii_lowercase();
-        if let Some(entry) = self.cache.get(&host) {
+        let host = fold_host(host);
+        if let Some(entry) = self.cache.get(host.as_ref()) {
             if entry.expires > now {
                 appvsweb_cover::cover!();
                 appvsweb_obs::counter!("netsim.dns.cache_hits");
@@ -180,20 +180,21 @@ impl DnsResolver {
                 });
             }
         }
-        if let Some(entry) = self.negative.get(&host) {
+        if let Some(entry) = self.negative.get(host.as_ref()) {
             if entry.expires > now {
                 appvsweb_cover::cover!();
                 appvsweb_obs::counter!("netsim.dns.negative_hits");
                 appvsweb_obs::event!("dns.negative_hit", "{host} {:?}", entry.kind);
                 self.stats.negative_hits += 1;
-                return Err(DnsError::new(entry.kind, host));
+                return Err(DnsError::new(entry.kind, host.into_owned()));
             }
         }
-        let Some(&addr) = self.zones.get(&host) else {
+        let Some(&addr) = self.zones.get(host.as_ref()) else {
             appvsweb_cover::cover!();
             appvsweb_obs::counter!("netsim.dns.nxdomain");
             appvsweb_obs::event!("dns.nxdomain", "{host}");
             self.stats.failures += 1;
+            let host = host.into_owned();
             self.negative.insert(
                 host.clone(),
                 NegativeEntry {
@@ -211,9 +212,9 @@ impl DnsResolver {
             .rng
             .approx_normal(self.mean_latency_ms, 8.0)
             .clamp(2.0, 300.0);
-        self.negative.remove(&host);
+        self.negative.remove(host.as_ref());
         self.cache.insert(
-            host,
+            host.into_owned(),
             CacheEntry {
                 addr,
                 expires: now + DEFAULT_TTL,
@@ -249,17 +250,17 @@ impl DnsResolver {
     /// injector even gets the chance to break a lookup: cached answers —
     /// positive or negative — never touch the network).
     pub fn cache_state(&self, host: &str, now: SimTime) -> CacheState {
-        let host = host.to_ascii_lowercase();
+        let host = fold_host(host);
         if self
             .cache
-            .get(&host)
+            .get(host.as_ref())
             .is_some_and(|entry| entry.expires > now)
         {
             return CacheState::Fresh;
         }
         if self
             .negative
-            .get(&host)
+            .get(host.as_ref())
             .is_some_and(|entry| entry.expires > now)
         {
             return CacheState::Negative;
@@ -280,15 +281,25 @@ impl DnsResolver {
 
     /// Whether `host` exists in the zone map.
     pub fn knows(&self, host: &str) -> bool {
-        self.zones.contains_key(&host.to_ascii_lowercase())
+        self.zones.contains_key(fold_host(host).as_ref())
+    }
+}
+
+/// Lowercase `host` only when it isn't already: simulated hosts almost
+/// always are, and borrowing skips a per-lookup allocation.
+fn fold_host(host: &str) -> std::borrow::Cow<'_, str> {
+    if host.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(host.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(host)
     }
 }
 
 /// Derive a stable synthetic address in 10.0.0.0/8 from a host name.
 pub fn derive_addr(host: &str) -> Ipv4Addr {
     let mut h: u32 = 0x811c_9dc5;
-    for &b in host.to_ascii_lowercase().as_bytes() {
-        h ^= b as u32;
+    for b in host.bytes() {
+        h ^= b.to_ascii_lowercase() as u32;
         h = h.wrapping_mul(0x0100_0193);
     }
     // Avoid .0 and .255 host octets for realism.

@@ -25,6 +25,8 @@
 //!   and the [`FaultInjector`] that rolls packet loss, latency spikes,
 //!   resets, link flaps, and DNS failures from a labelled RNG fork
 //! * [`link`] — latency/bandwidth modelling for transfer-time estimates
+//! * [`pool`] — thread-local wire-buffer pool with a scrub-on-release
+//!   law (recycled buffers never leak bytes across cells)
 //! * [`tcp`] — connection-level TCP accounting: handshakes, MSS
 //!   segmentation, per-connection byte/packet counters (feeds the paper's
 //!   Figures 1b and 1c)
@@ -41,6 +43,7 @@ pub mod event;
 pub mod faults;
 pub mod fuzz;
 pub mod link;
+pub mod pool;
 pub mod rng;
 pub mod rng_labels;
 pub mod tcp;
@@ -51,5 +54,6 @@ pub use dns::DnsResolver;
 pub use event::EventQueue;
 pub use faults::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
 pub use link::Link;
+pub use pool::{PoolStats, PooledBuf};
 pub use rng::SimRng;
 pub use tcp::{Connection, ConnectionStats, Endpoint};

@@ -1,0 +1,301 @@
+//! Reusable wire-buffer pool.
+//!
+//! The per-exchange hot path (frame assembly, HTTP serialization,
+//! compression scratch) used to allocate fresh `Vec`s for every
+//! exchange — hundreds of thousands of short-lived allocations per
+//! campaign. [`take`] hands out a recycled buffer from a thread-local
+//! freelist instead; dropping the [`PooledBuf`] guard returns it.
+//!
+//! ## Scrub-on-release law
+//!
+//! A recycled buffer must never leak bytes across cells: the guard's
+//! `Drop` *scrubs* the buffer (truncates to zero length — with
+//! `#![forbid(unsafe_code)]` workspace-wide, spare capacity is
+//! unreadable) and, in debug builds, *poison-fills* the contents with
+//! `0xA5` first so any code that somehow held a stale view reads
+//! garbage instead of another session's traffic. The pool invariant
+//! tests assert both.
+//!
+//! ## Stats
+//!
+//! [`stats`] exposes monotone counters (takes, creates, recycles,
+//! returns, high-water resident bytes) obeying the conservation law
+//! `creates + recycles <= takes` and `returns <= takes` (equality on
+//! the take side at quiescence). Only
+//! `pool.takes` is also journaled as an obs counter — it is a pure
+//! function of the workload, so per-cell journals stay byte-identical
+//! across worker counts; the creates/recycles split depends on thread
+//! history and is exposed through [`stats`] alone.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Debug-build poison byte written over released contents.
+pub const POISON: u8 = 0xA5;
+
+/// Buffers retained per thread; beyond this, released buffers are
+/// dropped (bounds resident memory on long-lived serve workers).
+const PER_THREAD: usize = 32;
+
+/// Buffers larger than this are not retained (a one-off huge download
+/// must not pin its capacity forever).
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static FREELIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+static TAKES: AtomicU64 = AtomicU64::new(0);
+static CREATES: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+static RETURNS: AtomicU64 = AtomicU64::new(0);
+static HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone pool counters (process-wide, summed over threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out.
+    pub takes: u64,
+    /// Takes served by a fresh allocation.
+    pub creates: u64,
+    /// Takes served from a freelist.
+    pub recycles: u64,
+    /// Buffers returned to a freelist.
+    pub returns: u64,
+    /// Largest capacity (bytes) ever returned to a freelist.
+    pub high_water_bytes: u64,
+}
+
+impl PoolStats {
+    /// The conservation law every snapshot must satisfy:
+    /// `creates + recycles <= takes` and `returns <= takes`.
+    ///
+    /// At quiescence both inequalities are equalities on the
+    /// take side (`takes == creates + recycles`), but a snapshot can
+    /// race a `take` on another thread that has bumped one counter and
+    /// not yet the other. [`stats`] loads the classified counters
+    /// *before* `takes` — and every create/recycle/return strictly
+    /// follows its own take — so the inequality form holds for every
+    /// racing snapshot, not just quiescent ones.
+    pub fn conserved(&self) -> bool {
+        self.creates + self.recycles <= self.takes && self.returns <= self.takes
+    }
+}
+
+/// A pooled byte buffer. Dereferences to `Vec<u8>`; dropping it scrubs
+/// the contents and returns the allocation to the thread-local pool.
+#[derive(Debug, Default)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+}
+
+impl PooledBuf {
+    /// Consume the guard, keeping the bytes as a plain owned `Vec`.
+    /// This is the materialization boundary: the allocation leaves the
+    /// pool for good (e.g. bytes recorded into a flow outlive the
+    /// exchange that produced them).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+            return; // taken via into_vec, or too large to retain
+        }
+        scrub(&mut buf);
+        let returned = FREELIST.with(|fl| {
+            let mut fl = fl.borrow_mut();
+            if fl.len() < PER_THREAD {
+                fl.push(buf);
+                true
+            } else {
+                false
+            }
+        });
+        if returned {
+            RETURNS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Poison then scrub a buffer on its way back to a freelist: debug
+/// builds overwrite released contents with [`POISON`] so stale reads
+/// are loud; all builds truncate so recycled buffers start empty.
+/// Split into its own seam so the invariant tests can observe the
+/// poison write directly (after `clear`, spare capacity is unreadable
+/// from safe code — which is the release-build guarantee).
+fn scrub(buf: &mut Vec<u8>) {
+    poison_fill(buf);
+    buf.clear();
+}
+
+/// Debug-build poison write over a released buffer's contents.
+fn poison_fill(buf: &mut [u8]) {
+    if cfg!(debug_assertions) {
+        buf.iter_mut().for_each(|b| *b = POISON);
+    }
+}
+
+/// Take a buffer (empty, arbitrary capacity) from the pool.
+pub fn take() -> PooledBuf {
+    TAKES.fetch_add(1, Ordering::SeqCst);
+    // Only `pool.takes` is journaled: it is a pure function of the
+    // cell's work. The creates/recycles split depends on what ran
+    // earlier on the same worker thread, so journaling it would break
+    // the byte-identical-across-worker-counts law; those live in
+    // [`stats`] only.
+    appvsweb_obs::counter!("pool.takes");
+    let recycled = FREELIST.with(|fl| fl.borrow_mut().pop());
+    match recycled {
+        Some(buf) => {
+            debug_assert!(buf.is_empty(), "freelist held a non-scrubbed buffer");
+            RECYCLES.fetch_add(1, Ordering::SeqCst);
+            PooledBuf { buf }
+        }
+        None => {
+            CREATES.fetch_add(1, Ordering::SeqCst);
+            PooledBuf {
+                buf: Vec::with_capacity(256),
+            }
+        }
+    }
+}
+
+/// Take a buffer with at least `capacity` bytes reserved.
+pub fn take_with_capacity(capacity: usize) -> PooledBuf {
+    let mut b = take();
+    b.reserve(capacity);
+    record_high_water(b.capacity());
+    b
+}
+
+fn record_high_water(capacity: usize) {
+    HIGH_WATER_BYTES.fetch_max(capacity as u64, Ordering::SeqCst);
+}
+
+/// Current process-wide counters.
+///
+/// The classified counters (creates/recycles/returns) are loaded
+/// *before* `takes`: each of them is only ever bumped after its own
+/// take, so this load order makes [`PoolStats::conserved`] hold even
+/// for snapshots racing takes on other threads.
+pub fn stats() -> PoolStats {
+    let creates = CREATES.load(Ordering::SeqCst);
+    let recycles = RECYCLES.load(Ordering::SeqCst);
+    let returns = RETURNS.load(Ordering::SeqCst);
+    let high_water_bytes = HIGH_WATER_BYTES.load(Ordering::SeqCst);
+    let takes = TAKES.load(Ordering::SeqCst);
+    PoolStats {
+        takes,
+        creates,
+        recycles,
+        returns,
+        high_water_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The stats counters are process-wide; tests asserting exact deltas
+    // must not interleave with each other (the parallel test harness
+    // would otherwise race them). Returns are per-thread anyway, but
+    // takes/returns deltas cross threads.
+    static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn recycled_buffer_is_scrubbed() {
+        // Freelists are thread-local, but this test's returns would
+        // perturb the delta-asserting tests' counters mid-flight.
+        let _guard = STATS_LOCK.lock().unwrap();
+        let secret = b"imei=354436069633711";
+        {
+            let mut b = take();
+            b.extend_from_slice(secret);
+        }
+        // The very next take on this thread recycles that buffer.
+        let b = take();
+        assert!(b.is_empty(), "recycled buffer must start scrubbed");
+        assert!(b.capacity() >= secret.len(), "capacity should be reused");
+    }
+
+    #[test]
+    fn released_contents_are_poison_filled_in_debug() {
+        let mut buf = b"user=jane&password=hunter2".to_vec();
+        poison_fill(&mut buf);
+        if cfg!(debug_assertions) {
+            assert!(
+                buf.iter().all(|&b| b == POISON),
+                "poison-fill must overwrite every released byte"
+            );
+        } else {
+            assert_eq!(&buf, b"user=jane&password=hunter2");
+        }
+        // And the full scrub always empties the buffer on top.
+        scrub(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn into_vec_detaches_from_pool() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        let before = stats();
+        let mut b = take();
+        b.extend_from_slice(b"keep me");
+        let owned = b.into_vec();
+        assert_eq!(owned, b"keep me");
+        let after = stats();
+        // Materialized buffers are not returned.
+        assert_eq!(after.takes - before.takes, 1);
+        assert_eq!(after.returns - before.returns, 0);
+    }
+
+    #[test]
+    fn stats_conserve() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        for round in 0..10 {
+            let mut a = take_with_capacity(64);
+            a.extend_from_slice(&[round as u8; 16]);
+            let b = take();
+            drop(b);
+            drop(a);
+        }
+        let s = stats();
+        assert!(s.conserved(), "pool counters out of conservation: {s:?}");
+        assert!(s.takes >= 20);
+        assert!(s.high_water_bytes >= 64);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        let before = stats();
+        {
+            let mut b = take();
+            b.reserve(MAX_RETAINED_CAPACITY + 1);
+        }
+        let after = stats();
+        assert_eq!(
+            after.returns, before.returns,
+            "oversized buffer must be dropped, not pooled"
+        );
+    }
+}

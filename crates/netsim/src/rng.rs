@@ -89,10 +89,33 @@ impl SimRng {
         SimRng::new(h)
     }
 
+    /// Fill `out` with consecutive raw draws — the batched equivalent
+    /// of `out.len()` successive [`next_u64`](Self::next_u64) calls.
+    /// Stream discipline: the state advances exactly as if each value
+    /// had been drawn individually, in order.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
+
+    /// Sum of `n` consecutive [`unit`](Self::unit) draws, batched into
+    /// one call for per-exchange paths that fold several uniforms
+    /// (latency jitter). Consumes exactly the same draws in the same
+    /// order as `n` separate `unit()` calls, so every downstream stream
+    /// stays byte-identical — the differential suite pins this law.
+    pub fn unit_sum(&mut self, n: usize) -> f64 {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += self.unit();
+        }
+        sum
+    }
+
     /// Sample a (rounded) normal via the central-limit of 8 uniforms —
     /// adequate for latency jitter, cheap, and branch-free.
     pub fn approx_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let sum: f64 = (0..8).map(|_| self.unit()).sum();
+        let sum = self.unit_sum(8);
         // Sum of 8 U(0,1) has mean 4, variance 8/12.
         let z = (sum - 4.0) / (8.0f64 / 12.0).sqrt();
         mean + z * std_dev
@@ -174,6 +197,31 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_draws_match_sequential_streams() {
+        // unit_sum(n) must consume the identical draw sequence as n
+        // unit() calls: same running sum, same post-state.
+        for n in [0usize, 1, 3, 8] {
+            let mut batched = SimRng::new(0xFEED);
+            let mut sequential = SimRng::new(0xFEED);
+            let a = batched.unit_sum(n);
+            let mut b = 0.0f64;
+            for _ in 0..n {
+                b += sequential.unit();
+            }
+            assert_eq!(a.to_bits(), b.to_bits(), "sum diverged at n={n}");
+            assert_eq!(batched, sequential, "state diverged at n={n}");
+        }
+        let mut filled = SimRng::new(0xBEEF);
+        let mut stepped = SimRng::new(0xBEEF);
+        let mut buf = [0u64; 5];
+        filled.fill_u64(&mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, stepped.next_u64(), "draw {i} diverged");
+        }
+        assert_eq!(filled, stepped);
     }
 
     #[test]

@@ -9,13 +9,21 @@
 //!
 //! The implementation is the classic goto/fail construction over bytes
 //! with breadth-first failure-link computation and output merging.
+//! Each transition word carries an "output here" flag in its high bit,
+//! so the scan loop touches no output storage on the (overwhelmingly
+//! common) non-matching byte.
+
+/// High bit of a transition word: the target state has ≥1 output.
+const OUT_FLAG: u32 = 1 << 31;
+/// Mask recovering the state id from a transition word.
+const STATE_MASK: u32 = OUT_FLAG - 1;
 
 /// A compiled multi-pattern automaton.
 #[derive(Clone, Debug)]
 pub struct AhoCorasick {
     /// goto function: `next[state][byte]` (dense; states are few
     /// hundred for our dictionaries, so a dense table is the right
-    /// trade-off).
+    /// trade-off). High bit = [`OUT_FLAG`].
     next: Vec<[u32; 256]>,
     /// Pattern ids terminating at each state (after output merging).
     outputs: Vec<Vec<u32>>,
@@ -95,10 +103,33 @@ impl AhoCorasick {
             }
         }
 
+        // Pack the "target has outputs" flag into every transition so
+        // the walk needs no second load to decide whether to collect.
+        // lint:allow(R1) dictionary automata are bounded (hundreds of states), nowhere near 2^31
+        assert!(next.len() < STATE_MASK as usize, "automaton too large");
+        for row in &mut next {
+            for slot in row.iter_mut() {
+                if !outputs[*slot as usize].is_empty() {
+                    *slot |= OUT_FLAG;
+                }
+            }
+        }
+
         AhoCorasick {
             next,
             outputs,
             pattern_count: patterns.len(),
+        }
+    }
+
+    /// Start a resumable walk at the root. Several walkers can be
+    /// advanced over the same bytes in one pass (the ground-truth
+    /// matcher drives its case-insensitive and byte-exact automata
+    /// together instead of re-reading the flow).
+    pub fn walker(&self) -> Walker<'_> {
+        Walker {
+            auto: self,
+            state: 0,
         }
     }
 
@@ -115,10 +146,9 @@ impl AhoCorasick {
     /// Find all matches in `haystack` (overlapping included).
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();
-        let mut state = 0usize;
+        let mut walk = self.walker();
         for (i, &b) in haystack.iter().enumerate() {
-            state = self.next[state][b as usize] as usize;
-            for &pat in &self.outputs[state] {
+            for &pat in walk.step(b) {
                 out.push(Match {
                     pattern: pat,
                     end: i + 1,
@@ -133,10 +163,9 @@ impl AhoCorasick {
     /// overhead and just flags pattern presence.
     pub fn present(&self, haystack: &[u8]) -> Vec<u32> {
         let mut seen = vec![false; self.pattern_count];
-        let mut state = 0usize;
+        let mut walk = self.walker();
         for &b in haystack {
-            state = self.next[state][b as usize] as usize;
-            for &pat in &self.outputs[state] {
+            for &pat in walk.step(b) {
                 seen[pat as usize] = true;
             }
         }
@@ -145,6 +174,29 @@ impl AhoCorasick {
             .filter(|(_, s)| **s)
             .map(|(i, _)| i as u32)
             .collect()
+    }
+}
+
+/// A resumable automaton walk: one [`Walker::step`] per haystack byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Walker<'a> {
+    auto: &'a AhoCorasick,
+    state: u32,
+}
+
+impl<'a> Walker<'a> {
+    /// Advance by one byte; returns the pattern ids of matches ending
+    /// at this byte (empty for the common non-matching byte, at the
+    /// cost of exactly one table load).
+    #[inline]
+    pub fn step(&mut self, b: u8) -> &'a [u32] {
+        let word = self.auto.next[self.state as usize][b as usize];
+        self.state = word & STATE_MASK;
+        if word & OUT_FLAG == 0 {
+            &[]
+        } else {
+            &self.auto.outputs[self.state as usize]
+        }
     }
 }
 

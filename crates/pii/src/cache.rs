@@ -1,0 +1,162 @@
+//! Process-wide compiled-dictionary cache.
+//!
+//! Compiling a [`GroundTruthMatcher`] builds two Aho–Corasick automata
+//! (~5 ms on the reference box), and a study touches each of its 98
+//! distinct `(service, OS)` ground truths twice per worker shuffle. The
+//! cache keys the compiled dictionary on the *content* of the
+//! [`GroundTruth`] (its canonical JSON form), so every cell that shares
+//! an identity shares one compilation. Correctness is unaffected:
+//! compilation is a pure function of the truth, and the canonical-JSON
+//! key means two equal truths can never disagree.
+//!
+//! The cache is bounded: past [`CACHE_CAPACITY`] entries it is cleared
+//! wholesale (the resident `repro serve` path churns through arbitrary
+//! revisions and must not grow without bound). Build/hit counters are
+//! exposed through [`stats`] so tests can pin "one build per study".
+
+use crate::encode::search_chains;
+use crate::matcher::GroundTruthMatcher;
+use crate::profile::GroundTruth;
+use crate::types::PiiType;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Entries retained before the cache is cleared wholesale.
+pub const CACHE_CAPACITY: usize = 512;
+
+/// A ground-truth dictionary compiled once and shared by every pipeline
+/// stage that searches for the same identity.
+#[derive(Debug)]
+pub struct CompiledDictionary {
+    /// The Aho–Corasick-backed matcher (detection step 2).
+    pub matcher: GroundTruthMatcher,
+    /// Lowercased encoded variants of every value, used by the
+    /// verification step (detection step 3).
+    pub variants: Vec<(PiiType, String)>,
+}
+
+impl CompiledDictionary {
+    /// Compile `truth` without consulting the cache.
+    // lint:allow(T1) dictionary construction: encodes ground truth to SEARCH for it; nothing leaves the process
+    pub fn build(truth: &GroundTruth) -> Self {
+        let chains = search_chains();
+        let mut variants = Vec::new();
+        for (t, v) in truth.values() {
+            for chain in &chains {
+                variants.push((t, chain.apply(&v).to_ascii_lowercase()));
+            }
+        }
+        CompiledDictionary {
+            matcher: GroundTruthMatcher::new(truth),
+            variants,
+        }
+    }
+}
+
+/// Build/hit counters for the process-wide cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Dictionaries compiled from scratch.
+    pub builds: u64,
+    /// Lookups served from an already-compiled dictionary.
+    pub hits: u64,
+}
+
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<CompiledDictionary>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CompiledDictionary>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch (or compile and memoize) the dictionary for `truth`.
+// lint:allow(T1) cache keying: the canonical JSON of the truth stays in-process as a map key; nothing leaves
+pub fn compiled(truth: &GroundTruth) -> Arc<CompiledDictionary> {
+    let key = appvsweb_json::encode(truth);
+    {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is still coherent (inserts are single calls).
+        let map = cache().lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(dict) = map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(dict);
+        }
+    }
+    // Compile outside the lock: a study's workers race to warm the same
+    // 98 identities, and holding the lock across a multi-ms build would
+    // serialize them. A lost race costs one redundant build.
+    let dict = Arc::new(CompiledDictionary::build(truth));
+    BUILDS.fetch_add(1, Ordering::Relaxed);
+    let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
+    if map.len() >= CACHE_CAPACITY {
+        appvsweb_cover::cover!();
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(dict))
+}
+
+/// Current build/hit counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        builds: BUILDS.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_truth_compiles_once() {
+        let truth = GroundTruth::synthetic(0xCAC4E).with_device(
+            "Nexus 5",
+            &[("imei", "354436069633711")],
+            Some((42.361145, -71.057083)),
+        );
+        let before = stats();
+        let a = compiled(&truth);
+        let b = compiled(&truth.clone());
+        let after = stats();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "equal truths must share one dictionary"
+        );
+        assert_eq!(after.builds - before.builds, 1);
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn distinct_truths_get_distinct_dictionaries() {
+        let a = compiled(&GroundTruth::synthetic(1));
+        let b = compiled(&GroundTruth::synthetic(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(
+            a.matcher.candidate_count(),
+            0,
+            "compiled dictionary must be populated"
+        );
+        assert_ne!(b.variants.len(), 0);
+    }
+
+    #[test]
+    fn cached_dictionary_equals_fresh_build() {
+        let truth = GroundTruth::synthetic(77).with_device(
+            "iPhone 5",
+            &[("idfa", "AAAABBBB-CCCC-DDDD-EEEE-FFFF00001111")],
+            Some((42.35, -71.06)),
+        );
+        let cached = compiled(&truth);
+        let fresh = CompiledDictionary::build(&truth);
+        assert_eq!(cached.variants, fresh.variants);
+        assert_eq!(
+            cached.matcher.candidate_count(),
+            fresh.matcher.candidate_count()
+        );
+        // Same scan behaviour on a representative flow.
+        let flow = format!("GET /t?email={}&ll=42.35,-71.06 HTTP/1.1", truth.email);
+        assert_eq!(cached.matcher.scan(&flow), fresh.matcher.scan(&flow));
+    }
+}

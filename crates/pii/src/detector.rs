@@ -14,11 +14,12 @@
 //! type in the flow, or the value ReCon extracts from key/value context
 //! equals a known ground-truth value under some encoding.
 
-use crate::encode::search_chains;
+use crate::cache::CompiledDictionary;
 use crate::matcher::{GroundTruthMatcher, PiiFinding};
 use crate::profile::GroundTruth;
 use crate::recon::ReconClassifier;
 use crate::types::PiiType;
+use std::sync::Arc;
 
 /// Which stage(s) of the pipeline produced a detection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,41 +68,32 @@ impl DetectorReport {
 
 /// The three-step detection pipeline.
 pub struct CombinedDetector {
-    matcher: GroundTruthMatcher,
+    dict: Arc<CompiledDictionary>,
     recon: Option<ReconClassifier>,
-    truth_variants: Vec<(PiiType, String)>,
 }
 
 impl CombinedDetector {
     /// Build the pipeline for one session identity. Pass `None` for
-    /// `recon` to run matcher-only (one arm of the ablation).
-    // lint:allow(T1) detector-side index construction: encodes ground truth to SEARCH for it; nothing leaves the process
+    /// `recon` to run matcher-only (one arm of the ablation). The
+    /// compiled dictionary (matcher automata + verification variants)
+    /// comes from the process-wide [`crate::cache`], so repeated
+    /// constructions over the same identity share one compilation.
     pub fn new(truth: &GroundTruth, recon: Option<ReconClassifier>) -> Self {
-        // Precompute every encoded variant of every ground-truth value for
-        // the verification step.
-        let chains = search_chains();
-        let mut truth_variants = Vec::new();
-        for (t, v) in truth.values() {
-            for chain in &chains {
-                truth_variants.push((t, chain.apply(&v).to_ascii_lowercase()));
-            }
-        }
         CombinedDetector {
-            matcher: GroundTruthMatcher::new(truth),
+            dict: crate::cache::compiled(truth),
             recon,
-            truth_variants,
         }
     }
 
     /// Access the underlying matcher (for matcher-only pipelines).
     pub fn matcher(&self) -> &GroundTruthMatcher {
-        &self.matcher
+        &self.dict.matcher
     }
 
     /// Scan one flow to `domain` whose raw text is `text`.
     pub fn scan(&self, domain: &str, text: &str) -> DetectorReport {
         // Step 2 (run first because it is exact): string matching.
-        let findings = self.matcher.scan(text);
+        let findings = self.dict.matcher.scan(text);
         let mut matched_types: Vec<PiiType> = findings.iter().map(|f| f.pii_type).collect();
         matched_types.sort();
         matched_types.dedup();
@@ -166,7 +158,8 @@ impl CombinedDetector {
             }
             let v = v.to_ascii_lowercase();
             if self
-                .truth_variants
+                .dict
+                .variants
                 .iter()
                 .any(|(tt, variant)| *tt == t && !variant.is_empty() && v == *variant)
             {

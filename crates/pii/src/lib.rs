@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod aho;
+pub mod cache;
 pub mod detector;
 pub mod encode;
 pub mod eval;
@@ -49,6 +50,7 @@ pub mod recon;
 pub mod tokenize;
 pub mod types;
 
+pub use cache::{CacheStats, CompiledDictionary};
 pub use detector::{CombinedDetector, Detection, DetectorReport};
 pub use encode::Encoding;
 pub use matcher::{GroundTruthMatcher, PiiFinding};

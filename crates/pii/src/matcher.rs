@@ -64,6 +64,12 @@ pub struct GroundTruthMatcher {
     /// Byte-exact automaton for hash-like candidates.
     cs_auto: AhoCorasick,
     cs_index: Vec<usize>,
+    /// Indices of k/v-context-only candidates (short values searched by
+    /// key hint, not free text).
+    short_index: Vec<usize>,
+    /// Distinct PII types among `short_index`, for cheap per-pair
+    /// hint dismissal.
+    short_types: Vec<PiiType>,
 }
 
 impl GroundTruthMatcher {
@@ -153,12 +159,31 @@ impl GroundTruthMatcher {
         let ci_auto = AhoCorasick::new(&ci_patterns);
         let cs_auto = AhoCorasick::new(&cs_patterns);
 
+        // Index the k/v-context-only candidates once: the scan loop
+        // walks them for every pair whose key matches a hint, and the
+        // distinct type list lets a pair be dismissed with a handful of
+        // hint checks instead of one per candidate.
+        let short_index: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.free_text)
+            .map(|(i, _)| i)
+            .collect();
+        let mut short_types: Vec<PiiType> = short_index
+            .iter()
+            .map(|&i| candidates[i].pii_type)
+            .collect();
+        short_types.sort();
+        short_types.dedup();
+
         GroundTruthMatcher {
             candidates,
             ci_auto,
             ci_index,
             cs_auto,
             cs_index,
+            short_index,
+            short_types,
         }
     }
 
@@ -169,24 +194,38 @@ impl GroundTruthMatcher {
 
     /// Scan raw flow text for ground-truth PII.
     pub fn scan(&self, text: &str) -> Vec<PiiFinding> {
-        let lower = text.to_ascii_lowercase();
         let kv = extract_kv(text);
         let mut findings: Vec<PiiFinding> = Vec::new();
 
-        // 1. Free-text search: one automaton pass per case class.
-        let mut hits: Vec<usize> = self
-            .ci_auto
-            .present(lower.as_bytes())
-            .into_iter()
-            .map(|p| self.ci_index[p as usize])
-            .collect();
-        hits.extend(
-            self.cs_auto
-                .present(text.as_bytes())
-                .into_iter()
-                .map(|p| self.cs_index[p as usize]),
-        );
-        for idx in hits {
+        // 1. Free-text search: both automata advance together in ONE
+        // pass over the raw bytes. The case-insensitive walker folds
+        // each byte on the fly, so the full lowercase copy of the flow
+        // is never materialized. Hits are emitted in the same order as
+        // two separate `present` passes would produce (all ci patterns
+        // ascending, then all cs patterns ascending).
+        let mut ci_seen = vec![false; self.ci_index.len()];
+        let mut cs_seen = vec![false; self.cs_index.len()];
+        let mut ci_walk = self.ci_auto.walker();
+        let mut cs_walk = self.cs_auto.walker();
+        for &b in text.as_bytes() {
+            for &p in ci_walk.step(b.to_ascii_lowercase()) {
+                ci_seen[p as usize] = true;
+            }
+            for &p in cs_walk.step(b) {
+                cs_seen[p as usize] = true;
+            }
+        }
+        let ci_hits = ci_seen
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(p, _)| self.ci_index[p]);
+        let cs_hits = cs_seen
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(p, _)| self.cs_index[p]);
+        for idx in ci_hits.chain(cs_hits) {
             let c = &self.candidates[idx];
             // Attribute a key when the value sits in a k/v pair.
             let key = kv
@@ -208,22 +247,31 @@ impl GroundTruthMatcher {
         }
 
         // 2. Key-context search for short values (zip, gender, "M"/"F").
-        for c in self.candidates.iter().filter(|c| !c.free_text) {
-            for (k, v) in &kv {
-                let key_matches_type = c
-                    .pii_type
-                    .key_hints()
-                    .iter()
-                    .any(|h| k == h || k.contains(h));
-                if !key_matches_type {
+        // Pair-outer order: a pair whose key matches no short type's
+        // hints (the overwhelmingly common case) is dismissed with a
+        // handful of hint checks and zero allocations. Only pairs that
+        // survive normalize their value — lowercase and percent-decoded
+        // forms computed once per pair, not once per candidate — and
+        // walk the short candidates of the matching types.
+        for (k, v) in &kv {
+            let hinted = |t: PiiType| t.key_hints().iter().any(|h| k == h || k.contains(h));
+            if !self.short_types.iter().any(|&t| hinted(t)) {
+                continue;
+            }
+            let v_lower = v.to_ascii_lowercase();
+            let v_decoded = codec::percent_decode(v);
+            let v_decoded_lower = codec::percent_decode(&v_lower);
+            for &idx in &self.short_index {
+                let c = &self.candidates[idx];
+                if !hinted(c.pii_type) {
                     continue;
                 }
-                let v_norm = if c.case_sensitive {
-                    v.clone()
+                let (v_norm, v_norm_decoded) = if c.case_sensitive {
+                    (v, &v_decoded)
                 } else {
-                    v.to_ascii_lowercase()
+                    (&v_lower, &v_decoded_lower)
                 };
-                if v_norm == c.encoded || codec::percent_decode(&v_norm) == c.encoded {
+                if *v_norm == c.encoded || *v_norm_decoded == c.encoded {
                     findings.push(PiiFinding {
                         pii_type: c.pii_type,
                         value: c.original.clone(),
@@ -237,7 +285,7 @@ impl GroundTruthMatcher {
         // 3. Layered decode: base64-looking tokens are decoded and
         // re-searched for plain values.
         for token in tokenize_base64_blobs(text) {
-            if let Some(decoded) = codec::base64_decode(&token) {
+            if let Some(decoded) = codec::base64_decode(token) {
                 if let Ok(inner) = String::from_utf8(decoded) {
                     let inner_lower = inner.to_ascii_lowercase();
                     for c in self
@@ -274,11 +322,9 @@ impl GroundTruthMatcher {
 /// `=` is treated as a delimiter (valid base64 only carries it as
 /// trailing padding, and `key=value` syntax would otherwise glue the key
 /// onto the blob); the decoder accepts unpadded input.
-fn tokenize_base64_blobs(text: &str) -> Vec<String> {
+fn tokenize_base64_blobs(text: &str) -> impl Iterator<Item = &str> {
     text.split(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '+' | '/' | '-' | '_')))
         .filter(|t| t.len() >= 16)
-        .map(|t| t.to_string())
-        .collect()
 }
 
 fn dedup(mut findings: Vec<PiiFinding>) -> Vec<PiiFinding> {

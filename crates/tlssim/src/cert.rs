@@ -61,10 +61,9 @@ impl Certificate {
     /// Whether `host` matches this certificate's CN or any SAN, with
     /// left-most-label wildcard support (`*.example.com`).
     pub fn matches_host(&self, host: &str) -> bool {
-        let host = host.to_ascii_lowercase();
         std::iter::once(self.subject.as_str())
             .chain(self.san.iter().map(String::as_str))
-            .any(|name| name_matches(&name.to_ascii_lowercase(), &host))
+            .any(|name| name_matches(name, host))
     }
 
     /// Whether `now` falls within the validity window.
@@ -74,15 +73,18 @@ impl Certificate {
 }
 
 /// Wildcard name matching per RFC 6125: `*` may replace exactly the
-/// left-most label and must not match across dots.
+/// left-most label and must not match across dots. Comparison is
+/// ASCII-case-insensitive in place, so neither side is re-allocated.
 fn name_matches(pattern: &str, host: &str) -> bool {
     if let Some(suffix) = pattern.strip_prefix("*.") {
         match host.split_once('.') {
-            Some((first_label, rest)) => !first_label.is_empty() && rest == suffix,
+            Some((first_label, rest)) => {
+                !first_label.is_empty() && rest.eq_ignore_ascii_case(suffix)
+            }
             None => false,
         }
     } else {
-        pattern == host
+        pattern.eq_ignore_ascii_case(host)
     }
 }
 
@@ -134,6 +136,11 @@ impl CertificateChain {
 pub struct CertificateAuthority {
     /// The CA's own (self-signed) certificate.
     pub root: Certificate,
+    /// Per-host chain memo. Issuance is a pure function of
+    /// `(root, host)` — keys are derived, never drawn — so the chain
+    /// for a host is computed once and cloned out on re-issue. Shared
+    /// across clones of the authority (same root ⇒ same chains).
+    issued: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<String, CertificateChain>>>,
 }
 
 /// Default validity horizon used for issued certificates, in simulation
@@ -155,6 +162,7 @@ impl CertificateAuthority {
                 not_before: 0,
                 not_after: DEFAULT_VALIDITY,
             },
+            issued: Default::default(),
         }
     }
 
@@ -182,9 +190,18 @@ impl CertificateAuthority {
     }
 
     /// A chain consisting of a freshly issued leaf for `host` plus this
-    /// CA's root.
+    /// CA's root. Memoized per host: the proxy re-forges the same
+    /// handful of hosts once per exchange, and issuance is pure.
     pub fn chain_for(&self, host: &str) -> CertificateChain {
-        CertificateChain(vec![self.issue_leaf(host), self.root.clone()])
+        // A poisoned memo only means another thread panicked mid-insert;
+        // entries are pure values, so the map is still coherent.
+        let mut issued = self.issued.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(chain) = issued.get(host) {
+            return chain.clone();
+        }
+        let chain = CertificateChain(vec![self.issue_leaf(host), self.root.clone()]);
+        issued.insert(host.to_string(), chain.clone());
+        chain
     }
 }
 
@@ -258,4 +275,26 @@ mod tests {
 appvsweb_json::impl_json!(newtype KeyId(u64));
 appvsweb_json::impl_json!(struct Certificate { subject, san, issuer, key, signed_by, is_ca, not_before, not_after });
 appvsweb_json::impl_json!(newtype CertificateChain(Vec<Certificate>));
-appvsweb_json::impl_json!(struct CertificateAuthority { root });
+
+// Hand-rolled (not `impl_json!`): only the root is state — the issued
+// memo is a derived cache and must not round-trip. The shape matches
+// what `impl_json!(struct CertificateAuthority { root })` emitted.
+// lint:allow(R2) impl_json! cannot skip the derived `issued` field
+impl appvsweb_json::ToJson for CertificateAuthority {
+    fn to_json(&self) -> appvsweb_json::Json {
+        appvsweb_json::Json::Obj(vec![(
+            "root".to_string(),
+            appvsweb_json::ToJson::to_json(&self.root),
+        )])
+    }
+}
+
+// lint:allow(R2) impl_json! cannot skip the derived `issued` field
+impl appvsweb_json::FromJson for CertificateAuthority {
+    fn from_json(v: &appvsweb_json::Json) -> Result<Self, appvsweb_json::JsonError> {
+        Ok(CertificateAuthority {
+            root: v.field("root")?,
+            issued: Default::default(),
+        })
+    }
+}

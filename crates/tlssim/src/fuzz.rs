@@ -26,6 +26,25 @@ pub fn run(data: &[u8]) {
         assert_eq!(records, len.div_ceil(MAX_FRAGMENT), "len {len}");
         assert!(wire >= len, "wire must dominate payload (len {len})");
 
+        // Differential reference: the closed-form arithmetic must agree
+        // with a naive fragment-by-fragment loop (the "obviously
+        // correct" implementation). Bounded so a u32::MAX length does
+        // not loop 256k times per draw; the cap still spans many
+        // fragment boundaries.
+        if len <= MAX_FRAGMENT * 64 {
+            let mut naive_records = 0usize;
+            let mut naive_wire = 0usize;
+            let mut rem = len;
+            while rem > 0 {
+                let frag = rem.min(MAX_FRAGMENT);
+                naive_records += 1;
+                naive_wire += frag + RECORD_OVERHEAD;
+                rem -= frag;
+            }
+            assert_eq!(records, naive_records, "record count diverged at {len}");
+            assert_eq!(wire, naive_wire, "wire bytes diverged at {len}");
+        }
+
         // Boundary behaviour: one more byte past a fragment boundary
         // costs exactly one record of overhead extra.
         if len > 0 && len.is_multiple_of(MAX_FRAGMENT) {

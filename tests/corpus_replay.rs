@@ -57,12 +57,24 @@ fn regression_pins_are_committed() {
     // sketch hostile-state pins (unsorted buckets, absurd capacities,
     // non-finite op streams), the serve pins (bare-LF request
     // heads, oversized content-length, torn WAL tails, sequence
-    // regressions, supervisor records with no enclosing Start), and the
+    // regressions, supervisor records with no enclosing Start), the
     // lint item-parser pins (macro bodies skipped wholesale, unclosed
-    // generics bounded, torn fork-label argument lists).
+    // generics bounded, torn fork-label argument lists), and the
+    // hot-path differential pins (a DEFLATE stream whose back-reference
+    // reaches before the stream start — it must never read a pooled
+    // buffer's earlier bytes — the chunk-framing boundary family for
+    // the arithmetic wire lengths, and the adblock pre-filter's
+    // short-token and caret-separator fallbacks).
     for (target, pin) in [
         ("httpsim_gzip", "regress-trailer-truncated.bin"),
         ("httpsim_gzip", "regress-trailer-missing.bin"),
+        ("httpsim_gzip", "regress-backref-past-base.bin"),
+        ("httpsim_wire", "regress-chunk-boundary-1024.bin"),
+        ("httpsim_wire", "regress-chunk-remainder-1025.bin"),
+        ("httpsim_wire", "regress-chunk-torn-trailer.bin"),
+        ("httpsim_wire", "regress-header-no-colon.bin"),
+        ("adblock_filter", "regress-prefilter-short-token.bin"),
+        ("adblock_filter", "regress-prefilter-caret-separator.bin"),
         ("netsim_dns", "regress-negative-cache-timeout.bin"),
         ("netsim_dns", "regress-negative-cache-nxdomain.bin"),
         ("lint_lexer", "regress-raw-string-hashes.bin"),

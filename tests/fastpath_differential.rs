@@ -1,0 +1,397 @@
+//! Differential reference-oracle suite for the hot-path rewrites.
+//!
+//! Every fast path introduced by the 5× optimization pass keeps its
+//! pre-optimization twin compiled under `cfg(any(test, feature =
+//! "reference"))`; this suite drives both sides with generated inputs
+//! and asserts equality. The laws:
+//!
+//! * arithmetic wire lengths equal real serialized lengths, byte-exact
+//!   (the MITM `bytes=` journal events are pinned by trace goldens)
+//! * the zero-copy parsers agree with the eager-copy reference parsers
+//!   on well-formed and malformed bytes alike, errors included
+//! * the pre-filtered adblock engine returns the same [`Decision`] as
+//!   the exhaustive linear reference walk, and the n-gram pre-filter
+//!   never drops a matching rule (zero false negatives)
+//! * pooled buffers come back scrubbed and the pool counters conserve
+//! * batched RNG draws consume streams identically to sequential draws
+//! * the compiled-dictionary cache returns matchers equivalent to a
+//!   fresh build
+
+use appvsweb::adblock::filter::{parse_line, ParsedLine};
+use appvsweb::adblock::prefilter::Prefilter;
+use appvsweb::adblock::{engine, FilterEngine, RequestInfo};
+use appvsweb::httpsim::wire::{self, reference};
+use appvsweb::httpsim::{compress, Body, Request, Response, StatusCode, Url};
+use appvsweb::netsim::pool;
+use appvsweb::pii::aho::{AhoCorasick, Match};
+use appvsweb::pii::{cache, GroundTruth, GroundTruthMatcher};
+use appvsweb_testkit::{gen, prop_test, Gen, SimRng};
+
+// ---------------------------------------------------------- generators
+
+/// Arbitrary-but-plausible HTTP requests: mixed methods, query pairs,
+/// extra headers, and form/json/binary bodies.
+fn requests() -> impl Gen<Value = Request> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let host = ["api.example.com", "t.tracker.net", "x.y.co.uk"][rng.below(3) as usize];
+        let path = ["/", "/v1/login", "/pixel", "/a/b/c"][rng.below(4) as usize];
+        let url = Url::parse(&format!("https://{host}{path}?q={}", rng.below(1000))).unwrap();
+        let mut req = match rng.below(3) {
+            0 => Request::get(url),
+            1 => Request::post(url, Body::form(&[("user", "jane"), ("id", "42")])),
+            _ => Request::post(url, Body::json(r#"{"k":"v"}"#)),
+        };
+        if rng.chance(0.5) {
+            req = req.with_user_agent("ExampleApp/3.2 (Android 4.4)");
+        }
+        if rng.chance(0.3) {
+            req.headers.append("X-Extra", "1");
+        }
+        req
+    })
+}
+
+/// Arbitrary responses, chunked and plain, across body-size boundaries
+/// of the 1024-byte chunk framing.
+fn responses() -> impl Gen<Value = Response> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let mut resp = Response::new(StatusCode(
+            [200u16, 204, 302, 404, 500][rng.below(5) as usize],
+        ));
+        let body_len = [0usize, 1, 37, 1023, 1024, 1025, 4096][rng.below(7) as usize];
+        if body_len > 0 {
+            resp.body = Body::binary(vec![b'x'; body_len], "application/octet-stream");
+            resp.headers.set("Content-Type", "application/octet-stream");
+        }
+        if rng.chance(0.5) {
+            resp.headers.set("Transfer-Encoding", "chunked");
+        } else if body_len > 0 {
+            resp.headers.set("Content-Length", body_len.to_string());
+        }
+        resp
+    })
+}
+
+/// Raw message bytes: serialized requests/responses, optionally
+/// corrupted with byte flips and truncation so the error paths of both
+/// parser generations are exercised too.
+fn wire_bytes() -> impl Gen<Value = Vec<u8>> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let mut bytes = if rng.chance(0.5) {
+            let mut fork = rng.fork("req");
+            wire::serialize_request(&requests().generate(&mut fork))
+        } else {
+            let mut fork = rng.fork("resp");
+            wire::serialize_response(&responses().generate(&mut fork))
+        };
+        if rng.chance(0.4) && !bytes.is_empty() {
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= rng.below(255) as u8 + 1;
+        }
+        if rng.chance(0.3) {
+            bytes.truncate(rng.below(bytes.len() as u64 + 1) as usize);
+        }
+        bytes
+    })
+}
+
+/// EasyList-style network rule lines assembled from real syntax parts.
+fn rule_lines() -> impl Gen<Value = String> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let core = [
+            "doubleclick.net",
+            "ads.example.com",
+            "/adserver/",
+            "/banner/*/img",
+            "track",
+            "a^b",
+            "xy",
+        ][rng.below(7) as usize];
+        let mut line = String::new();
+        if rng.chance(0.2) {
+            line.push_str("@@");
+        }
+        match rng.below(3) {
+            0 => line.push_str("||"),
+            1 => line.push('|'),
+            _ => {}
+        }
+        line.push_str(core);
+        if rng.chance(0.4) {
+            line.push('^');
+        }
+        if rng.chance(0.3) {
+            line.push_str("$third-party");
+        }
+        line
+    })
+}
+
+/// URLs that sometimes embed rule tokens inside longer words (the
+/// "ads/ inside loads/" trap) and sometimes miss entirely.
+fn probe_urls() -> impl Gen<Value = String> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let host = [
+            "ads.example.com",
+            "cdn.benign.org",
+            "sub.doubleclick.net",
+            "preloads.example.net",
+        ][rng.below(4) as usize];
+        let path = [
+            "/adserver/v2/banner/9/img",
+            "/downloads/file.js",
+            "/pixel?track=1",
+            "/",
+            "/a%5Eb/xyz",
+        ][rng.below(5) as usize];
+        format!("https://{host}{path}")
+    })
+}
+
+/// Short patterns over a tiny alphabet so overlaps, shared prefixes,
+/// and failure-link chains all occur within a few generated cases.
+fn small_alphabet_patterns() -> impl Gen<Value = Vec<Vec<u8>>> {
+    gen::from_fn(|rng: &mut SimRng| {
+        let n = 1 + rng.below(6) as usize;
+        (0..n)
+            .map(|_| {
+                let len = rng.below(5) as usize; // empty patterns allowed
+                (0..len)
+                    .map(|_| b"abc"[rng.below(3) as usize])
+                    .collect::<Vec<u8>>()
+            })
+            .collect()
+    })
+}
+
+/// A quadratic-time oracle for [`AhoCorasick::find_all`]: check every
+/// (pattern, end) pair by direct suffix comparison.
+fn naive_find_all(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for end in 1..=haystack.len() {
+        for (id, pat) in patterns.iter().enumerate() {
+            if !pat.is_empty() && haystack[..end].ends_with(pat) {
+                out.push(Match {
+                    pattern: id as u32,
+                    end,
+                });
+            }
+        }
+    }
+    out
+}
+
+prop_test! {
+    // ------------------------------------------------ wire arithmetic
+
+    fn request_wire_len_equals_serialized_len(req in requests()) {
+        assert_eq!(wire::request_wire_len(&req), wire::serialize_request(&req).len());
+        assert_eq!(req.wire_len(), wire::serialize_request(&req).len());
+    }
+
+    fn response_wire_len_equals_serialized_len(resp in responses()) {
+        assert_eq!(wire::response_wire_len(&resp), wire::serialize_response(&resp).len());
+        assert_eq!(resp.wire_len(), wire::serialize_response(&resp).len());
+    }
+
+    fn response_serializer_matches_reference(resp in responses()) {
+        assert_eq!(
+            wire::serialize_response(&resp),
+            reference::serialize_response_reference(&resp),
+        );
+    }
+
+    // --------------------------------------------- zero-copy parsing
+
+    fn zero_copy_request_parse_matches_reference(bytes in wire_bytes()) {
+        for secure in [false, true] {
+            assert_eq!(
+                wire::parse_request(&bytes, secure),
+                reference::parse_request_reference(&bytes, secure),
+                "request parse diverged (secure={secure})"
+            );
+        }
+    }
+
+    fn zero_copy_response_parse_matches_reference(bytes in wire_bytes()) {
+        assert_eq!(
+            wire::parse_response(&bytes),
+            reference::parse_response_reference(&bytes),
+            "response parse diverged"
+        );
+    }
+
+    fn roundtrip_survives_both_parsers(req in requests()) {
+        let bytes = wire::serialize_request(&req);
+        let fast = wire::parse_request(&bytes, true).expect("fast parse");
+        let slow = reference::parse_request_reference(&bytes, true).expect("reference parse");
+        assert_eq!(fast, slow);
+        assert_eq!(fast.url.host, req.url.host);
+    }
+
+    // ------------------------------------------------------- adblock
+
+    fn prefiltered_engine_matches_reference_walk(
+        lines in gen::vecs_of(rule_lines(), 1..=12),
+        url in probe_urls(),
+        third_party in gen::bools(),
+    ) {
+        let mut engine = FilterEngine::new();
+        engine.load_list(&lines.join("\n"));
+        let origin = if third_party { "origin.example.com" } else { "ads.example.com" };
+        let req = RequestInfo { url: &url, origin_host: origin, resource_type: None };
+        assert_eq!(
+            engine.check(&req),
+            engine.check_reference(&req),
+            "decision diverged for {url:?} over {lines:?}"
+        );
+    }
+
+    fn prefilter_never_drops_a_matching_rule(line in rule_lines(), url in probe_urls()) {
+        let ParsedLine::Network(filter) = parse_line(&line) else { return; };
+        let lowered = url.to_ascii_lowercase();
+        let pre = Prefilter::build(std::slice::from_ref(&filter));
+        if filter.pattern_matches(&lowered) {
+            assert_eq!(
+                pre.candidates(&lowered),
+                vec![0],
+                "zero-false-negative law broken: {:?} matches {lowered:?} but was pre-filtered out",
+                filter.raw
+            );
+        }
+    }
+
+    fn bundled_engine_agrees_on_generated_probes(
+        url in probe_urls(),
+        third_party in gen::bools(),
+    ) {
+        let engine = engine::bundled_shared();
+        let origin = if third_party { "somewhere-else.org" } else { "ads.example.com" };
+        let req = RequestInfo { url: &url, origin_host: origin, resource_type: None };
+        assert_eq!(engine.check(&req), engine.check_reference(&req));
+    }
+
+    // ------------------------------------------- automaton vs naive scan
+
+    fn aho_walker_matches_naive_substring_scan(
+        patterns in small_alphabet_patterns(),
+        haystack in gen::bytes(0..=48),
+    ) {
+        // Constrain the haystack to the pattern alphabet so hits are
+        // plentiful (arbitrary bytes would almost never match "abc"*).
+        let haystack: Vec<u8> = haystack.iter().map(|b| b"abc"[(*b % 3) as usize]).collect();
+        let ac = AhoCorasick::new(&patterns);
+        let mut fast = ac.find_all(&haystack);
+        let mut slow = naive_find_all(&patterns, &haystack);
+        // The automaton reports same-end matches in output-merge order;
+        // canonicalize both sides before comparing.
+        fast.sort_by_key(|m| (m.end, m.pattern));
+        slow.sort_by_key(|m| (m.end, m.pattern));
+        assert_eq!(fast, slow, "find_all diverged from the naive oracle");
+
+        let mut expected: Vec<u32> = slow.iter().map(|m| m.pattern).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(ac.present(&haystack), expected, "present() diverged");
+    }
+
+    // ------------------------------------------------------ codecs
+
+    fn pooled_compression_matches_plain(data in gen::bytes(0..=2048)) {
+        let mut pooled = pool::take();
+        compress::gzip_compress_into(&data, &mut pooled);
+        assert_eq!(*pooled, compress::gzip_compress(&data), "compress_into diverged");
+        let mut plain_out = pool::take();
+        compress::gzip_decompress_into(&pooled, &mut plain_out).expect("roundtrip");
+        assert_eq!(*plain_out, data, "pooled roundtrip lost bytes");
+    }
+
+    // ------------------------------------------------------- pool laws
+
+    fn pooled_buffers_come_back_scrubbed(data in gen::bytes(1..=512)) {
+        {
+            let mut b = pool::take();
+            b.extend_from_slice(&data);
+        }
+        let recycled = pool::take();
+        assert!(recycled.is_empty(), "scrub-on-release law broken");
+        let s = pool::stats();
+        assert!(s.conserved(), "pool counters out of conservation: {s:?}");
+    }
+
+    // ------------------------------------------------------ rng batching
+
+    fn batched_rng_draws_preserve_streams(seed in gen::u64s(0..=1 << 62), n in gen::usizes(0..=16)) {
+        let mut batched = appvsweb::netsim::SimRng::new(seed);
+        let mut sequential = appvsweb::netsim::SimRng::new(seed);
+        let a = batched.unit_sum(n);
+        let mut b = 0.0f64;
+        for _ in 0..n {
+            b += sequential.unit();
+        }
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(batched, sequential, "unit_sum advanced the state differently");
+    }
+
+    // ------------------------------------------------------ obs reconcile
+
+    // (see also `pool_stats_reconcile_with_journaled_takes` below — the
+    // obs capture is process-global, so that law runs as a plain test.)
+
+    // --------------------------------------------- compiled-dictionary cache
+
+    fn cached_dictionary_scans_like_fresh_build(seed in gen::u64s(0..=1_000)) {
+        let truth = GroundTruth::synthetic(seed);
+        let cached = cache::compiled(&truth);
+        let fresh = GroundTruthMatcher::new(&truth);
+        for text in [
+            format!("email={} extra", truth.email),
+            format!("GET /x?user={}&pw={}", truth.username, truth.password),
+            "nothing sensitive here".to_string(),
+        ] {
+            assert_eq!(
+                cached.matcher.scan(&text),
+                fresh.scan(&text),
+                "cached matcher diverged from fresh build on {text:?}"
+            );
+        }
+    }
+}
+
+/// The journaled `pool.takes` counter and the process-wide [`pool::stats`]
+/// ledger must reconcile: every take performed inside a captured cell
+/// scope lands in that cell's journal exactly once, and the stats ledger
+/// covers it (other test threads may take concurrently, so the ledger
+/// delta is a lower bound while the journal count — recorded through a
+/// thread-local scope — is exact).
+#[test]
+fn pool_stats_reconcile_with_journaled_takes() {
+    let before = pool::stats();
+    appvsweb::obs::capture_begin();
+    {
+        let _cell = appvsweb::obs::cell_scope("pool/reconcile");
+        for _ in 0..5 {
+            let mut b = pool::take();
+            b.extend_from_slice(b"scratch");
+        }
+        drop(pool::take_with_capacity(128));
+    }
+    let journal = appvsweb::obs::capture_end();
+    let after = pool::stats();
+
+    assert_eq!(
+        journal.counter_total("pool.takes"),
+        6,
+        "journal must record exactly the takes made in-scope"
+    );
+    let cell = journal.cell("pool/reconcile").expect("cell journal");
+    assert_eq!(cell.counter("pool.takes"), 6);
+    assert!(
+        after.takes - before.takes >= 6,
+        "stats ledger must cover the journaled takes: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.conserved(),
+        "pool counters out of conservation: {after:?}"
+    );
+}
